@@ -1,0 +1,76 @@
+//! The experiment runner.
+//!
+//! ```text
+//! cargo run -p wrsn-bench --release --bin exp -- --id fig6
+//! cargo run -p wrsn-bench --release --bin exp -- --id all
+//! cargo run -p wrsn-bench --release --bin exp -- --list
+//! ```
+//!
+//! Tables are printed and also written as CSV under `target/experiments/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn csv_dir() -> PathBuf {
+    PathBuf::from("target").join("experiments")
+}
+
+fn run_one(id: &str) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let tables = wrsn_bench::run(id)?;
+    let dir = csv_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for (k, table) in tables.iter().enumerate() {
+        println!("{}", table.render());
+        let file = dir.join(format!("{id}_{k}.csv"));
+        std::fs::write(&file, table.to_csv())
+            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    }
+    eprintln!(
+        "[{id}] done in {:.1} s; CSVs in {}",
+        started.elapsed().as_secs_f64(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for known in wrsn_bench::ALL_IDS {
+                    println!("{known}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--id" => {
+                i += 1;
+                id = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: exp --id <id>|all | --list");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(id) = id else {
+        eprintln!("usage: exp --id <id>|all | --list");
+        return ExitCode::FAILURE;
+    };
+    let ids: Vec<&str> = if id == "all" {
+        wrsn_bench::ALL_IDS.to_vec()
+    } else {
+        vec![id.as_str()]
+    };
+    for id in ids {
+        if let Err(e) = run_one(id) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! `fig10` — CSA's empirical approximation ratio against the exact solver on
+//! small instances ("bounded performance guarantee").
+
+use wrsn::core::{csa, exact, theory};
+
+use crate::experiments::common::synthetic_instance;
+use crate::stats::{mean_std, min};
+use crate::table::{f, Table};
+
+/// Instances per configuration.
+pub const INSTANCES: u64 = 50;
+/// Victims per instance.
+pub const VICTIMS: usize = 8;
+
+/// Window-length / budget configurations swept (label, window seconds,
+/// budget joules).
+pub const CONFIGS: &[(&str, f64, f64)] = &[
+    ("tight windows, tight budget", 120.0, 400.0),
+    ("tight windows, loose budget", 120.0, 5_000.0),
+    ("loose windows, tight budget", 800.0, 400.0),
+    ("loose windows, loose budget", 800.0, 5_000.0),
+];
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        format!(
+            "fig10: CSA / exact utility ratio over {INSTANCES} random instances of {VICTIMS} victims \
+             (theoretical floor {:.3})",
+            theory::greedy_guarantee()
+        ),
+        &["configuration", "mean ratio", "min ratio", "ratio = 1 (%)"],
+    );
+    for &(label, window, budget) in CONFIGS {
+        let mut ratios = Vec::new();
+        let mut perfect = 0usize;
+        for seed in 0..INSTANCES {
+            let inst = synthetic_instance(VICTIMS, seed.wrapping_mul(7919) + 13, window, budget);
+            let opt = inst.utility(&exact::solve(&inst));
+            let got = inst.utility(&csa::plan(&inst));
+            let ratio = theory::approximation_ratio(got, opt);
+            if ratio > 1.0 - 1e-9 {
+                perfect += 1;
+            }
+            ratios.push(ratio);
+        }
+        let (m, s) = mean_std(&ratios);
+        table.push(vec![
+            label.to_string(),
+            format!("{m:.3} ± {s:.3}"),
+            f(min(&ratios), 3),
+            f(100.0 * perfect as f64 / INSTANCES as f64, 0),
+        ]);
+    }
+    vec![table]
+}
+
+/// Worst observed ratio across all configurations (for the integration
+/// tests' bound assertion).
+pub fn worst_ratio() -> f64 {
+    let mut worst = 1.0f64;
+    for &(_, window, budget) in CONFIGS {
+        for seed in 0..INSTANCES {
+            let inst = synthetic_instance(VICTIMS, seed.wrapping_mul(7919) + 13, window, budget);
+            let opt = inst.utility(&exact::solve(&inst));
+            let got = inst.utility(&csa::plan(&inst));
+            worst = worst.min(theory::approximation_ratio(got, opt));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_ratio_respects_the_theoretical_floor() {
+        assert!(
+            worst_ratio() >= theory::greedy_guarantee() - 1e-9,
+            "worst ratio {} under floor",
+            worst_ratio()
+        );
+    }
+}

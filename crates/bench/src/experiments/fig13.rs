@@ -1,0 +1,110 @@
+//! `fig13` (extension) — simultaneous multi-victim spoofing.
+//!
+//! With `M + 1` coherent antennas one parked rig can place nulls on `M`
+//! victims at once (`wrsn_em::beamform`): a whole cluster masqueraded in a
+//! single visit. This experiment measures the achievable suppression vs.
+//! cluster size, in the ideal case and under per-antenna phase jitter —
+//! array nulls sharpen with size, so calibration demands grow with ambition.
+
+use wrsn::em::beamform;
+use wrsn::em::noise::MeasurementNoise;
+use wrsn::em::superposition;
+
+use crate::stats::mean_std;
+use crate::table::{f, Table};
+
+/// Cluster sizes swept (victims per visit).
+pub const CLUSTER_SIZES: &[usize] = &[1, 2, 3, 4, 6];
+/// Per-antenna phase-jitter standard deviations swept, radians.
+pub const PHASE_JITTER_RAD: &[f64] = &[0.0, 0.02, 0.05, 0.1];
+/// Random victim layouts per configuration.
+pub const LAYOUTS: u64 = 20;
+
+fn victim_layout(m: usize, seed: u64) -> Vec<(f64, f64)> {
+    // Victims scattered 1.5–3 m in front of the array.
+    let mut noise = MeasurementNoise::new(seed, 1.0);
+    (0..m)
+        .map(|_| {
+            let x = 1.5 + 1.5 * (0.5 + 0.2 * noise.standard_normal()).clamp(0.0, 1.0);
+            let y = 1.2 * noise.standard_normal().clamp(-1.5, 1.5);
+            (x, y)
+        })
+        .collect()
+}
+
+/// Mean suppression (1 − residual/honest) across a cluster, for one layout
+/// and jitter level.
+fn suppression(m: usize, seed: u64, jitter_rad: f64) -> Option<f64> {
+    let antennas = beamform::linear_array(m + 1, 0.0, 0.0, 0.3);
+    let victims = victim_layout(m, seed);
+    let weights = beamform::null_weights(&antennas, &victims)?;
+    let mut jitter = MeasurementNoise::new(seed.wrapping_add(99), 1.0);
+    let jittered: Vec<_> = weights
+        .iter()
+        .map(|w| w.rotate(jitter_rad * jitter.standard_normal()))
+        .collect();
+    let mut fractions = Vec::new();
+    for &v in &victims {
+        // "Honest" reference: the full array transmitting coherently in
+        // phase at full power.
+        let honest_waves = beamform::waves_with_weights(
+            &antennas,
+            &vec![wrsn::em::Phasor::new(1.0, 0.0); antennas.len()],
+            v,
+        );
+        let honest = superposition::received_power(&honest_waves);
+        if honest <= 0.0 {
+            continue;
+        }
+        let residual = beamform::received_power_with_weights(&antennas, &jittered, v);
+        fractions.push(1.0 - (residual / honest).min(1.0));
+    }
+    Some(mean_std(&fractions).0)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "fig13: multi-victim nulling — mean suppression vs cluster size and phase jitter",
+        &[
+            "victims per visit",
+            "antennas",
+            "jitter 0",
+            "jitter 0.02 rad",
+            "jitter 0.05 rad",
+            "jitter 0.1 rad",
+        ],
+    );
+    for &m in CLUSTER_SIZES {
+        let mut row = vec![m.to_string(), (m + 1).to_string()];
+        for &j in PHASE_JITTER_RAD {
+            let sups: Vec<f64> = (0..LAYOUTS)
+                .filter_map(|seed| suppression(m, seed * 131 + 7, j))
+                .collect();
+            row.push(f(mean_std(&sups).0, 4));
+        }
+        table.push(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_suppression_is_essentially_total() {
+        for &m in &[1usize, 3] {
+            let s = suppression(m, 7, 0.0).unwrap();
+            assert!(s > 0.999999, "m={m}: suppression {s}");
+        }
+    }
+
+    #[test]
+    fn jitter_degrades_suppression() {
+        let clean = suppression(3, 7, 0.0).unwrap();
+        let dirty = suppression(3, 7, 0.1).unwrap();
+        assert!(dirty < clean);
+        assert!(dirty > 0.5, "even jittered arrays suppress most power: {dirty}");
+    }
+}

@@ -1,0 +1,75 @@
+//! `fig2` — the nonlinear superposition law: received power vs. phase offset.
+//!
+//! Validates the abstract's Section-II claim ("we explain and model the
+//! nonlinear superposition effect through experiments"). Prints the ideal
+//! interference pattern and the emulated noisy measurements for three
+//! amplitude ratios.
+
+use wrsn::em::superposition;
+use wrsn::testbed::measure;
+use wrsn::testbed::TestbedParams;
+
+use crate::table::{f, Table};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let params = TestbedParams::default();
+
+    let mut measured = Table::new(
+        "fig2a: measured two-wave power vs phase offset (equal amplitudes)",
+        &["phase offset (rad)", "ideal P/Pmax", "measured P/Pmax"],
+    );
+    let series = measure::phase_offset_campaign(&params, 25);
+    for (x, ideal, noisy) in &series.samples {
+        measured.push(vec![f(*x, 3), f(*ideal, 4), f(*noisy, 4)]);
+    }
+
+    let mut ratios = Table::new(
+        "fig2b: ideal interference pattern for unequal amplitude ratios",
+        &["phase offset (rad)", "a2/a1=1.0", "a2/a1=0.8", "a2/a1=0.5"],
+    );
+    let sweeps: Vec<Vec<(f64, f64)>> = [1.0, 0.8, 0.5]
+        .iter()
+        .map(|&r| superposition::phase_sweep(1.0, r, 13))
+        .collect();
+    for ((s0, s1), s2) in sweeps[0].iter().zip(&sweeps[1]).zip(&sweeps[2]) {
+        ratios.push(vec![f(s0.0, 3), f(s0.1, 4), f(s1.1, 4), f(s2.1, 4)]);
+    }
+
+    let mut check = Table::new(
+        "fig2c: three-meter-reading superposition check (P1, P2 alone vs together)",
+        &["Δφ (rad)", "P1 (W)", "P2 (W)", "together (W)", "naive P1+P2 (W)"],
+    );
+    for &dphi in &[0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI] {
+        let (p1, p2, together, naive) = measure::superposition_check(&params, dphi);
+        check.push(vec![f(dphi, 3), f(p1, 3), f(p2, 3), f(together, 3), f(naive, 3)]);
+    }
+
+    vec![measured, ratios, check]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sits_at_pi_and_peak_at_zero() {
+        let tables = run();
+        let rows = &tables[0].rows;
+        let first: f64 = rows[0][1].parse().unwrap();
+        let mid: f64 = rows[12][1].parse().unwrap(); // 25 samples → index 12 is π
+        assert!((first - 1.0).abs() < 1e-9);
+        assert!(mid < 1e-3, "ideal null = {mid}");
+    }
+
+    #[test]
+    fn unequal_amplitudes_have_shallower_nulls() {
+        let tables = run();
+        let rows = &tables[1].rows;
+        let mid = &rows[6]; // Δφ = π
+        let null_10: f64 = mid[1].parse().unwrap();
+        let null_08: f64 = mid[2].parse().unwrap();
+        let null_05: f64 = mid[3].parse().unwrap();
+        assert!(null_10 < null_08 && null_08 < null_05);
+    }
+}

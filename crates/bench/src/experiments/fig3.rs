@@ -1,0 +1,59 @@
+//! `fig3` — received charging power vs. distance, with the empirical
+//! `P(d) = α/(d+β)²` model fitted to the emulated measurements.
+
+use wrsn::testbed::measure;
+use wrsn::testbed::TestbedParams;
+
+use crate::table::{f, Table};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let params = TestbedParams::default();
+    let distances: Vec<f64> = (2..=30).map(|k| k as f64 * 0.1).collect();
+    let (series, fit) = measure::distance_campaign(&params, &distances);
+
+    let mut samples = Table::new(
+        "fig3a: received power vs distance (measured on the emulated bench)",
+        &["distance (m)", "ideal P (W)", "measured P (W)", "fitted P (W)"],
+    );
+    for (d, ideal, noisy) in &series.samples {
+        let fitted = fit.alpha / ((d + fit.beta) * (d + fit.beta));
+        samples.push(vec![f(*d, 2), f(*ideal, 4), f(*noisy, 4), f(fitted, 4)]);
+    }
+
+    let truth = wrsn::em::ChargeModel::powercast();
+    let mut params_table = Table::new(
+        "fig3b: fitted empirical model parameters vs ground truth",
+        &["parameter", "true", "fitted"],
+    );
+    params_table.push(vec!["alpha (W·m²)".into(), f(truth.alpha(), 4), f(fit.alpha, 4)]);
+    params_table.push(vec!["beta (m)".into(), f(truth.beta(), 4), f(fit.beta, 4)]);
+    params_table.push(vec!["R²".into(), "1.0000".into(), f(fit.r_squared, 4)]);
+
+    vec![samples, params_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_is_close_to_truth() {
+        let tables = run();
+        let rows = &tables[1].rows;
+        let alpha_true: f64 = rows[0][1].parse().unwrap();
+        let alpha_fit: f64 = rows[0][2].parse().unwrap();
+        assert!((alpha_true - alpha_fit).abs() < 0.1);
+        let r2: f64 = rows[2][2].parse().unwrap();
+        assert!(r2 > 0.9);
+    }
+
+    #[test]
+    fn power_decreases_with_distance() {
+        let tables = run();
+        let rows = &tables[0].rows;
+        let first: f64 = rows[0][1].parse().unwrap();
+        let last: f64 = rows[rows.len() - 1][1].parse().unwrap();
+        assert!(first > last);
+    }
+}

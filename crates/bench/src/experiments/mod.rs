@@ -1,0 +1,18 @@
+//! One module per experiment; see `EXPERIMENTS.md` for the index.
+
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;

@@ -1,0 +1,82 @@
+//! `tab2` — the emulated benchtop: per-mote outcomes under honest charging
+//! vs. the Charging Spoofing Attack, with detector verdicts.
+
+use wrsn::testbed::{run_bench_experiment, TestbedParams};
+
+use crate::table::{f, Table};
+
+/// Bench horizon, seconds (a benchtop afternoon-and-then-some).
+pub const HORIZON_S: f64 = 120_000.0;
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let outcome = run_bench_experiment(&TestbedParams::default(), HORIZON_S);
+
+    let mut per_mote = Table::new(
+        "tab2: emulated 8-mote benchtop, honest vs spoofed charging",
+        &[
+            "mote",
+            "key node",
+            "honest delivered (J)",
+            "honest survived",
+            "attack delivered (J)",
+            "death under attack (h)",
+            "flagged",
+        ],
+    );
+    for row in &outcome.rows {
+        per_mote.push(vec![
+            row.node.to_string(),
+            if row.is_key { "yes" } else { "no" }.to_string(),
+            f(row.honest_delivered_j, 1),
+            if row.honest_alive { "yes" } else { "no" }.to_string(),
+            f(row.attack_delivered_j, 1),
+            row.attack_death_s
+                .map(|t| format!("{:.1}", t / 3600.0))
+                .unwrap_or_else(|| "alive".to_string()),
+            if row.flagged { "YES" } else { "no" }.to_string(),
+        ]);
+    }
+
+    let mut summary = Table::new(
+        "tab2b: benchtop summary",
+        &["metric", "honest", "attack", "absent"],
+    );
+    summary.push(vec![
+        "motes alive at end".into(),
+        outcome.honest.alive_nodes.to_string(),
+        outcome.attack.alive_nodes.to_string(),
+        outcome.absent.alive_nodes.to_string(),
+    ]);
+    summary.push(vec![
+        "energy delivered (J)".into(),
+        f(outcome.honest.total_delivered_j, 1),
+        f(outcome.attack.total_delivered_j, 1),
+        f(outcome.absent.total_delivered_j, 1),
+    ]);
+    summary.push(vec![
+        "energy radiated (J)".into(),
+        f(outcome.honest.total_radiated_j, 0),
+        f(outcome.attack.total_radiated_j, 0),
+        f(outcome.absent.total_radiated_j, 0),
+    ]);
+    summary.push(vec![
+        "targeted victims exhausted".into(),
+        "—".into(),
+        format!(
+            "{}/{} ({:.0} %)",
+            outcome.outcome.exhausted,
+            outcome.outcome.targeted,
+            outcome.outcome.exhausted_ratio * 100.0
+        ),
+        "—".into(),
+    ]);
+    summary.push(vec![
+        "attack detection ratio".into(),
+        "—".into(),
+        f(outcome.detection_ratio, 2),
+        "—".into(),
+    ]);
+
+    vec![per_mote, summary]
+}

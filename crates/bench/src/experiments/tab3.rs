@@ -1,0 +1,147 @@
+//! `tab3` — ablation: what each CSA component buys.
+//!
+//! Planner-level knobs (ratio ordering, 2-opt route repair, latest-start
+//! shifting) are measured as planned utility on identical instances;
+//! execution-level knobs (stealth windows, adaptive replanning, decoy
+//! service) are measured on full runs, including the detector's view.
+
+use wrsn::core::attack::{evaluate_attack, CsaAttackPolicy};
+use wrsn::core::csa::{self, CsaOptions};
+use wrsn::core::detect::{Detector, EnergyReportAudit};
+use wrsn::net::NodeId;
+use wrsn::scenario::Scenario;
+
+use crate::stats::mean_std;
+use crate::table::{f, Table};
+
+/// Network size.
+pub const NODES: usize = 100;
+/// Seeds per configuration.
+pub const SEEDS: u64 = 3;
+
+/// Synthetic-instance seeds for the planner ablation — real census instances
+/// are too easy (every order serves everyone), so the knobs only separate on
+/// contended instances: many victims, tight budget.
+const PLANNER_SEEDS: u64 = 10;
+
+fn planner_ablation() -> Table {
+    let variants: &[(&str, CsaOptions)] = &[
+        ("full CSA", CsaOptions::default()),
+        (
+            "no ratio ordering",
+            CsaOptions {
+                ratio_ordering: false,
+                ..CsaOptions::default()
+            },
+        ),
+        (
+            "no 2-opt repair",
+            CsaOptions {
+                route_improvement: false,
+                ..CsaOptions::default()
+            },
+        ),
+        (
+            "no latest-start shift",
+            CsaOptions {
+                latest_start: false,
+                ..CsaOptions::default()
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        "tab3a: planner ablation on contended instances (20 victims, 800 J budget)",
+        &["variant", "utility", "energy (J)", "mean slack before death (s)"],
+    );
+    for (label, opts) in variants {
+        let mut utility = Vec::new();
+        let mut energy = Vec::new();
+        let mut slack = Vec::new();
+        for seed in 0..PLANNER_SEEDS {
+            let inst = crate::experiments::common::synthetic_instance(20, seed, 300.0, 800.0);
+            let plan = csa::plan_with(&inst, opts);
+            debug_assert!(inst.validate(&plan).is_ok());
+            utility.push(inst.utility(&plan));
+            energy.push(inst.energy_cost(&plan));
+            // Slack = victim's residual life after the masquerade ends;
+            // latest-start shifting exists to shrink this.
+            let slacks: Vec<f64> = plan
+                .stops()
+                .iter()
+                .filter_map(|s| {
+                    inst.victims
+                        .get(s.victim)
+                        .map(|v| v.death_s - (s.begin_s + v.service_s))
+                })
+                .collect();
+            slack.push(mean_std(&slacks).0);
+        }
+        table.push(vec![
+            label.to_string(),
+            f(mean_std(&utility).0, 1),
+            f(mean_std(&energy).0, 0),
+            f(mean_std(&slack).0, 0),
+        ]);
+    }
+    table
+}
+
+fn execution_ablation() -> Table {
+    let mut table = Table::new(
+        "tab3b: execution ablation (full runs)",
+        &[
+            "variant",
+            "targeted",
+            "census covered",
+            "energy-audit detection",
+        ],
+    );
+    let variants: &[&str] = &[
+        "full CSA",
+        "no stealth windows",
+        "static plan",
+        "no decoy service",
+    ];
+    for &label in variants {
+        let mut targeted = Vec::new();
+        let mut covered = Vec::new();
+        let mut detection = Vec::new();
+        for seed in 0..SEEDS {
+            let scenario = Scenario::paper_scale(NODES, seed);
+            let mut cfg = scenario.tide_config();
+            if label == "no stealth windows" {
+                cfg.stealth_windows = false;
+            }
+            let mut policy = CsaAttackPolicy::new(cfg);
+            if label == "static plan" {
+                policy = policy.with_static_plan();
+            }
+            if label == "no decoy service" {
+                policy = policy.without_decoys();
+            }
+            let mut world = scenario.build();
+            world.run(&mut policy);
+            let outcome = evaluate_attack(&world, &policy);
+            let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+            targeted.push(outcome.targeted as f64);
+            covered.push(outcome.covered_exhausted_ratio);
+            detection.push(
+                EnergyReportAudit::default()
+                    .analyze(&world)
+                    .detection_ratio(&victims),
+            );
+        }
+        table.push(vec![
+            label.to_string(),
+            f(mean_std(&targeted).0, 1),
+            f(mean_std(&covered).0, 2),
+            f(mean_std(&detection).0, 2),
+        ]);
+    }
+    table
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    vec![planner_ablation(), execution_ablation()]
+}

@@ -1,0 +1,79 @@
+//! # wrsn-bench — the evaluation harness
+//!
+//! One module per experiment in `EXPERIMENTS.md`. Run them with
+//!
+//! ```text
+//! cargo run -p wrsn-bench --release --bin exp -- --id fig6
+//! cargo run -p wrsn-bench --release --bin exp -- --id all
+//! ```
+//!
+//! Each experiment returns [`Table`]s that are printed as aligned ASCII and
+//! exported as CSV under `target/experiments/`. Criterion micro-benchmarks
+//! (`cargo bench -p wrsn-bench`) cover the algorithmic costs behind `tab1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use table::Table;
+
+/// All experiment ids, in the order of `EXPERIMENTS.md`.
+pub const ALL_IDS: &[&str] = &[
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "tab1",
+    "tab2", "tab3",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids.
+pub fn run(id: &str) -> Result<Vec<Table>, String> {
+    match id {
+        "fig2" => Ok(experiments::fig2::run()),
+        "fig3" => Ok(experiments::fig3::run()),
+        "fig4" => Ok(experiments::fig4::run()),
+        "fig5" => Ok(experiments::fig5::run()),
+        "fig6" => Ok(experiments::fig6::run()),
+        "fig7" => Ok(experiments::fig7::run()),
+        "fig8" => Ok(experiments::fig8::run()),
+        "fig9" => Ok(experiments::fig9::run()),
+        "fig10" => Ok(experiments::fig10::run()),
+        "fig11" => Ok(experiments::fig11::run()),
+        "fig12" => Ok(experiments::fig12::run()),
+        "fig13" => Ok(experiments::fig13::run()),
+        "tab1" => Ok(experiments::tab1::run()),
+        "tab2" => Ok(experiments::tab2::run()),
+        "tab3" => Ok(experiments::tab3::run()),
+        other => Err(format!(
+            "unknown experiment id `{other}`; known ids: {}",
+            ALL_IDS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let err = run("fig99").unwrap_err();
+        assert!(err.contains("fig99"));
+        assert!(err.contains("fig2"));
+    }
+
+    #[test]
+    fn fast_experiments_produce_tables() {
+        for id in ["fig2", "fig3", "fig4", "fig10", "fig13"] {
+            let tables = run(id).unwrap();
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);
+            }
+        }
+    }
+}

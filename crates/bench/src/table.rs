@@ -1,0 +1,145 @@
+//! Aligned ASCII tables with CSV export.
+
+use std::fmt::Write as _;
+
+/// A titled result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (includes the experiment id).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, each the same length as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the column count.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.columns, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a `mean ± std` pair.
+pub fn pm(mean: f64, std: f64, digits: usize) -> String {
+    format!("{mean:.digits$} ± {std:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test", &["a", "long-header"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["100".into(), "x".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("## test"));
+        assert!(s.contains("long-header"));
+        // Rows are right-aligned to the header width.
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["x"]);
+        t.push(vec!["a,b".into()]);
+        t.push(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pm(1.5, 0.25, 1), "1.5 ± 0.2");
+    }
+}

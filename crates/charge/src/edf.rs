@@ -1,0 +1,150 @@
+//! Earliest-Deadline-First charging: among outstanding requests, serve the
+//! node that will deplete soonest (residual energy over power draw). The
+//! strongest benign baseline for lifetime under load.
+
+use wrsn_net::NodeId;
+use wrsn_sim::{ChargeMode, ChargerAction, ChargerPolicy, WorldView};
+
+use crate::refill_duration_s;
+
+/// The EDF policy.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_charge::EarliestDeadlineFirst;
+/// use wrsn_sim::ChargerPolicy;
+///
+/// assert_eq!(EarliestDeadlineFirst::new().name(), "edf");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EarliestDeadlineFirst {
+    poll_s: f64,
+}
+
+impl EarliestDeadlineFirst {
+    /// EDF with a 60 s idle poll.
+    pub fn new() -> Self {
+        EarliestDeadlineFirst { poll_s: 60.0 }
+    }
+
+    /// Time until `node` depletes at current draw, seconds.
+    fn deadline_s(view: &WorldView<'_>, node: NodeId) -> f64 {
+        let Ok(n) = view.net.node(node) else {
+            return f64::INFINITY;
+        };
+        let draw = view.power_w.get(node.0).copied().unwrap_or(0.0);
+        if draw <= 0.0 {
+            f64::INFINITY
+        } else {
+            n.battery().level_j() / draw
+        }
+    }
+}
+
+impl Default for EarliestDeadlineFirst {
+    fn default() -> Self {
+        EarliestDeadlineFirst::new()
+    }
+}
+
+impl ChargerPolicy for EarliestDeadlineFirst {
+    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+        if view.should_recharge(0.15) {
+            return ChargerAction::Recharge;
+        }
+        if view.charger.is_exhausted() {
+            return ChargerAction::Finish;
+        }
+        let urgent = view
+            .requests
+            .iter()
+            .filter(|r| view.is_alive(r.node))
+            .min_by(|a, b| {
+                Self::deadline_s(view, a.node)
+                    .partial_cmp(&Self::deadline_s(view, b.node))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|r| r.node);
+        match urgent {
+            Some(node) => {
+                let dur = refill_duration_s(view, node).unwrap_or(0.0);
+                if dur <= 0.0 {
+                    return ChargerAction::Wait(self.poll_s.min(view.time_left_s().max(1.0)));
+                }
+                ChargerAction::Charge {
+                    node,
+                    duration_s: dur,
+                    mode: ChargeMode::Honest,
+                }
+            }
+            None => {
+                if view.time_left_s() <= 0.0 {
+                    ChargerAction::Finish
+                } else {
+                    ChargerAction::Wait(self.poll_s.min(view.time_left_s()))
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "edf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_net::prelude::*;
+    use wrsn_sim::prelude::*;
+
+    #[test]
+    fn edf_picks_the_most_urgent_node() {
+        // Two requesters; node 1 is much closer to death.
+        let nodes = deploy::grid(&Region::square(40.0), 2, 1, 0.0, 0);
+        let net = Network::build(nodes, Point::new(20.0, 20.0), 40.0);
+        let mut w = World::new(
+            net,
+            MobileCharger::standard(Point::new(20.0, 20.0)),
+            WorldConfig {
+                horizon_s: 60_000.0,
+                ..WorldConfig::default()
+            },
+        );
+        let cap = w.network().nodes()[0].battery().capacity_j();
+        w.set_battery_level(NodeId(0), cap * 0.15).unwrap();
+        w.set_battery_level(NodeId(1), cap * 0.02).unwrap();
+        w.run(&mut EarliestDeadlineFirst::new());
+        let sessions = w.trace().sessions();
+        assert!(!sessions.is_empty());
+        assert_eq!(sessions[0].node, NodeId(1), "most urgent first");
+    }
+
+    #[test]
+    fn edf_saves_nodes_that_idle_loses() {
+        let build = || {
+            let nodes: Vec<SensorNode> = deploy::grid(&Region::square(50.0), 3, 3, 0.0, 0)
+                .into_iter()
+                .map(|n| SensorNode::with_battery(n.position(), Battery::new(60.0, 20.0)))
+                .collect();
+            let net = Network::build(nodes, Point::new(25.0, 25.0), 25.0);
+            World::new(
+                net,
+                MobileCharger::standard(Point::new(25.0, 25.0)),
+                WorldConfig {
+                    horizon_s: 80_000.0,
+                    ..WorldConfig::default()
+                },
+            )
+        };
+        let idle = build().run(&mut IdlePolicy);
+        let edf = build().run(&mut EarliestDeadlineFirst::new());
+        assert!(
+            edf.dead_nodes < idle.dead_nodes,
+            "edf {} vs idle {}",
+            edf.dead_nodes,
+            idle.dead_nodes
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the `wrsn-core` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a proposed attack schedule is infeasible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A stop references a victim index outside the instance.
+    UnknownVictim {
+        /// The offending victim index.
+        index: usize,
+    },
+    /// The same victim is served more than once.
+    DuplicateVictim {
+        /// The victim index served twice.
+        index: usize,
+    },
+    /// A stop begins before the charger can physically arrive.
+    ArrivesLate {
+        /// The stop position in the schedule.
+        stop: usize,
+        /// Earliest possible arrival, seconds.
+        earliest_s: f64,
+        /// Scheduled begin, seconds.
+        begin_s: f64,
+    },
+    /// A stop violates its victim's time window.
+    WindowViolated {
+        /// The stop position in the schedule.
+        stop: usize,
+    },
+    /// The schedule needs more energy than the charger's budget.
+    BudgetExceeded {
+        /// Energy the schedule needs, joules.
+        needed_j: f64,
+        /// Available budget, joules.
+        budget_j: f64,
+    },
+    /// A stop has a non-finite or negative time.
+    InvalidTime {
+        /// The stop position in the schedule.
+        stop: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownVictim { index } => write!(f, "unknown victim index {index}"),
+            CoreError::DuplicateVictim { index } => {
+                write!(f, "victim {index} is served more than once")
+            }
+            CoreError::ArrivesLate {
+                stop,
+                earliest_s,
+                begin_s,
+            } => write!(
+                f,
+                "stop {stop} begins at {begin_s} s but the charger arrives at {earliest_s} s"
+            ),
+            CoreError::WindowViolated { stop } => {
+                write!(f, "stop {stop} violates its victim's time window")
+            }
+            CoreError::BudgetExceeded { needed_j, budget_j } => write!(
+                f,
+                "schedule needs {needed_j} J but the budget is {budget_j} J"
+            ),
+            CoreError::InvalidTime { stop } => write!(f, "stop {stop} has an invalid time"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_numbers() {
+        let e = CoreError::BudgetExceeded {
+            needed_j: 10.0,
+            budget_j: 5.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('5'));
+        assert!(CoreError::UnknownVictim { index: 7 }.to_string().contains('7'));
+    }
+}

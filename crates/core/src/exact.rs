@@ -1,0 +1,328 @@
+//! Exact TIDE solver for small instances.
+//!
+//! Dynamic program over `(visited-set, last-victim)` states keeping a Pareto
+//! front of `(finish time, travel distance)` labels — time governs window
+//! feasibility, distance governs the energy budget, and neither dominates the
+//! other. Exponential in the victim count (practical to ~14 victims); used to
+//! measure CSA's empirical approximation ratio (experiment `fig10`).
+
+use crate::schedule::{self, AttackSchedule};
+use crate::tide::TideInstance;
+
+/// Maximum victim count the exact solver accepts.
+pub const MAX_VICTIMS: usize = 20;
+
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    finish_s: f64,
+    dist_m: f64,
+    /// Predecessor state: (last victim, label index); `usize::MAX` = route
+    /// start.
+    prev_last: usize,
+    prev_label: usize,
+}
+
+/// Solves the instance exactly, returning a maximum-utility feasible schedule
+/// (empty when nothing is feasible). Ties are broken toward lower energy.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_VICTIMS`] victims.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::prelude::*;
+/// use wrsn_net::{NodeId, Point};
+/// use wrsn_core::tide::{TimeWindow, Victim};
+///
+/// let inst = TideInstance {
+///     victims: vec![Victim {
+///         node: NodeId(0),
+///         position: Point::new(10.0, 0.0),
+///         weight: 2.0,
+///         window: TimeWindow { open_s: 0.0, close_s: 100.0 },
+///         service_s: 5.0,
+///         death_s: 105.0,
+///     }],
+///     start: Point::ORIGIN,
+///     speed_mps: 5.0,
+///     budget_j: 1_000.0,
+///     move_cost_j_per_m: 1.0,
+///     radiated_power_w: 1.0,
+///     now_s: 0.0,
+/// };
+/// let best = exact::solve(&inst);
+/// assert_eq!(inst.utility(&best), 2.0);
+/// ```
+pub fn solve(instance: &TideInstance) -> AttackSchedule {
+    let n = instance.victims.len();
+    assert!(
+        n <= MAX_VICTIMS,
+        "exact solver accepts at most {MAX_VICTIMS} victims, got {n}"
+    );
+    if n == 0 {
+        return AttackSchedule::empty();
+    }
+
+    // radiation[set] = Σ service_s · radiated_power over victims in `set`.
+    let service_energy: Vec<f64> = instance
+        .victims
+        .iter()
+        .map(|v| v.service_s * instance.radiated_power_w)
+        .collect();
+
+    // states[set * n + last] = Pareto labels.
+    let mut states: Vec<Vec<Label>> = vec![Vec::new(); (1usize << n) * n];
+
+    // Seed: start → each victim alone.
+    for v in 0..n {
+        let vic = &instance.victims[v];
+        let arrive = instance.now_s + instance.travel_time(instance.start, vic.position);
+        let begin = arrive.max(vic.window.open_s);
+        if begin > vic.window.close_s + 1e-9 {
+            continue;
+        }
+        let dist = instance.start.distance(vic.position);
+        if dist * instance.move_cost_j_per_m + service_energy[v] > instance.budget_j + 1e-9 {
+            continue;
+        }
+        states[(1 << v) * n + v].push(Label {
+            finish_s: begin + vic.service_s,
+            dist_m: dist,
+            prev_last: usize::MAX,
+            prev_label: usize::MAX,
+        });
+    }
+
+    // Expand sets in increasing popcount order (natural integer order works:
+    // every subset of `set` is numerically smaller).
+    for set in 1usize..(1 << n) {
+        for last in 0..n {
+            if set & (1 << last) == 0 {
+                continue;
+            }
+            let set_service: f64 = (0..n)
+                .filter(|&v| set & (1 << v) != 0)
+                .map(|v| service_energy[v])
+                .sum();
+            for li in 0..states[set * n + last].len() {
+                let label = states[set * n + last][li];
+                for v in 0..n {
+                    if set & (1 << v) != 0 {
+                        continue;
+                    }
+                    let vic = &instance.victims[v];
+                    let from = instance.victims[last].position;
+                    let arrive = label.finish_s + instance.travel_time(from, vic.position);
+                    let begin = arrive.max(vic.window.open_s);
+                    if begin > vic.window.close_s + 1e-9 {
+                        continue;
+                    }
+                    let dist = label.dist_m + from.distance(vic.position);
+                    let energy =
+                        dist * instance.move_cost_j_per_m + set_service + service_energy[v];
+                    if energy > instance.budget_j + 1e-9 {
+                        continue;
+                    }
+                    let new = Label {
+                        finish_s: begin + vic.service_s,
+                        dist_m: dist,
+                        prev_last: last,
+                        prev_label: li,
+                    };
+                    push_pareto(&mut states[(set | (1 << v)) * n + v], new);
+                }
+            }
+        }
+    }
+
+    // Pick the best reachable set.
+    let mut best: Option<(f64, f64, usize, usize, usize)> = None; // (utility, energy, set, last, label)
+    for set in 1usize..(1 << n) {
+        let utility: f64 = (0..n)
+            .filter(|&v| set & (1 << v) != 0)
+            .map(|v| instance.victims[v].weight)
+            .sum();
+        let set_service: f64 = (0..n)
+            .filter(|&v| set & (1 << v) != 0)
+            .map(|v| service_energy[v])
+            .sum();
+        for last in 0..n {
+            for (li, label) in states[set * n + last].iter().enumerate() {
+                let energy = label.dist_m * instance.move_cost_j_per_m + set_service;
+                let better = match best {
+                    None => true,
+                    Some((bu, be, _, _, _)) => {
+                        utility > bu + 1e-12 || (utility > bu - 1e-12 && energy < be)
+                    }
+                };
+                if better {
+                    best = Some((utility, energy, set, last, li));
+                }
+            }
+        }
+    }
+
+    let Some((_, _, mut set, mut last, mut li)) = best else {
+        return AttackSchedule::empty();
+    };
+
+    // Reconstruct the visit order by walking predecessors.
+    let mut order_rev = Vec::new();
+    loop {
+        order_rev.push(last);
+        let label = states[set * n + last][li];
+        if label.prev_last == usize::MAX {
+            break;
+        }
+        set &= !(1 << last);
+        last = label.prev_last;
+        li = label.prev_label;
+    }
+    order_rev.reverse();
+    schedule::earliest_times(instance, &order_rev).unwrap_or_else(AttackSchedule::empty)
+}
+
+/// Inserts `label` keeping the list Pareto-minimal in `(finish_s, dist_m)`.
+fn push_pareto(labels: &mut Vec<Label>, label: Label) {
+    for l in labels.iter() {
+        if l.finish_s <= label.finish_s + 1e-12 && l.dist_m <= label.dist_m + 1e-12 {
+            return; // dominated
+        }
+    }
+    labels.retain(|l| !(label.finish_s <= l.finish_s + 1e-12 && label.dist_m <= l.dist_m + 1e-12));
+    labels.push(label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csa;
+    use crate::tide::{TideInstance, TimeWindow, Victim};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wrsn_net::{NodeId, Point};
+
+    fn random_instance(n: usize, seed: u64, budget: f64) -> TideInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let victims = (0..n)
+            .map(|i| {
+                let open = rng.gen_range(0.0..500.0);
+                Victim {
+                    node: NodeId(i),
+                    position: Point::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)),
+                    weight: rng.gen_range(1.0..5.0),
+                    window: TimeWindow {
+                        open_s: open,
+                        close_s: open + rng.gen_range(50.0..800.0),
+                    },
+                    service_s: rng.gen_range(10.0..60.0),
+                    death_s: open + 1_000.0,
+                }
+            })
+            .collect();
+        TideInstance {
+            victims,
+            start: Point::new(100.0, 100.0),
+            speed_mps: 5.0,
+            budget_j: budget,
+            move_cost_j_per_m: 1.0,
+            radiated_power_w: 1.0,
+            now_s: 0.0,
+        }
+    }
+
+    /// Brute-force optimum by trying every permutation of every subset.
+    fn brute_force(inst: &TideInstance) -> f64 {
+        let n = inst.victims.len();
+        let mut best = 0.0f64;
+        let idx: Vec<usize> = (0..n).collect();
+        fn perms(rest: &[usize], acc: &mut Vec<usize>, inst: &TideInstance, best: &mut f64) {
+            // Window misses and budget overruns are both monotone in appended
+            // stops, so an infeasible prefix prunes its whole subtree.
+            let Some(s) = crate::schedule::earliest_times(inst, acc) else {
+                return;
+            };
+            if inst.energy_cost(&s) > inst.budget_j + 1e-9 {
+                return;
+            }
+            *best = best.max(inst.utility(&s));
+            for (k, &v) in rest.iter().enumerate() {
+                let mut r = rest.to_vec();
+                r.remove(k);
+                acc.push(v);
+                perms(&r, acc, inst, best);
+                acc.pop();
+            }
+        }
+        perms(&idx, &mut Vec::new(), inst, &mut best);
+        best
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_small_instances() {
+        for seed in 0..8 {
+            let inst = random_instance(6, seed, 2_000.0);
+            let dp = solve(&inst);
+            inst.validate(&dp).unwrap();
+            let bf = brute_force(&inst);
+            assert!(
+                (inst.utility(&dp) - bf).abs() < 1e-6,
+                "seed {seed}: dp {} vs brute {}",
+                inst.utility(&dp),
+                bf
+            );
+        }
+    }
+
+    #[test]
+    fn exact_is_never_beaten_by_csa() {
+        for seed in 0..12 {
+            let inst = random_instance(8, seed, 1_200.0);
+            let opt = inst.utility(&solve(&inst));
+            let approx = inst.utility(&csa::plan(&inst));
+            assert!(
+                approx <= opt + 1e-6,
+                "seed {seed}: csa {approx} beats exact {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_serves_everything_when_loose() {
+        let inst = random_instance(7, 99, 1.0e9);
+        let mut loose = inst.clone();
+        for v in &mut loose.victims {
+            v.window = TimeWindow {
+                open_s: 0.0,
+                close_s: 1.0e9,
+            };
+        }
+        let s = solve(&loose);
+        assert_eq!(s.len(), 7);
+        assert!((loose.utility(&s) - loose.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_handles_empty_and_infeasible() {
+        let mut inst = random_instance(0, 0, 100.0);
+        assert!(solve(&inst).is_empty());
+        inst = random_instance(4, 3, 100.0);
+        for v in &mut inst.victims {
+            v.window = TimeWindow {
+                open_s: 0.0,
+                close_s: 0.0, // unreachable
+            };
+        }
+        assert!(solve(&inst).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_victims_panics() {
+        let inst = random_instance(MAX_VICTIMS + 1, 0, 100.0);
+        let _ = solve(&inst);
+    }
+}

@@ -1,0 +1,74 @@
+//! # wrsn-core — the Charging Spoofing Attack (CSA)
+//!
+//! Reproduction of the primary contribution of *"Are You Really Charging
+//! Me?"* (ICDCS 2022): a mobile charger that *appears* to charge key sensor
+//! nodes — it answers their requests, drives to them, parks and radiates —
+//! while the nonlinear superposition of its two transmit antennas cancels the
+//! field at the victim, which harvests nothing and is exhausted in vain.
+//!
+//! The crate is organised around the paper's pipeline:
+//!
+//! 1. [`tide`] — the **TIDE** problem (charging uTility optImization with key
+//!    noDe timE window constraints): victims, windows, budgets, and schedule
+//!    feasibility;
+//! 2. [`csa`] — the **CSA** approximation algorithm: greedy
+//!    marginal-utility-per-cost insertion with latest-start shifting, carrying
+//!    the classical bounded guarantee for submodular orienteering objectives
+//!    (see [`theory`]);
+//! 3. [`baseline`] — the comparison attacks (random order, utility-greedy,
+//!    TSP-ordered);
+//! 4. [`exact`] — a branch-and-bound solver for small instances, used to
+//!    measure CSA's empirical approximation ratio;
+//! 5. [`attack`] — execution: a [`wrsn_sim::ChargerPolicy`] that carries a
+//!    schedule out in the simulated world using spoofed charging sessions;
+//! 6. [`detect`] — the defender's side: trajectory, RF and energy-report
+//!    auditors, and the stealth analysis showing why CSA's time windows keep
+//!    it under the radar.
+//!
+//! # Example
+//!
+//! ```
+//! use wrsn_core::prelude::*;
+//! use wrsn_net::prelude::*;
+//!
+//! // A corridor network with obvious key nodes, partially drained.
+//! let (_, nodes) = deploy::corridor(10, 4, 3);
+//! let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
+//! for id in 0..net.node_count() {
+//!     let cap = net.nodes()[id].battery().capacity_j();
+//!     net.node_mut(NodeId(id)).unwrap().battery_mut().set_level(cap * 0.3);
+//! }
+//! let instance = TideInstance::from_network(&net, &TideConfig::default());
+//! let schedule = csa::plan(&instance);
+//! assert!(instance.validate(&schedule).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod baseline;
+pub mod csa;
+pub mod detect;
+pub mod error;
+pub mod exact;
+pub mod schedule;
+pub mod theory;
+pub mod tide;
+
+pub use attack::{CsaAttackPolicy, EagerSpoofPolicy, SelectiveNeglectPolicy};
+pub use error::CoreError;
+pub use schedule::{AttackSchedule, Stop};
+pub use tide::{TideConfig, TideInstance, Victim};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::attack::{AttackOutcome, CsaAttackPolicy, EagerSpoofPolicy, SelectiveNeglectPolicy};
+    pub use crate::baseline::{self, Planner};
+    pub use crate::csa;
+    pub use crate::detect::{self, DetectionReport, Detector};
+    pub use crate::exact;
+    pub use crate::schedule::{AttackSchedule, Stop};
+    pub use crate::theory;
+    pub use crate::tide::{TideConfig, TideInstance, Victim};
+}

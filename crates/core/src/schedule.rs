@@ -1,0 +1,271 @@
+//! Attack schedules: ordered, timed victim visits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tide::TideInstance;
+
+/// One scheduled spoofed visit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stop {
+    /// Index into [`TideInstance::victims`].
+    pub victim: usize,
+    /// Absolute begin time of the masquerade, seconds.
+    pub begin_s: f64,
+}
+
+/// An ordered sequence of timed stops.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{AttackSchedule, Stop};
+///
+/// let s = AttackSchedule::new(vec![Stop { victim: 0, begin_s: 100.0 }]);
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttackSchedule {
+    stops: Vec<Stop>,
+}
+
+impl AttackSchedule {
+    /// Creates a schedule from stops (assumed ordered by begin time).
+    pub fn new(stops: Vec<Stop>) -> Self {
+        AttackSchedule { stops }
+    }
+
+    /// An empty schedule.
+    pub fn empty() -> Self {
+        AttackSchedule::default()
+    }
+
+    /// The stops in visit order.
+    pub fn stops(&self) -> &[Stop] {
+        &self.stops
+    }
+
+    /// Number of stops.
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether there are no stops.
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// The victim indices in visit order.
+    pub fn order(&self) -> Vec<usize> {
+        self.stops.iter().map(|s| s.victim).collect()
+    }
+
+    /// End time of the whole schedule (last begin + its service), or `now` for
+    /// an empty schedule.
+    pub fn end_s(&self, instance: &TideInstance) -> f64 {
+        self.stops
+            .last()
+            .and_then(|s| {
+                instance
+                    .victims
+                    .get(s.victim)
+                    .map(|v| s.begin_s + v.service_s)
+            })
+            .unwrap_or(instance.now_s)
+    }
+}
+
+/// Builds a schedule by following `order`, keeping each victim only if it can
+/// be served feasibly (travel + window + budget), skipping it otherwise.
+/// Begin times are as early as possible. This is the common backbone of the
+/// baseline attacks.
+pub fn from_order_skipping(instance: &TideInstance, order: &[usize]) -> AttackSchedule {
+    let mut stops = Vec::new();
+    let mut time = instance.now_s;
+    let mut pos = instance.start;
+    let mut energy = 0.0;
+    for &vi in order {
+        let Some(v) = instance.victims.get(vi) else {
+            continue;
+        };
+        let arrive = time + instance.travel_time(pos, v.position);
+        let begin = arrive.max(v.window.open_s);
+        if begin > v.window.close_s {
+            continue;
+        }
+        let e = pos.distance(v.position) * instance.move_cost_j_per_m
+            + v.service_s * instance.radiated_power_w;
+        if energy + e > instance.budget_j {
+            continue;
+        }
+        energy += e;
+        stops.push(Stop {
+            victim: vi,
+            begin_s: begin,
+        });
+        time = begin + v.service_s;
+        pos = v.position;
+    }
+    AttackSchedule::new(stops)
+}
+
+/// Recomputes earliest-feasible begin times for a fixed visit `order`;
+/// returns `None` if any window would be missed (no skipping). Used by
+/// insertion planners to test candidate orders.
+pub fn earliest_times(instance: &TideInstance, order: &[usize]) -> Option<AttackSchedule> {
+    let mut stops = Vec::with_capacity(order.len());
+    let mut time = instance.now_s;
+    let mut pos = instance.start;
+    for &vi in order {
+        let v = instance.victims.get(vi)?;
+        let arrive = time + instance.travel_time(pos, v.position);
+        let begin = arrive.max(v.window.open_s);
+        if begin > v.window.close_s + 1e-9 {
+            return None;
+        }
+        stops.push(Stop {
+            victim: vi,
+            begin_s: begin,
+        });
+        time = begin + v.service_s;
+        pos = v.position;
+    }
+    Some(AttackSchedule::new(stops))
+}
+
+/// Shifts every begin time as *late* as the windows and successor arrivals
+/// allow, without changing the visit order. Starting each masquerade at the
+/// last feasible moment minimises the victim's residual life after the fake
+/// charge — the stealth lever that keeps victims from surviving to their next
+/// energy report (see `wrsn-core::detect`).
+pub fn latest_start_shift(instance: &TideInstance, schedule: &AttackSchedule) -> AttackSchedule {
+    let stops = schedule.stops();
+    let n = stops.len();
+    let mut shifted = stops.to_vec();
+    // Backward pass: the last stop is capped only by its window; each earlier
+    // stop must still reach its successor in time.
+    for k in (0..n).rev() {
+        let v = match instance.victims.get(stops[k].victim) {
+            Some(v) => v,
+            None => continue,
+        };
+        let mut latest = v.window.close_s;
+        if k + 1 < n {
+            if let Some(next_v) = instance.victims.get(shifted[k + 1].victim) {
+                let travel = instance.travel_time(v.position, next_v.position);
+                latest = latest.min(shifted[k + 1].begin_s - travel - v.service_s);
+            }
+        }
+        // `latest` cannot be earlier than the original begin when the input
+        // schedule was feasible; the `max` only guards float round-off.
+        shifted[k].begin_s = latest.max(stops[k].begin_s);
+    }
+    AttackSchedule::new(shifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tide::{TideInstance, TimeWindow, Victim};
+    use wrsn_net::{NodeId, Point};
+
+    /// A hand-built instance with three victims on a line.
+    pub(crate) fn line_instance() -> TideInstance {
+        let mk = |i: usize, x: f64, open: f64, close: f64, service: f64| Victim {
+            node: NodeId(i),
+            position: Point::new(x, 0.0),
+            weight: 1.0 + i as f64,
+            window: TimeWindow {
+                open_s: open,
+                close_s: close,
+            },
+            service_s: service,
+            death_s: close + service,
+        };
+        TideInstance {
+            victims: vec![
+                mk(0, 10.0, 0.0, 1_000.0, 50.0),
+                mk(1, 20.0, 0.0, 1_000.0, 50.0),
+                mk(2, 30.0, 200.0, 2_000.0, 50.0),
+            ],
+            start: Point::ORIGIN,
+            speed_mps: 1.0,
+            budget_j: 1.0e9,
+            move_cost_j_per_m: 1.0,
+            radiated_power_w: 1.0,
+            now_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn from_order_serves_everything_when_feasible() {
+        let inst = line_instance();
+        let s = from_order_skipping(&inst, &[0, 1, 2]);
+        assert_eq!(s.len(), 3);
+        inst.validate(&s).unwrap();
+        // Begin times: arrive at 10 s, serve 50 s; arrive 70; serve; arrive
+        // 130 → wait to window open 200.
+        let b: Vec<f64> = s.stops().iter().map(|st| st.begin_s).collect();
+        assert!((b[0] - 10.0).abs() < 1e-9);
+        assert!((b[1] - 70.0).abs() < 1e-9);
+        assert!((b[2] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_order_skips_missed_windows() {
+        let mut inst = line_instance();
+        inst.victims[1].window.close_s = 30.0; // reachable at 70 only → skipped
+        let s = from_order_skipping(&inst, &[0, 1, 2]);
+        assert_eq!(s.order(), vec![0, 2]);
+        inst.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn from_order_respects_budget() {
+        let mut inst = line_instance();
+        // Each stop costs ~10 J travel + 50 J radiation; two fit, three don't.
+        inst.budget_j = 130.0;
+        let s = from_order_skipping(&inst, &[0, 1, 2]);
+        assert_eq!(s.len(), 2);
+        inst.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn earliest_times_fails_on_missed_window() {
+        let mut inst = line_instance();
+        inst.victims[0].window.close_s = 5.0; // travel alone takes 10 s
+        assert!(earliest_times(&inst, &[0, 1]).is_none());
+        assert!(earliest_times(&inst, &[1]).is_some());
+    }
+
+    #[test]
+    fn latest_shift_pushes_last_stop_to_window_close() {
+        let inst = line_instance();
+        let s = earliest_times(&inst, &[0, 1, 2]).unwrap();
+        let shifted = latest_start_shift(&inst, &s);
+        inst.validate(&shifted).unwrap();
+        // Last stop can start as late as its window close.
+        assert!((shifted.stops()[2].begin_s - 2_000.0).abs() < 1e-9);
+        // Earlier stops may shift too, but never before their original times.
+        for (orig, new) in s.stops().iter().zip(shifted.stops()) {
+            assert!(new.begin_s + 1e-9 >= orig.begin_s);
+        }
+    }
+
+    #[test]
+    fn latest_shift_preserves_feasibility_under_tight_chaining() {
+        let mut inst = line_instance();
+        // Make windows tight so successors constrain predecessors.
+        inst.victims[2].window.close_s = 300.0;
+        let s = earliest_times(&inst, &[0, 1, 2]).unwrap();
+        let shifted = latest_start_shift(&inst, &s);
+        inst.validate(&shifted).unwrap();
+    }
+
+    #[test]
+    fn end_time_accounts_for_service() {
+        let inst = line_instance();
+        let s = earliest_times(&inst, &[0]).unwrap();
+        assert!((s.end_s(&inst) - 60.0).abs() < 1e-9);
+        assert_eq!(AttackSchedule::empty().end_s(&inst), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Theoretical bounds and ratio instrumentation for CSA.
+//!
+//! CSA's construction is greedy marginal-utility-per-cost insertion combined
+//! with a best-singleton fallback. For budgeted maximisation of a monotone
+//! modular objective (victim weights are additive) this combination carries
+//! the Khuller–Moss–Naor guarantee of `(1 − 1/e)/2 ≈ 0.316·OPT`; the
+//! time-window constraints take the formal bound away in the worst case, so
+//! the evaluation measures the *empirical* ratio against [`crate::exact`]
+//! (experiment `fig10`) — in practice it sits far above the floor.
+
+use crate::tide::TideInstance;
+
+/// The guaranteed fraction of the optimum for budgeted monotone-modular
+/// greedy-plus-best-singleton: `(1 − 1/e)/2`.
+pub fn greedy_guarantee() -> f64 {
+    0.5 * (1.0 - (-1.0f64).exp())
+}
+
+/// Empirical approximation ratio `achieved / optimal`, clamped to `[0, 1]`;
+/// `1.0` when the optimum is zero (nothing was achievable).
+pub fn approximation_ratio(achieved: f64, optimal: f64) -> f64 {
+    if optimal <= 0.0 {
+        1.0
+    } else {
+        (achieved / optimal).clamp(0.0, 1.0)
+    }
+}
+
+/// A loose *a-priori* upper bound on any schedule's utility: the total victim
+/// weight, refined by dropping victims that are individually unreachable
+/// (window closed before the charger could ever arrive) or individually
+/// unaffordable.
+pub fn utility_upper_bound(instance: &TideInstance) -> f64 {
+    instance
+        .victims
+        .iter()
+        .filter(|v| {
+            let arrive = instance.now_s + instance.travel_time(instance.start, v.position);
+            let reachable = arrive.max(v.window.open_s) <= v.window.close_s + 1e-9;
+            let affordable = instance.start.distance(v.position) * instance.move_cost_j_per_m
+                + v.service_s * instance.radiated_power_w
+                <= instance.budget_j + 1e-9;
+            reachable && affordable
+        })
+        .map(|v| v.weight)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csa;
+    use crate::exact;
+    use crate::tide::{TimeWindow, Victim};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wrsn_net::{NodeId, Point};
+
+    #[test]
+    fn guarantee_constant_value() {
+        assert!((greedy_guarantee() - 0.3160602794).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(approximation_ratio(5.0, 10.0), 0.5);
+        assert_eq!(approximation_ratio(0.0, 0.0), 1.0);
+        assert_eq!(approximation_ratio(11.0, 10.0), 1.0);
+        assert_eq!(approximation_ratio(-1.0, 10.0), 0.0);
+    }
+
+    fn random_instance(n: usize, seed: u64) -> TideInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let victims = (0..n)
+            .map(|i| {
+                let open = rng.gen_range(0.0..400.0);
+                Victim {
+                    node: NodeId(i),
+                    position: Point::new(rng.gen_range(0.0..150.0), rng.gen_range(0.0..150.0)),
+                    weight: rng.gen_range(1.0..4.0),
+                    window: TimeWindow {
+                        open_s: open,
+                        close_s: open + rng.gen_range(100.0..600.0),
+                    },
+                    service_s: rng.gen_range(10.0..40.0),
+                    death_s: open + 800.0,
+                }
+            })
+            .collect();
+        TideInstance {
+            victims,
+            start: Point::new(75.0, 75.0),
+            speed_mps: 5.0,
+            budget_j: 900.0,
+            move_cost_j_per_m: 1.0,
+            radiated_power_w: 1.0,
+            now_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn csa_exceeds_the_theoretical_floor_on_random_instances() {
+        for seed in 0..10 {
+            let inst = random_instance(8, seed);
+            let opt = inst.utility(&exact::solve(&inst));
+            let got = inst.utility(&csa::plan(&inst));
+            let ratio = approximation_ratio(got, opt);
+            assert!(
+                ratio >= greedy_guarantee() - 1e-9,
+                "seed {seed}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact_optimum() {
+        for seed in 0..6 {
+            let inst = random_instance(7, seed);
+            let opt = inst.utility(&exact::solve(&inst));
+            assert!(utility_upper_bound(&inst) + 1e-9 >= opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_excludes_unreachable_victims() {
+        let mut inst = random_instance(3, 1);
+        let full: f64 = inst.victims.iter().map(|v| v.weight).sum();
+        inst.victims[0].window = TimeWindow {
+            open_s: 0.0,
+            close_s: 0.0,
+        };
+        assert!(utility_upper_bound(&inst) < full);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the `wrsn-em` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by physical-model constructors and the curve fitter.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NonFiniteParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The curve fitter was given fewer samples than free parameters.
+    TooFewSamples {
+        /// Number of samples provided.
+        got: usize,
+        /// Minimum number required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            EmError::NonFiniteParameter { name } => {
+                write!(f, "parameter `{name}` must be finite")
+            }
+            EmError::TooFewSamples { got, need } => {
+                write!(f, "fit needs at least {need} samples, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for EmError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, EmError> {
+    if !value.is_finite() {
+        return Err(EmError::NonFiniteParameter { name });
+    }
+    if value <= 0.0 {
+        return Err(EmError::NonPositiveParameter { name, value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_accepts_positive() {
+        assert_eq!(positive("x", 1.5), Ok(1.5));
+    }
+
+    #[test]
+    fn positive_rejects_zero_and_negative() {
+        assert!(matches!(
+            positive("x", 0.0),
+            Err(EmError::NonPositiveParameter { name: "x", .. })
+        ));
+        assert!(matches!(
+            positive("x", -2.0),
+            Err(EmError::NonPositiveParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn positive_rejects_nan_and_inf() {
+        assert!(matches!(
+            positive("x", f64::NAN),
+            Err(EmError::NonFiniteParameter { .. })
+        ));
+        assert!(matches!(
+            positive("x", f64::INFINITY),
+            Err(EmError::NonFiniteParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = EmError::TooFewSamples { got: 1, need: 2 }.to_string();
+        assert!(msg.contains("at least 2"));
+        assert!(msg.contains("got 1"));
+    }
+}

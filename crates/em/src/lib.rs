@@ -1,0 +1,59 @@
+//! # wrsn-em — electromagnetic wave and wireless power transfer physics
+//!
+//! This crate is the physical substrate for the Charging Spoofing Attack (CSA)
+//! described in *"Are You Really Charging Me?"* (ICDCS 2022). It models:
+//!
+//! * complex **phasor** arithmetic ([`Phasor`]),
+//! * individual coherent **waves** emitted by transmit antennas ([`wave::Wave`]),
+//! * the **nonlinear superposition** law `P ∝ |Σᵢ aᵢ·e^{jφᵢ}|²`
+//!   ([`superposition`]) that makes the attack possible — two waves of equal
+//!   amplitude and opposite phase cancel, so a receiver can sit in a strong RF
+//!   field and harvest *nothing*,
+//! * the empirical **charging power model** `P(d) = α/(d+β)²` used throughout
+//!   the WRSN charging literature ([`charging`]),
+//! * the attacker's **phase cancellation controller** ([`cancel`]), which picks
+//!   the second antenna's transmit phase/power so the two arrivals cancel at a
+//!   victim's location,
+//! * **measurement noise** models ([`noise`]) and a least-squares **model
+//!   fitter** ([`fit`]) used to regenerate the paper's Section-II style
+//!   measurement figures.
+//!
+//! # Example
+//!
+//! Cancel the charging field at a victim 1 m away:
+//!
+//! ```
+//! use wrsn_em::{antenna::Transmitter, cancel::CancelController, superposition};
+//!
+//! let primary = Transmitter::powercast().at(0.0, 0.0);
+//! // Second antenna 30 cm to the side of the first.
+//! let helper = Transmitter::powercast().at(0.3, 0.0);
+//! let victim = (1.0, 0.0);
+//!
+//! let honest = primary.wave_at(victim);
+//! let spoof = CancelController::new(&primary, &helper).cancelling_wave(victim);
+//! let received = superposition::received_power(&[honest, spoof]);
+//! assert!(received < 1e-9 * superposition::received_power(&[primary.wave_at(victim)]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antenna;
+pub mod beamform;
+pub mod cancel;
+pub mod charging;
+pub mod constants;
+pub mod error;
+pub mod fit;
+pub mod noise;
+pub mod phasor;
+pub mod superposition;
+pub mod wave;
+
+pub use antenna::Transmitter;
+pub use cancel::CancelController;
+pub use charging::ChargeModel;
+pub use error::EmError;
+pub use phasor::Phasor;
+pub use wave::Wave;

@@ -1,0 +1,132 @@
+//! Measurement noise models for the Section-II style experiments.
+//!
+//! Real RF power measurements scatter around the physical law; the paper's
+//! measured curves are noisy samples of the superposition formula. This module
+//! provides a seeded Gaussian noise source so regenerated "measurements" are
+//! reproducible.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A reproducible Gaussian measurement-noise source.
+///
+/// Uses the Box–Muller transform over a seeded ChaCha stream, so identical
+/// seeds yield identical "measurement campaigns" on every platform.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_em::noise::MeasurementNoise;
+///
+/// let mut n = MeasurementNoise::new(42, 0.05);
+/// let sample = n.noisy_power(1.0);
+/// assert!(sample >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeasurementNoise {
+    rng: ChaCha8Rng,
+    /// Relative standard deviation (e.g. `0.05` = 5 % multiplicative noise).
+    rel_sigma: f64,
+}
+
+impl MeasurementNoise {
+    /// Creates a noise source with the given seed and relative standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_sigma` is negative or non-finite.
+    pub fn new(seed: u64, rel_sigma: f64) -> Self {
+        assert!(
+            rel_sigma.is_finite() && rel_sigma >= 0.0,
+            "rel_sigma must be finite and non-negative, got {rel_sigma}"
+        );
+        MeasurementNoise {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            rel_sigma,
+        }
+    }
+
+    /// The configured relative standard deviation.
+    pub fn rel_sigma(&self) -> f64 {
+        self.rel_sigma
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller; u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A noisy power measurement: `p·(1 + σ·N(0,1))`, clamped at 0
+    /// (power meters do not read negative).
+    pub fn noisy_power(&mut self, p: f64) -> f64 {
+        (p * (1.0 + self.rel_sigma * self.standard_normal())).max(0.0)
+    }
+
+    /// Applies noise to a whole `(x, y)` sample series, perturbing only `y`.
+    pub fn noisy_series(&mut self, samples: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        samples.iter().map(|&(x, y)| (x, self.noisy_power(y))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_samples() {
+        let mut a = MeasurementNoise::new(7, 0.1);
+        let mut b = MeasurementNoise::new(7, 0.1);
+        for _ in 0..32 {
+            assert_eq!(a.noisy_power(1.0), b.noisy_power(1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = MeasurementNoise::new(1, 0.1);
+        let mut b = MeasurementNoise::new(2, 0.1);
+        let sa: Vec<f64> = (0..8).map(|_| a.noisy_power(1.0)).collect();
+        let sb: Vec<f64> = (0..8).map(|_| b.noisy_power(1.0)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zero_sigma_is_noiseless() {
+        let mut n = MeasurementNoise::new(3, 0.0);
+        assert_eq!(n.noisy_power(0.7), 0.7);
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let mut n = MeasurementNoise::new(5, 2.0); // huge noise
+        for _ in 0..1000 {
+            assert!(n.noisy_power(0.01) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_plausible_moments() {
+        let mut n = MeasurementNoise::new(11, 0.1);
+        let k = 20_000;
+        let samples: Vec<f64> = (0..k).map(|_| n.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / k as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / k as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn noisy_series_keeps_x_and_length() {
+        let mut n = MeasurementNoise::new(9, 0.05);
+        let src = vec![(0.5, 1.0), (1.0, 0.5)];
+        let out = n.noisy_series(&src);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0.5);
+        assert_eq!(out[1].0, 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Complex phasor arithmetic.
+//!
+//! A [`Phasor`] represents the complex amplitude `a·e^{jφ}` of a monochromatic
+//! wave at a point in space. Coherent fields add as phasors; harvested power is
+//! proportional to the squared magnitude of the sum — the *nonlinear
+//! superposition* that the Charging Spoofing Attack exploits.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number in Cartesian form, used as a field phasor.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_em::Phasor;
+///
+/// let a = Phasor::from_polar(1.0, 0.0);
+/// let b = Phasor::from_polar(1.0, std::f64::consts::PI);
+/// assert!((a + b).magnitude() < 1e-12); // perfect cancellation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Phasor {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Phasor {
+    /// The zero phasor (no field).
+    pub const ZERO: Phasor = Phasor { re: 0.0, im: 0.0 };
+
+    /// Creates a phasor from Cartesian components.
+    pub fn new(re: f64, im: f64) -> Self {
+        Phasor { re, im }
+    }
+
+    /// Creates a phasor from polar form `magnitude · e^{j·phase}`.
+    ///
+    /// `phase` is in radians.
+    pub fn from_polar(magnitude: f64, phase: f64) -> Self {
+        Phasor {
+            re: magnitude * phase.cos(),
+            im: magnitude * phase.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn magnitude(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`; proportional to instantaneous power.
+    pub fn power(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn phase(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Phasor {
+        Phasor::new(self.re, -self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(&self, k: f64) -> Phasor {
+        Phasor::new(self.re * k, self.im * k)
+    }
+
+    /// Rotates by `angle` radians (multiplication by `e^{j·angle}`).
+    pub fn rotate(&self, angle: f64) -> Phasor {
+        *self * Phasor::from_polar(1.0, angle)
+    }
+
+    /// Returns `true` if both parts are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Phasor {
+    type Output = Phasor;
+    fn add(self, rhs: Phasor) -> Phasor {
+        Phasor::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Phasor {
+    fn add_assign(&mut self, rhs: Phasor) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Phasor {
+    type Output = Phasor;
+    fn sub(self, rhs: Phasor) -> Phasor {
+        Phasor::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Phasor {
+    type Output = Phasor;
+    fn neg(self) -> Phasor {
+        Phasor::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Phasor {
+    type Output = Phasor;
+    fn mul(self, rhs: Phasor) -> Phasor {
+        Phasor::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Phasor {
+    type Output = Phasor;
+    fn mul(self, rhs: f64) -> Phasor {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Phasor {
+    fn sum<I: Iterator<Item = Phasor>>(iter: I) -> Phasor {
+        iter.fold(Phasor::ZERO, |acc, p| acc + p)
+    }
+}
+
+impl From<(f64, f64)> for Phasor {
+    fn from((re, im): (f64, f64)) -> Self {
+        Phasor::new(re, im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn polar_roundtrip() {
+        let p = Phasor::from_polar(2.5, 0.7);
+        assert!((p.magnitude() - 2.5).abs() < EPS);
+        assert!((p.phase() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn power_is_magnitude_squared() {
+        let p = Phasor::new(3.0, 4.0);
+        assert!((p.magnitude() - 5.0).abs() < EPS);
+        assert!((p.power() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn opposite_phases_cancel() {
+        let a = Phasor::from_polar(1.0, 0.3);
+        let b = Phasor::from_polar(1.0, 0.3 + PI);
+        assert!((a + b).magnitude() < EPS);
+    }
+
+    #[test]
+    fn in_phase_waves_quadruple_power() {
+        // |a + a|² = 4|a|² — constructive interference is superlinear too.
+        let a = Phasor::from_polar(1.0, 0.9);
+        assert!(((a + a).power() - 4.0 * a.power()).abs() < EPS);
+    }
+
+    #[test]
+    fn multiplication_adds_phases_and_multiplies_magnitudes() {
+        let a = Phasor::from_polar(2.0, 0.4);
+        let b = Phasor::from_polar(3.0, 1.1);
+        let c = a * b;
+        assert!((c.magnitude() - 6.0).abs() < 1e-10);
+        assert!((c.phase() - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotate_by_quarter_turn() {
+        let a = Phasor::new(1.0, 0.0);
+        let r = a.rotate(FRAC_PI_2);
+        assert!(r.re.abs() < EPS);
+        assert!((r.im - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sum_of_phasors() {
+        let total: Phasor = (0..4).map(|k| Phasor::from_polar(1.0, k as f64 * FRAC_PI_2)).sum();
+        // Four unit phasors at 0, 90, 180, 270 degrees cancel exactly.
+        assert!(total.magnitude() < 1e-10);
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let p = Phasor::from_polar(1.0, 0.6);
+        assert!((p.conj().phase() + 0.6).abs() < EPS);
+    }
+
+    #[test]
+    fn neg_and_sub() {
+        let a = Phasor::new(1.0, 2.0);
+        assert_eq!(a - a, Phasor::ZERO);
+        assert_eq!(-a, Phasor::new(-1.0, -2.0));
+    }
+}

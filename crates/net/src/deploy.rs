@@ -1,0 +1,175 @@
+//! Seeded deployment generators.
+//!
+//! All generators are deterministic in their seed (ChaCha-based), so every
+//! experiment in the paper-reproduction harness is exactly reproducible.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::geom::{Point, Region};
+use crate::node::SensorNode;
+
+/// Uniform random deployment of `n` nodes inside `region`.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::{deploy, Region};
+///
+/// let nodes = deploy::uniform(&Region::square(100.0), 10, 7);
+/// assert_eq!(nodes.len(), 10);
+/// ```
+pub fn uniform(region: &Region, n: usize, seed: u64) -> Vec<SensorNode> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(region.min().x..=region.max().x);
+            let y = rng.gen_range(region.min().y..=region.max().y);
+            SensorNode::new(Point::new(x, y))
+        })
+        .collect()
+}
+
+/// Regular grid deployment with optional positional jitter.
+///
+/// Places `cols × rows` nodes on an even grid inside `region`; each position
+/// is perturbed by up to `jitter` metres in each axis.
+pub fn grid(region: &Region, cols: usize, rows: usize, jitter: f64, seed: u64) -> Vec<SensorNode> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut nodes = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            let fx = (c as f64 + 0.5) / cols as f64;
+            let fy = (r as f64 + 0.5) / rows as f64;
+            let mut p = Point::new(
+                region.min().x + fx * region.width(),
+                region.min().y + fy * region.height(),
+            );
+            if jitter > 0.0 {
+                p.x += rng.gen_range(-jitter..=jitter);
+                p.y += rng.gen_range(-jitter..=jitter);
+            }
+            nodes.push(SensorNode::new(region.clamp(p)));
+        }
+    }
+    nodes
+}
+
+/// Clustered deployment: `clusters` Gaussian blobs with standard deviation
+/// `sigma`, nodes split evenly among them (remainder to the first clusters).
+///
+/// Clustered topologies produce pronounced cut vertices — the bridges between
+/// blobs — and are therefore the attack's most favourable terrain.
+pub fn clustered(region: &Region, n: usize, clusters: usize, sigma: f64, seed: u64) -> Vec<SensorNode> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(region.min().x..=region.max().x),
+                rng.gen_range(region.min().y..=region.max().y),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % clusters];
+            // Box–Muller normal offsets.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let mag = (-2.0 * u1.ln()).sqrt();
+            let dx = sigma * mag * (2.0 * std::f64::consts::PI * u2).cos();
+            let dy = sigma * mag * (2.0 * std::f64::consts::PI * u2).sin();
+            SensorNode::new(region.clamp(Point::new(c.x + dx, c.y + dy)))
+        })
+        .collect()
+}
+
+/// A "corridor" deployment: two dense clusters joined by a sparse line of
+/// relay nodes — the canonical topology where killing a handful of key nodes
+/// severs the network. Used by the worked examples and tests.
+pub fn corridor(n_per_cluster: usize, n_bridge: usize, seed: u64) -> (Region, Vec<SensorNode>) {
+    let region = Region::new(0.0, 0.0, 200.0, 100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    for (cx, cy) in [(30.0, 50.0), (170.0, 50.0)] {
+        for _ in 0..n_per_cluster {
+            let x = cx + rng.gen_range(-25.0..=25.0);
+            let y = cy + rng.gen_range(-25.0..=25.0);
+            nodes.push(SensorNode::new(region.clamp(Point::new(x, y))));
+        }
+    }
+    assert!(n_bridge >= 2, "corridor needs at least 2 bridge nodes");
+    for k in 0..n_bridge {
+        // Evenly from x=60 to x=140: endpoints sit at the cluster edges so the
+        // bridge is connected for a 30 m communication range regardless of
+        // seed, while interior bridge nodes remain out of the clusters' reach.
+        let x = 60.0 + 80.0 * k as f64 / (n_bridge - 1) as f64;
+        nodes.push(SensorNode::new(Point::new(x, 50.0)));
+    }
+    (region, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_inside_region_and_deterministic() {
+        let r = Region::square(50.0);
+        let a = uniform(&r, 100, 9);
+        let b = uniform(&r, 100, 9);
+        assert_eq!(a.len(), 100);
+        for (na, nb) in a.iter().zip(&b) {
+            assert_eq!(na.position(), nb.position());
+            assert!(r.contains(na.position()));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let r = Region::square(50.0);
+        let a = uniform(&r, 20, 1);
+        let b = uniform(&r, 20, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.position() != y.position()));
+    }
+
+    #[test]
+    fn grid_has_expected_count_and_stays_inside() {
+        let r = Region::square(100.0);
+        let nodes = grid(&r, 5, 4, 3.0, 11);
+        assert_eq!(nodes.len(), 20);
+        assert!(nodes.iter().all(|n| r.contains(n.position())));
+    }
+
+    #[test]
+    fn grid_without_jitter_is_regular() {
+        let r = Region::square(100.0);
+        let nodes = grid(&r, 2, 2, 0.0, 0);
+        let xs: Vec<f64> = nodes.iter().map(|n| n.position().x).collect();
+        assert_eq!(xs, vec![25.0, 75.0, 25.0, 75.0]);
+    }
+
+    #[test]
+    fn clustered_stays_inside_region() {
+        let r = Region::square(100.0);
+        let nodes = clustered(&r, 60, 3, 8.0, 5);
+        assert_eq!(nodes.len(), 60);
+        assert!(nodes.iter().all(|n| r.contains(n.position())));
+    }
+
+    #[test]
+    fn corridor_places_bridge_on_midline() {
+        let (_, nodes) = corridor(10, 4, 3);
+        assert_eq!(nodes.len(), 24);
+        let bridge = &nodes[20..];
+        assert!(bridge.iter().all(|n| n.position().y == 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = clustered(&Region::square(10.0), 5, 0, 1.0, 0);
+    }
+}

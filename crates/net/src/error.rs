@@ -1,0 +1,55 @@
+//! Error types for the `wrsn-net` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced by network construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// The operation requires a connected network but the graph is partitioned.
+    Disconnected,
+    /// No route exists between the two endpoints.
+    NoRoute {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// An empty node set was supplied where at least one node is required.
+    EmptyNetwork,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            NetError::Disconnected => write!(f, "network is not connected"),
+            NetError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            NetError::EmptyNetwork => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains('3'));
+        assert!(NetError::Disconnected.to_string().contains("not connected"));
+        let msg = NetError::NoRoute {
+            from: NodeId(1),
+            to: NodeId(2),
+        }
+        .to_string();
+        assert!(msg.contains("n1") && msg.contains("n2"));
+    }
+}

@@ -1,0 +1,518 @@
+//! The communication graph of a WRSN and its core graph algorithms.
+//!
+//! Two nodes are neighbours when their Euclidean distance is at most the
+//! communication range. The base station (*sink*) is a distinguished point;
+//! nodes within range of it can deliver data directly.
+//!
+//! Algorithms provided: connectivity / components (BFS), shortest paths
+//! (Dijkstra on Euclidean edge weights), articulation points (Tarjan) and
+//! betweenness centrality (Brandes) — the latter two feed key-node
+//! identification in [`crate::keynode`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::geom::Point;
+use crate::node::{NodeId, SensorNode};
+
+/// A WRSN communication graph: nodes, a sink and range-derived adjacency.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::{deploy, Network, Point, Region};
+///
+/// let nodes = deploy::uniform(&Region::square(100.0), 40, 1);
+/// let net = Network::build(nodes, Point::new(50.0, 50.0), 20.0);
+/// assert_eq!(net.node_count(), 40);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<SensorNode>,
+    sink: Point,
+    comm_range_m: f64,
+    adj: Vec<Vec<NodeId>>,
+    sink_neighbors: Vec<NodeId>,
+}
+
+impl Network {
+    /// Builds the network, computing adjacency from `comm_range_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm_range_m` is not finite and positive.
+    pub fn build(nodes: Vec<SensorNode>, sink: Point, comm_range_m: f64) -> Self {
+        assert!(
+            comm_range_m.is_finite() && comm_range_m > 0.0,
+            "communication range must be positive, got {comm_range_m}"
+        );
+        let n = nodes.len();
+        let r2 = comm_range_m * comm_range_m;
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if nodes[i].position().distance_sq(nodes[j].position()) <= r2 {
+                    adj[i].push(NodeId(j));
+                    adj[j].push(NodeId(i));
+                }
+            }
+        }
+        let sink_neighbors = (0..n)
+            .filter(|&i| nodes[i].position().distance_sq(sink) <= r2)
+            .map(NodeId)
+            .collect();
+        Network {
+            nodes,
+            sink,
+            comm_range_m,
+            adj,
+            sink_neighbors,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for out-of-range ids.
+    pub fn node(&self, id: NodeId) -> Result<&SensorNode, NetError> {
+        self.nodes.get(id.0).ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Mutable access to the node with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for out-of-range ids.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut SensorNode, NetError> {
+        self.nodes.get_mut(id.0).ok_or(NetError::UnknownNode(id))
+    }
+
+    /// The sink (base station) position.
+    pub fn sink(&self) -> Point {
+        self.sink
+    }
+
+    /// The communication range, metres.
+    pub fn comm_range(&self) -> f64 {
+        self.comm_range_m
+    }
+
+    /// Neighbours of `id` (empty for out-of-range ids).
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.adj.get(id.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Degree of `id`.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Nodes within communication range of the sink.
+    pub fn sink_neighbors(&self) -> &[NodeId] {
+        &self.sink_neighbors
+    }
+
+    /// Iterator over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Euclidean distance between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] if either id is out of range.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Result<f64, NetError> {
+        Ok(self.node(a)?.position().distance(self.node(b)?.position()))
+    }
+
+    /// A mask of currently alive nodes.
+    pub fn alive_mask(&self) -> Vec<bool> {
+        self.nodes.iter().map(SensorNode::is_alive).collect()
+    }
+
+    /// Connected components among nodes where `mask[i]` is true; each
+    /// component is a sorted list of node ids. Masked-out nodes appear in no
+    /// component.
+    pub fn components(&self, mask: &[bool]) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for s in 0..n {
+            if seen[s] || !mask.get(s).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(NodeId(u));
+                for &v in &self.adj[u] {
+                    if !seen[v.0] && mask[v.0] {
+                        seen[v.0] = true;
+                        stack.push(v.0);
+                    }
+                }
+            }
+            comp.sort();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Whether the subgraph induced by `mask` is connected (vacuously true for
+    /// zero or one alive node).
+    pub fn is_connected(&self, mask: &[bool]) -> bool {
+        self.components(mask).len() <= 1
+    }
+
+    /// Fraction of masked-in nodes that can reach the sink through masked-in
+    /// nodes. Returns `1.0` when no node is masked in.
+    pub fn sink_reachability(&self, mask: &[bool]) -> f64 {
+        let alive: usize = mask.iter().filter(|&&a| a).count();
+        if alive == 0 {
+            return 1.0;
+        }
+        let n = self.nodes.len();
+        let mut reach = vec![false; n];
+        let mut stack: Vec<usize> = self
+            .sink_neighbors
+            .iter()
+            .map(|id| id.0)
+            .filter(|&i| mask[i])
+            .collect();
+        for &s in &stack {
+            reach[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if mask[v.0] && !reach[v.0] {
+                    reach[v.0] = true;
+                    stack.push(v.0);
+                }
+            }
+        }
+        reach.iter().filter(|&&r| r).count() as f64 / alive as f64
+    }
+
+    /// Articulation points (cut vertices) of the subgraph induced by `mask`,
+    /// via Tarjan's low-link algorithm. Sorted by id.
+    pub fn articulation_points(&self, mask: &[bool]) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut disc = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut is_art = vec![false; n];
+        let mut timer = 0usize;
+
+        // Iterative DFS to avoid stack overflow on large nets.
+        for root in 0..n {
+            if disc[root] != usize::MAX || !mask.get(root).copied().unwrap_or(false) {
+                continue;
+            }
+            // Stack frames: (vertex, parent, next-neighbour-index).
+            let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+            let mut root_children = 0usize;
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            while let Some(&mut (u, parent, ref mut idx)) = stack.last_mut() {
+                if *idx < self.adj[u].len() {
+                    let v = self.adj[u][*idx].0;
+                    *idx += 1;
+                    if !mask[v] {
+                        continue;
+                    }
+                    if disc[v] == usize::MAX {
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        if u == root {
+                            root_children += 1;
+                        }
+                        stack.push((v, u, 0));
+                    } else if v != parent {
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&mut (p, _, _)) = stack.last_mut() {
+                        low[p] = low[p].min(low[u]);
+                        if p != root && low[u] >= disc[p] {
+                            is_art[p] = true;
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                is_art[root] = true;
+            }
+        }
+        (0..n).filter(|&i| is_art[i]).map(NodeId).collect()
+    }
+
+    /// Unweighted betweenness centrality (Brandes) of the subgraph induced by
+    /// `mask`; masked-out nodes score `0`.
+    pub fn betweenness(&self, mask: &[bool]) -> Vec<f64> {
+        let n = self.nodes.len();
+        let mut cb = vec![0.0f64; n];
+        for s in 0..n {
+            if !mask.get(s).copied().unwrap_or(false) {
+                continue;
+            }
+            // BFS from s.
+            let mut sigma = vec![0.0f64; n];
+            let mut dist = vec![-1i64; n];
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut order = Vec::with_capacity(n);
+            sigma[s] = 1.0;
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for &v in &self.adj[u] {
+                    let v = v.0;
+                    if !mask[v] {
+                        continue;
+                    }
+                    if dist[v] < 0 {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                    if dist[v] == dist[u] + 1 {
+                        sigma[v] += sigma[u];
+                        preds[v].push(u);
+                    }
+                }
+            }
+            // Accumulation in reverse BFS order.
+            let mut delta = vec![0.0f64; n];
+            for &w in order.iter().rev() {
+                for &p in &preds[w] {
+                    delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w]);
+                }
+                if w != s {
+                    cb[w] += delta[w];
+                }
+            }
+        }
+        // Undirected graph: each pair counted twice.
+        for c in &mut cb {
+            *c /= 2.0;
+        }
+        cb
+    }
+
+    /// Dijkstra shortest-path distances (Euclidean edge weights) from `source`
+    /// over the subgraph induced by `mask`. Unreachable nodes get `f64::INFINITY`.
+    /// Also returns the predecessor of each node on its shortest path.
+    pub fn dijkstra(&self, source: NodeId, mask: &[bool]) -> (Vec<f64>, Vec<Option<NodeId>>) {
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+        if source.0 >= n || !mask.get(source.0).copied().unwrap_or(false) {
+            return (dist, pred);
+        }
+        dist[source.0] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: 0.0,
+            node: source.0,
+        });
+        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &v in &self.adj[u] {
+                let v = v.0;
+                if !mask[v] {
+                    continue;
+                }
+                let w = self.nodes[u].position().distance(self.nodes[v].position());
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    pred[v] = Some(NodeId(u));
+                    heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, pred)
+    }
+}
+
+/// Min-heap item for Dijkstra.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Region;
+
+    /// A 5-node path graph: 0 - 1 - 2 - 3 - 4 spaced 10 m apart, range 12 m.
+    fn path_net() -> Network {
+        let nodes = (0..5)
+            .map(|i| SensorNode::new(Point::new(10.0 * i as f64, 0.0)))
+            .collect();
+        Network::build(nodes, Point::new(0.0, 0.0), 12.0)
+    }
+
+    fn all_mask(net: &Network) -> Vec<bool> {
+        vec![true; net.node_count()]
+    }
+
+    /// Brute-force articulation points: removing v strictly increases the
+    /// number of connected components among the remaining masked vertices.
+    fn brute_articulation(net: &Network, mask: &[bool]) -> Vec<NodeId> {
+        let before = net.components(mask).len();
+        let mut out = Vec::new();
+        for v in 0..net.node_count() {
+            if !mask[v] {
+                continue;
+            }
+            let mut m = mask.to_vec();
+            m[v] = false;
+            if net.components(&m).len() > before {
+                out.push(NodeId(v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn path_graph_interior_nodes_are_cut_vertices() {
+        let net = path_net();
+        let arts = net.articulation_points(&all_mask(&net));
+        assert_eq!(arts, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn articulation_matches_brute_force_on_random_nets() {
+        for seed in 0..10 {
+            let nodes = crate::deploy::uniform(&Region::square(60.0), 25, seed);
+            let net = Network::build(nodes, Point::new(30.0, 30.0), 18.0);
+            let mask = all_mask(&net);
+            let fast = net.articulation_points(&mask);
+            let brute = brute_articulation(&net, &mask);
+            assert_eq!(fast, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn articulation_respects_mask() {
+        let net = path_net();
+        let mut mask = all_mask(&net);
+        mask[4] = false; // path 0-1-2-3: arts are 1, 2
+        assert_eq!(net.articulation_points(&mask), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn components_split_when_middle_dies() {
+        let net = path_net();
+        let mut mask = all_mask(&net);
+        mask[2] = false;
+        let comps = net.components(&mask);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(3), NodeId(4)]);
+        assert!(!net.is_connected(&mask));
+    }
+
+    #[test]
+    fn sink_reachability_drops_after_cut() {
+        let net = path_net(); // sink at (0,0), neighbour of node 0 only
+        let mask = all_mask(&net);
+        assert_eq!(net.sink_reachability(&mask), 1.0);
+        let mut cut = mask.clone();
+        cut[1] = false;
+        // Only node 0 can still reach the sink out of 4 alive.
+        assert!((net.sink_reachability(&cut) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_peaks_at_path_center() {
+        let net = path_net();
+        let cb = net.betweenness(&all_mask(&net));
+        // Path P5 betweenness: [0, 3, 4, 3, 0].
+        let expect = [0.0, 3.0, 4.0, 3.0, 0.0];
+        for (got, want) in cb.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-9, "cb = {cb:?}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_distances_on_path() {
+        let net = path_net();
+        let (dist, pred) = net.dijkstra(NodeId(0), &all_mask(&net));
+        assert!((dist[4] - 40.0).abs() < 1e-9);
+        assert_eq!(pred[4], Some(NodeId(3)));
+        assert_eq!(pred[0], None);
+    }
+
+    #[test]
+    fn dijkstra_respects_mask() {
+        let net = path_net();
+        let mut mask = all_mask(&net);
+        mask[2] = false;
+        let (dist, _) = net.dijkstra(NodeId(0), &mask);
+        assert!(dist[4].is_infinite());
+        assert!((dist[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let net = path_net();
+        assert!(matches!(net.node(NodeId(99)), Err(NetError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn empty_network_is_trivially_connected() {
+        let net = Network::build(Vec::new(), Point::ORIGIN, 10.0);
+        assert!(net.is_connected(&[]));
+        assert_eq!(net.sink_reachability(&[]), 1.0);
+    }
+
+    #[test]
+    fn sink_neighbors_detected() {
+        // Sink at (0,0), range 12: nodes 0 (d=0) and 1 (d=10) qualify.
+        let net = path_net();
+        assert_eq!(net.sink_neighbors(), &[NodeId(0), NodeId(1)]);
+    }
+}

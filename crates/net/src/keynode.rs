@@ -1,0 +1,280 @@
+//! Key-node identification.
+//!
+//! *Key nodes* are the nodes whose exhaustion hurts the network most: cut
+//! vertices (their death partitions the graph) and high-traffic relays (their
+//! death severs many routes and strands the most data). These are exactly the
+//! targets the Charging Spoofing Attack goes after; the paper's headline
+//! metric is the fraction of key nodes the attacker exhausts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::RadioEnergyModel;
+use crate::graph::Network;
+use crate::node::NodeId;
+use crate::routing::{self, RoutingTree};
+
+/// Why a node was classified as key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyReason {
+    /// Removing the node disconnects the communication graph.
+    CutVertex,
+    /// The node is among the top traffic relays.
+    TrafficHub,
+    /// Both a cut vertex and a traffic hub.
+    Both,
+}
+
+/// A key node with its criticality weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyNode {
+    /// The node's id.
+    pub id: NodeId,
+    /// Why the node is key.
+    pub reason: KeyReason,
+    /// Criticality weight (≥ 1): the number of nodes stranded from the sink if
+    /// this node dies, normalised by network size, plus a betweenness term.
+    /// Used as the attack's per-victim utility.
+    pub weight: f64,
+}
+
+/// Configuration for key-node identification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyNodeConfig {
+    /// Fraction of nodes (by betweenness rank) labelled traffic hubs.
+    pub hub_fraction: f64,
+    /// Include cut vertices regardless of rank.
+    pub include_cut_vertices: bool,
+}
+
+impl Default for KeyNodeConfig {
+    fn default() -> Self {
+        KeyNodeConfig {
+            hub_fraction: 0.1,
+            include_cut_vertices: true,
+        }
+    }
+}
+
+/// Number of alive nodes stranded from the sink if `victim` dies.
+pub fn stranded_if_dead(net: &Network, mask: &[bool], victim: NodeId) -> usize {
+    let before = RoutingTree::shortest_path(net, mask).reachable_count();
+    let mut m = mask.to_vec();
+    if victim.0 < m.len() {
+        m[victim.0] = false;
+    }
+    let after = RoutingTree::shortest_path(net, &m).reachable_count();
+    // The victim itself no longer counts as reachable; subtract it out.
+    before.saturating_sub(after).saturating_sub(1)
+}
+
+/// Identifies the key nodes of the subgraph induced by the alive mask.
+///
+/// Returns key nodes sorted by descending weight. Weights combine the number
+/// of nodes stranded by the victim's death with its (normalised) betweenness,
+/// so every key node has `weight ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::prelude::*;
+///
+/// let (region, nodes) = deploy::corridor(12, 4, 1);
+/// let sink = Point::new(10.0, 50.0);
+/// let net = Network::build(nodes, sink, 30.0);
+/// let keys = keynode::identify(&net, &KeyNodeConfig::default());
+/// assert!(!keys.is_empty());
+/// # let _ = region;
+/// ```
+pub fn identify(net: &Network, config: &KeyNodeConfig) -> Vec<KeyNode> {
+    let mask = net.alive_mask();
+    identify_with_mask(net, &mask, config)
+}
+
+/// [`identify`] over an explicit alive mask.
+#[allow(clippy::needless_range_loop)] // index form mirrors the matrix math
+pub fn identify_with_mask(net: &Network, mask: &[bool], config: &KeyNodeConfig) -> Vec<KeyNode> {
+    let n = net.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cuts: std::collections::HashSet<NodeId> = if config.include_cut_vertices {
+        net.articulation_points(mask).into_iter().collect()
+    } else {
+        std::collections::HashSet::new()
+    };
+
+    let cb = net.betweenness(mask);
+    let max_cb = cb.iter().cloned().fold(0.0f64, f64::max);
+    let mut ranked: Vec<usize> = (0..n)
+        .filter(|&i| mask.get(i).copied().unwrap_or(false))
+        .collect();
+    ranked.sort_by(|&a, &b| cb[b].partial_cmp(&cb[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let hub_count = ((n as f64 * config.hub_fraction).ceil() as usize).min(ranked.len());
+    let hubs: std::collections::HashSet<NodeId> = ranked[..hub_count]
+        .iter()
+        .copied()
+        .filter(|&i| cb[i] > 0.0)
+        .map(NodeId)
+        .collect();
+
+    let mut out = Vec::new();
+    for i in 0..n {
+        let id = NodeId(i);
+        let is_cut = cuts.contains(&id);
+        let is_hub = hubs.contains(&id);
+        if !is_cut && !is_hub {
+            continue;
+        }
+        let reason = match (is_cut, is_hub) {
+            (true, true) => KeyReason::Both,
+            (true, false) => KeyReason::CutVertex,
+            _ => KeyReason::TrafficHub,
+        };
+        let stranded = stranded_if_dead(net, mask, id) as f64;
+        let cb_norm = if max_cb > 0.0 { cb[i] / max_cb } else { 0.0 };
+        out.push(KeyNode {
+            id,
+            reason,
+            weight: 1.0 + stranded + cb_norm,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    out
+}
+
+/// Steady-state power draw (W) of each node — convenience wrapper combining
+/// the routing tree, traffic load and radio model. The attacker uses this to
+/// predict each victim's depletion deadline.
+pub fn power_draw(net: &Network, mask: &[bool], radio: &RadioEnergyModel) -> Vec<f64> {
+    let tree = RoutingTree::shortest_path(net, mask);
+    let load = routing::traffic_load(net, &tree, mask);
+    routing::node_power(net, &tree, &load, radio, mask)
+}
+
+/// [`power_draw`] with the *disconnected-drain floor*: alive nodes that
+/// cannot reach the sink still idle-listen and beacon their sensed data at
+/// full range looking for a route, so they drain
+/// `idle + tx(sensing_rate, comm_range)` rather than nothing. This is the
+/// drain model the simulator itself uses; depletion predictions (and the
+/// attack's time windows) must match it, or stranded key nodes become
+/// invisible to the planner.
+#[allow(clippy::needless_range_loop)] // index form mirrors the matrix math
+pub fn effective_power_draw(net: &Network, mask: &[bool], radio: &RadioEnergyModel) -> Vec<f64> {
+    let tree = RoutingTree::shortest_path(net, mask);
+    let load = routing::traffic_load(net, &tree, mask);
+    let mut power = routing::node_power(net, &tree, &load, radio, mask);
+    for i in 0..net.node_count() {
+        let alive = mask.get(i).copied().unwrap_or(false) && net.nodes()[i].is_alive();
+        if alive && !tree.is_reachable(NodeId(i)) {
+            power[i] = radio.idle_w
+                + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range());
+        }
+    }
+    power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+    use crate::geom::{Point, Region};
+    use crate::node::SensorNode;
+
+    fn corridor_net() -> Network {
+        let (_, nodes) = deploy::corridor(12, 4, 7);
+        Network::build(nodes, Point::new(10.0, 50.0), 30.0)
+    }
+
+    #[test]
+    fn corridor_bridge_nodes_are_key() {
+        let net = corridor_net();
+        let keys = identify(&net, &KeyNodeConfig::default());
+        assert!(!keys.is_empty());
+        // Bridge nodes are ids 24..28 (after 2×12 cluster nodes).
+        let bridge_keys = keys.iter().filter(|k| k.id.0 >= 24).count();
+        assert!(bridge_keys >= 2, "keys = {keys:?}");
+    }
+
+    #[test]
+    fn weights_are_sorted_descending_and_at_least_one() {
+        let net = corridor_net();
+        let keys = identify(&net, &KeyNodeConfig::default());
+        for w in keys.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert!(keys.iter().all(|k| k.weight >= 1.0));
+    }
+
+    #[test]
+    fn stranded_counts_far_cluster() {
+        let net = corridor_net();
+        let mask = net.alive_mask();
+        // Killing a mid-bridge node strands the far cluster plus the rest of
+        // the bridge: at least 12 nodes.
+        let keys = identify(&net, &KeyNodeConfig::default());
+        let best = keys[0];
+        let stranded = stranded_if_dead(&net, &mask, best.id);
+        assert!(stranded >= 12, "stranded = {stranded}");
+    }
+
+    #[test]
+    fn dense_uniform_net_has_few_or_no_cut_vertices() {
+        let nodes = deploy::uniform(&Region::square(50.0), 80, 2);
+        let net = Network::build(nodes, Point::new(25.0, 25.0), 25.0);
+        let keys = identify(&net, &KeyNodeConfig::default());
+        // Hubs exist but the dense net should have almost no cut vertices.
+        let cut_like = keys
+            .iter()
+            .filter(|k| matches!(k.reason, KeyReason::CutVertex | KeyReason::Both))
+            .count();
+        assert!(cut_like <= 8, "cut-like = {cut_like}");
+    }
+
+    #[test]
+    fn empty_network_yields_no_keys() {
+        let net = Network::build(Vec::new(), Point::ORIGIN, 10.0);
+        assert!(identify(&net, &KeyNodeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn hub_fraction_zero_keeps_only_cut_vertices() {
+        let net = corridor_net();
+        let cfg = KeyNodeConfig {
+            hub_fraction: 0.0,
+            include_cut_vertices: true,
+        };
+        let keys = identify(&net, &cfg);
+        assert!(keys
+            .iter()
+            .all(|k| matches!(k.reason, KeyReason::CutVertex | KeyReason::Both)));
+    }
+
+    #[test]
+    fn power_draw_positive_for_reachable_nodes() {
+        let net = corridor_net();
+        let mask = net.alive_mask();
+        let power = power_draw(&net, &mask, &RadioEnergyModel::classical());
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        for id in net.ids() {
+            if tree.is_reachable(id) {
+                assert!(power[id.0] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_is_not_key() {
+        let mut nodes: Vec<SensorNode> = (0..4)
+            .map(|i| SensorNode::new(Point::new(5.0 * i as f64, 0.0)))
+            .collect();
+        nodes.push(SensorNode::new(Point::new(500.0, 500.0))); // isolated
+        let net = Network::build(nodes, Point::new(0.0, 0.0), 6.0);
+        let keys = identify(&net, &KeyNodeConfig::default());
+        assert!(keys.iter().all(|k| k.id != NodeId(4)));
+    }
+}

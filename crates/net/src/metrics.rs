@@ -1,0 +1,181 @@
+//! Network-level health metrics: survival, coverage, connectivity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Network;
+use crate::routing::RoutingTree;
+
+/// A snapshot of network health at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Number of alive nodes.
+    pub alive: usize,
+    /// Total number of nodes.
+    pub total: usize,
+    /// Fraction of alive nodes that can reach the sink.
+    pub sink_reachability: f64,
+    /// Fraction of the field covered by alive nodes' sensing disks.
+    pub coverage: f64,
+    /// Whether the alive subgraph is connected.
+    pub connected: bool,
+}
+
+impl HealthSnapshot {
+    /// Fraction of nodes still alive.
+    pub fn survival_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.alive as f64 / self.total as f64
+        }
+    }
+}
+
+/// Computes a health snapshot of `net` with the given sensing radius used for
+/// coverage estimation (`coverage_grid` sample points per axis).
+pub fn snapshot(net: &Network, sensing_radius_m: f64, coverage_grid: usize) -> HealthSnapshot {
+    let mask = net.alive_mask();
+    let alive = mask.iter().filter(|&&a| a).count();
+    HealthSnapshot {
+        alive,
+        total: net.node_count(),
+        sink_reachability: net.sink_reachability(&mask),
+        coverage: coverage(net, &mask, sensing_radius_m, coverage_grid),
+        connected: net.is_connected(&mask),
+    }
+}
+
+/// Monte-Carlo-free coverage estimate: fraction of a `grid × grid` lattice of
+/// sample points (over the nodes' bounding box) within `sensing_radius_m` of
+/// an alive node. Returns `0.0` for an empty network or degenerate bounding
+/// box.
+pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize) -> f64 {
+    if net.node_count() == 0 || grid == 0 {
+        return 0.0;
+    }
+    let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for node in net.nodes() {
+        let p = node.position();
+        x0 = x0.min(p.x);
+        y0 = y0.min(p.y);
+        x1 = x1.max(p.x);
+        y1 = y1.max(p.y);
+    }
+    if x1 <= x0 || y1 <= y0 {
+        return 0.0;
+    }
+    let r2 = sensing_radius_m * sensing_radius_m;
+    let mut covered = 0usize;
+    for gy in 0..grid {
+        for gx in 0..grid {
+            let px = x0 + (x1 - x0) * (gx as f64 + 0.5) / grid as f64;
+            let py = y0 + (y1 - y0) * (gy as f64 + 0.5) / grid as f64;
+            let hit = net.nodes().iter().enumerate().any(|(i, n)| {
+                mask.get(i).copied().unwrap_or(false) && {
+                    let dx = n.position().x - px;
+                    let dy = n.position().y - py;
+                    dx * dx + dy * dy <= r2
+                }
+            });
+            if hit {
+                covered += 1;
+            }
+        }
+    }
+    covered as f64 / (grid * grid) as f64
+}
+
+/// Estimated time (s) until the first node dies under current steady-state
+/// power draw, or `None` if no node is draining.
+pub fn time_to_first_death(net: &Network, power_w: &[f64]) -> Option<f64> {
+    net.nodes()
+        .iter()
+        .zip(power_w)
+        .filter(|(n, &p)| n.is_alive() && p > 0.0)
+        .map(|(n, &p)| n.battery().level_j() / p)
+        .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// The classical "network lifetime" definition used in the evaluation: time
+/// until the sink-reachable fraction first drops below `threshold`
+/// (e.g. `0.9`). This helper just evaluates the predicate on a snapshot; the
+/// simulator tracks the crossing time.
+pub fn is_alive_by_reachability(net: &Network, tree: &RoutingTree, threshold: f64) -> bool {
+    let alive = net.alive_mask().iter().filter(|&&a| a).count();
+    if alive == 0 {
+        return false;
+    }
+    tree.reachable_count() as f64 / alive as f64 >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+    use crate::geom::{Point, Region};
+    use crate::node::SensorNode;
+
+    fn small_net() -> Network {
+        let nodes = deploy::grid(&Region::square(40.0), 4, 4, 0.0, 0);
+        Network::build(nodes, Point::new(20.0, 20.0), 15.0)
+    }
+
+    #[test]
+    fn fresh_network_snapshot_is_healthy() {
+        let net = small_net();
+        let s = snapshot(&net, 10.0, 20);
+        assert_eq!(s.alive, 16);
+        assert_eq!(s.survival_rate(), 1.0);
+        assert_eq!(s.sink_reachability, 1.0);
+        assert!(s.connected);
+        assert!(s.coverage > 0.9, "coverage = {}", s.coverage);
+    }
+
+    #[test]
+    fn killing_nodes_reduces_coverage_and_survival() {
+        let mut net = small_net();
+        for i in 0..8 {
+            let cap = net.nodes()[i].battery().capacity_j();
+            net.node_mut(crate::node::NodeId(i)).unwrap().battery_mut().discharge(cap);
+        }
+        let s = snapshot(&net, 10.0, 20);
+        assert_eq!(s.alive, 8);
+        assert_eq!(s.survival_rate(), 0.5);
+        assert!(s.coverage < 0.9);
+    }
+
+    #[test]
+    fn coverage_zero_for_empty_net() {
+        let net = Network::build(Vec::new(), Point::ORIGIN, 10.0);
+        assert_eq!(coverage(&net, &[], 5.0, 10), 0.0);
+    }
+
+    #[test]
+    fn coverage_zero_for_single_point_bbox() {
+        let net = Network::build(vec![SensorNode::new(Point::ORIGIN)], Point::ORIGIN, 10.0);
+        assert_eq!(coverage(&net, &[true], 5.0, 10), 0.0);
+    }
+
+    #[test]
+    fn time_to_first_death_picks_weakest() {
+        let net = small_net();
+        let mut power = vec![1.0; 16];
+        power[3] = 100.0; // hottest node
+        let t = time_to_first_death(&net, &power).unwrap();
+        let expect = net.nodes()[3].battery().level_j() / 100.0;
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_first_death_none_without_drain() {
+        let net = small_net();
+        assert!(time_to_first_death(&net, &[0.0; 16]).is_none());
+    }
+
+    #[test]
+    fn reachability_lifetime_predicate() {
+        let net = small_net();
+        let tree = RoutingTree::shortest_path(&net, &net.alive_mask());
+        assert!(is_alive_by_reachability(&net, &tree, 0.9));
+    }
+}

@@ -1,0 +1,156 @@
+//! Sensor node identity and state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::Battery;
+use crate::geom::Point;
+
+/// Identifier of a sensor node: its index in the network's node vector.
+///
+/// Displayed as `n<index>`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// A rechargeable sensor node.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::{node::SensorNode, Point};
+///
+/// let n = SensorNode::new(Point::new(1.0, 2.0));
+/// assert!(n.is_alive());
+/// assert_eq!(n.battery().level_j(), n.battery().capacity_j());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorNode {
+    position: Point,
+    battery: Battery,
+    /// Sensing data generation rate, bits per second.
+    sensing_rate_bps: f64,
+}
+
+/// Default sensing data rate: 1 kb/s.
+pub const DEFAULT_SENSING_RATE_BPS: f64 = 1_000.0;
+
+impl SensorNode {
+    /// Creates a node at `position` with the default battery and sensing rate.
+    pub fn new(position: Point) -> Self {
+        SensorNode {
+            position,
+            battery: Battery::default(),
+            sensing_rate_bps: DEFAULT_SENSING_RATE_BPS,
+        }
+    }
+
+    /// Creates a node with an explicit battery.
+    pub fn with_battery(position: Point, battery: Battery) -> Self {
+        SensorNode {
+            position,
+            battery,
+            sensing_rate_bps: DEFAULT_SENSING_RATE_BPS,
+        }
+    }
+
+    /// Sets the sensing rate (bits per second), returning the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or non-finite.
+    pub fn with_sensing_rate(mut self, bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "sensing rate must be finite and non-negative"
+        );
+        self.sensing_rate_bps = bps;
+        self
+    }
+
+    /// The node's fixed position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Immutable battery access.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Mutable battery access.
+    pub fn battery_mut(&mut self) -> &mut Battery {
+        &mut self.battery
+    }
+
+    /// Sensing data generation rate, bits per second.
+    pub fn sensing_rate_bps(&self) -> f64 {
+        self.sensing_rate_bps
+    }
+
+    /// Whether the node still has usable energy.
+    pub fn is_alive(&self) -> bool {
+        !self.battery.is_depleted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(17);
+        assert_eq!(id.to_string(), "n17");
+        assert_eq!(id.index(), 17);
+        assert_eq!(NodeId::from(17), id);
+    }
+
+    #[test]
+    fn new_node_is_alive_and_full() {
+        let n = SensorNode::new(Point::ORIGIN);
+        assert!(n.is_alive());
+        assert_eq!(n.battery().level_j(), n.battery().capacity_j());
+    }
+
+    #[test]
+    fn draining_battery_kills_node() {
+        let mut n = SensorNode::new(Point::ORIGIN);
+        let cap = n.battery().capacity_j();
+        n.battery_mut().discharge(cap * 2.0);
+        assert!(!n.is_alive());
+    }
+
+    #[test]
+    fn sensing_rate_builder() {
+        let n = SensorNode::new(Point::ORIGIN).with_sensing_rate(512.0);
+        assert_eq!(n.sensing_rate_bps(), 512.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensing rate")]
+    fn negative_sensing_rate_panics() {
+        let _ = SensorNode::new(Point::ORIGIN).with_sensing_rate(-1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Data-gathering routing and per-node energy consumption.
+//!
+//! Nodes route sensed data to the sink along a shortest-path tree (Euclidean
+//! edge weights, computed with a virtual sink source). The tree determines
+//! each node's relayed traffic, and with the radio model, its *power draw* —
+//! which is what the attacker needs to predict when each victim will die.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::RadioEnergyModel;
+use crate::graph::Network;
+use crate::node::NodeId;
+
+/// A shortest-path data-gathering tree rooted (virtually) at the sink.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::prelude::*;
+///
+/// let nodes = deploy::uniform(&Region::square(80.0), 30, 3);
+/// let net = Network::build(nodes, Point::new(40.0, 40.0), 25.0);
+/// let tree = RoutingTree::shortest_path(&net, &net.alive_mask());
+/// for id in net.ids() {
+///     if tree.is_reachable(id) {
+///         assert!(tree.dist_to_sink(id).is_finite());
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingTree {
+    /// Next hop toward the sink; `None` for sink-adjacent nodes (they deliver
+    /// directly) and for unreachable nodes.
+    parent: Vec<Option<NodeId>>,
+    /// Shortest distance to the sink (m); `INFINITY` if unreachable.
+    #[serde(with = "infinite_distances")]
+    dist: Vec<f64>,
+    /// Whether each node can reach the sink at all.
+    reachable: Vec<bool>,
+}
+
+impl RoutingTree {
+    /// Builds the shortest-path tree over the subgraph induced by `mask`.
+    pub fn shortest_path(net: &Network, mask: &[bool]) -> Self {
+        let n = net.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = std::collections::BinaryHeap::new();
+
+        for &s in net.sink_neighbors() {
+            if !mask.get(s.0).copied().unwrap_or(false) {
+                continue;
+            }
+            let d0 = net.nodes()[s.0].position().distance(net.sink());
+            if d0 < dist[s.0] {
+                dist[s.0] = d0;
+                heap.push(Item { d: d0, v: s.0 });
+            }
+        }
+        while let Some(Item { d, v }) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            for &u in net.neighbors(NodeId(v)) {
+                if !mask[u.0] {
+                    continue;
+                }
+                let w = net.nodes()[v].position().distance(net.nodes()[u.0].position());
+                let nd = d + w;
+                if nd < dist[u.0] {
+                    dist[u.0] = nd;
+                    parent[u.0] = Some(NodeId(v));
+                    heap.push(Item { d: nd, v: u.0 });
+                }
+            }
+        }
+        let reachable = dist.iter().map(|d| d.is_finite()).collect();
+        RoutingTree {
+            parent,
+            dist,
+            reachable,
+        }
+    }
+
+    /// Next hop of `id` toward the sink (`None` = delivers directly to the
+    /// sink, or is unreachable — check [`RoutingTree::is_reachable`]).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parent.get(id.0).copied().flatten()
+    }
+
+    /// Shortest distance from `id` to the sink, metres (`INFINITY` if
+    /// unreachable).
+    pub fn dist_to_sink(&self, id: NodeId) -> f64 {
+        self.dist.get(id.0).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Whether `id` can reach the sink.
+    pub fn is_reachable(&self, id: NodeId) -> bool {
+        self.reachable.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes that can reach the sink.
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.iter().filter(|&&r| r).count()
+    }
+
+    /// The hop path from `id` to the sink (inclusive of `id`, exclusive of the
+    /// sink); empty if unreachable.
+    pub fn path_to_sink(&self, id: NodeId) -> Vec<NodeId> {
+        if !self.is_reachable(id) {
+            return Vec::new();
+        }
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+/// Serde adapter for distance vectors containing `INFINITY` (JSON has no
+/// non-finite numbers): infinite entries round-trip as `null`.
+mod infinite_distances {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{SerializeSeq, Serializer};
+
+    pub fn serialize<S: Serializer>(dist: &[f64], ser: S) -> Result<S::Ok, S::Error> {
+        let mut seq = ser.serialize_seq(Some(dist.len()))?;
+        for &d in dist {
+            seq.serialize_element(&if d.is_finite() { Some(d) } else { None })?;
+        }
+        seq.end()
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<f64>, D::Error> {
+        let raw: Vec<Option<f64>> = Vec::deserialize(de)?;
+        Ok(raw.into_iter().map(|d| d.unwrap_or(f64::INFINITY)).collect())
+    }
+}
+
+/// Per-node traffic derived from a routing tree, bits per second.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficLoad {
+    /// Inbound relayed traffic per node, b/s.
+    pub rx_bps: Vec<f64>,
+    /// Outbound traffic (own sensing + relayed) per node, b/s.
+    pub tx_bps: Vec<f64>,
+}
+
+/// Computes each node's steady-state traffic under `tree`.
+///
+/// Unreachable or masked-out nodes carry no traffic.
+pub fn traffic_load(net: &Network, tree: &RoutingTree, mask: &[bool]) -> TrafficLoad {
+    let n = net.node_count();
+    let mut rx = vec![0.0; n];
+    let mut tx = vec![0.0; n];
+
+    // Process nodes farthest-first so children are accumulated before parents.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&i| mask.get(i).copied().unwrap_or(false) && tree.is_reachable(NodeId(i)))
+        .collect();
+    order.sort_by(|&a, &b| {
+        tree.dist_to_sink(NodeId(b))
+            .partial_cmp(&tree.dist_to_sink(NodeId(a)))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &i in &order {
+        tx[i] += net.nodes()[i].sensing_rate_bps();
+        if let Some(p) = tree.parent(NodeId(i)) {
+            rx[p.0] += tx[i];
+            tx[p.0] += tx[i];
+        }
+    }
+    TrafficLoad {
+        rx_bps: rx,
+        tx_bps: tx,
+    }
+}
+
+/// Steady-state power draw of every node (W): relay traffic over the hop to
+/// its parent (or the sink for sink-adjacent nodes) plus idle power.
+///
+/// Dead/unreachable nodes draw nothing (their radios are down or they have
+/// nothing to send — the conservative choice for lifetime estimates is made
+/// in `wrsn-sim`, which still drains idle power from alive-but-disconnected
+/// nodes).
+#[allow(clippy::needless_range_loop)] // index form mirrors the matrix math
+pub fn node_power(
+    net: &Network,
+    tree: &RoutingTree,
+    load: &TrafficLoad,
+    radio: &RadioEnergyModel,
+    mask: &[bool],
+) -> Vec<f64> {
+    let n = net.node_count();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        if !mask.get(i).copied().unwrap_or(false) || !tree.is_reachable(NodeId(i)) {
+            continue;
+        }
+        let hop = match tree.parent(NodeId(i)) {
+            Some(p) => net.nodes()[i].position().distance(net.nodes()[p.0].position()),
+            None => net.nodes()[i].position().distance(net.sink()),
+        };
+        out[i] = radio.relay_power(load.rx_bps[i], load.tx_bps[i], hop);
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Item {
+    d: f64,
+    v: usize,
+}
+
+impl Eq for Item {}
+
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .d
+            .partial_cmp(&self.d)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+    use crate::node::SensorNode;
+
+    /// Path 0-1-2-3-4 with sink next to node 0.
+    fn path_net() -> Network {
+        let nodes = (0..5)
+            .map(|i| SensorNode::new(Point::new(10.0 * (i + 1) as f64, 0.0)))
+            .collect();
+        Network::build(nodes, Point::new(0.0, 0.0), 12.0)
+    }
+
+    #[test]
+    fn tree_points_toward_sink() {
+        let net = path_net();
+        let mask = net.alive_mask();
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        assert_eq!(tree.parent(NodeId(0)), None); // direct to sink
+        assert_eq!(tree.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(tree.parent(NodeId(4)), Some(NodeId(3)));
+        assert!((tree.dist_to_sink(NodeId(4)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_to_sink_lists_hops() {
+        let net = path_net();
+        let tree = RoutingTree::shortest_path(&net, &net.alive_mask());
+        assert_eq!(
+            tree.path_to_sink(NodeId(3)),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn unreachable_after_cut() {
+        let net = path_net();
+        let mut mask = net.alive_mask();
+        mask[1] = false;
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        assert!(tree.is_reachable(NodeId(0)));
+        assert!(!tree.is_reachable(NodeId(2)));
+        assert!(tree.path_to_sink(NodeId(2)).is_empty());
+        assert_eq!(tree.reachable_count(), 1);
+    }
+
+    #[test]
+    fn traffic_accumulates_toward_sink() {
+        let net = path_net();
+        let mask = net.alive_mask();
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        let load = traffic_load(&net, &tree, &mask);
+        let rate = net.nodes()[0].sensing_rate_bps();
+        // Node 0 relays everyone: tx = 5·rate, rx = 4·rate.
+        assert!((load.tx_bps[0] - 5.0 * rate).abs() < 1e-9);
+        assert!((load.rx_bps[0] - 4.0 * rate).abs() < 1e-9);
+        // Leaf node 4: tx = rate, rx = 0.
+        assert!((load.tx_bps[4] - rate).abs() < 1e-9);
+        assert_eq!(load.rx_bps[4], 0.0);
+    }
+
+    #[test]
+    fn sink_adjacent_node_burns_most_power() {
+        let net = path_net();
+        let mask = net.alive_mask();
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        let load = traffic_load(&net, &tree, &mask);
+        let power = node_power(&net, &tree, &load, &RadioEnergyModel::classical(), &mask);
+        let max = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 0, "power = {power:?}");
+        assert!(power.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn masked_out_nodes_carry_no_traffic_or_power() {
+        let net = path_net();
+        let mut mask = net.alive_mask();
+        mask[2] = false;
+        let tree = RoutingTree::shortest_path(&net, &mask);
+        let load = traffic_load(&net, &tree, &mask);
+        let power = node_power(&net, &tree, &load, &RadioEnergyModel::classical(), &mask);
+        assert_eq!(load.tx_bps[2], 0.0);
+        assert_eq!(power[2], 0.0);
+        // Downstream nodes are cut off, so they carry no deliverable traffic.
+        assert_eq!(load.tx_bps[3], 0.0);
+        assert_eq!(power[3], 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # wrsn-sim — discrete-event WRSN simulation
+//!
+//! Glues the physics ([`wrsn_em`]) and the network substrate ([`wrsn_net`])
+//! into a runnable world:
+//!
+//! * [`engine`]: a generic discrete-event queue with deterministic FIFO
+//!   tie-breaking,
+//! * [`charger`]: the mobile charger — position, speed, energy budget, and the
+//!   two-antenna **rig** whose [`charger::ChargeMode`] selects honest charging
+//!   or phase-cancelled *spoofed* charging,
+//! * [`policy`]: the [`policy::ChargerPolicy`] trait that benign schedulers
+//!   (`wrsn-charge`) and the attack (`wrsn-core`) both implement,
+//! * [`request`]: the charging-request queue nodes use to summon the charger,
+//! * [`trace`]: session/event recording consumed by detectors and experiments,
+//! * [`world`]: the simulation loop with exact piecewise-linear battery drain
+//!   (node deaths are hit exactly, not stepped over).
+//!
+//! # Example
+//!
+//! ```
+//! use wrsn_net::prelude::*;
+//! use wrsn_sim::prelude::*;
+//!
+//! let nodes = deploy::uniform(&Region::square(60.0), 20, 5);
+//! let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+//! let charger = MobileCharger::standard(Point::new(30.0, 30.0));
+//! let mut world = World::new(net, charger, WorldConfig::default());
+//! let report = world.run(&mut IdlePolicy);
+//! assert!(report.final_time_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod charger;
+pub mod engine;
+pub mod policy;
+pub mod request;
+pub mod trace;
+pub mod world;
+
+pub use charger::{ChargeMode, ChargerRig, MobileCharger};
+pub use policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
+pub use request::ChargeRequest;
+pub use trace::{ChargeSession, SimEvent, Trace};
+pub use world::{SimReport, World, WorldConfig};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::charger::{ChargeMode, ChargerRig, MobileCharger};
+    pub use crate::policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
+    pub use crate::request::ChargeRequest;
+    pub use crate::trace::{ChargeSession, SimEvent, Trace};
+    pub use crate::world::{SimReport, World, WorldConfig};
+}

@@ -1,0 +1,118 @@
+//! The charging-request queue.
+//!
+//! When a node's battery falls to its warning threshold it broadcasts a
+//! charging request carrying its id, the time, and its energy deficit. The
+//! charger's policy consumes this queue; the attacker uses it both as a target
+//! list and as camouflage (it answers requests just like the real charger).
+
+use serde::{Deserialize, Serialize};
+
+use wrsn_net::NodeId;
+
+/// A pending charging request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeRequest {
+    /// The requesting node.
+    pub node: NodeId,
+    /// Simulation time the request was issued, seconds.
+    pub issued_at_s: f64,
+    /// Energy needed to refill the node, joules, at issue time.
+    pub deficit_j: f64,
+    /// The node's residual energy at issue time, joules.
+    pub residual_j: f64,
+}
+
+/// FIFO queue of outstanding requests with one-request-per-node semantics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestQueue {
+    pending: Vec<ChargeRequest>,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RequestQueue::default()
+    }
+
+    /// Outstanding requests in issue order.
+    pub fn pending(&self) -> &[ChargeRequest] {
+        &self.pending
+    }
+
+    /// Whether `node` has an outstanding request.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.pending.iter().any(|r| r.node == node)
+    }
+
+    /// Issues a request unless the node already has one outstanding. Returns
+    /// whether the request was enqueued.
+    pub fn issue(&mut self, request: ChargeRequest) -> bool {
+        if self.contains(request.node) {
+            return false;
+        }
+        self.pending.push(request);
+        true
+    }
+
+    /// Removes the request of `node` (e.g. after it was served or died).
+    /// Returns the removed request if there was one.
+    pub fn withdraw(&mut self, node: NodeId) -> Option<ChargeRequest> {
+        let idx = self.pending.iter().position(|r| r.node == node)?;
+        Some(self.pending.remove(idx))
+    }
+
+    /// Number of outstanding requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether there are no outstanding requests.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(node: usize, t: f64) -> ChargeRequest {
+        ChargeRequest {
+            node: NodeId(node),
+            issued_at_s: t,
+            deficit_j: 100.0,
+            residual_j: 20.0,
+        }
+    }
+
+    #[test]
+    fn issue_is_fifo_and_deduplicated() {
+        let mut q = RequestQueue::new();
+        assert!(q.issue(req(1, 0.0)));
+        assert!(q.issue(req(2, 1.0)));
+        assert!(!q.issue(req(1, 2.0)), "duplicate must be rejected");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending()[0].node, NodeId(1));
+        assert_eq!(q.pending()[1].node, NodeId(2));
+    }
+
+    #[test]
+    fn withdraw_removes_only_target() {
+        let mut q = RequestQueue::new();
+        q.issue(req(1, 0.0));
+        q.issue(req(2, 1.0));
+        let w = q.withdraw(NodeId(1)).unwrap();
+        assert_eq!(w.node, NodeId(1));
+        assert!(!q.contains(NodeId(1)));
+        assert!(q.contains(NodeId(2)));
+        assert!(q.withdraw(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q = RequestQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(!q.contains(NodeId(0)));
+    }
+}

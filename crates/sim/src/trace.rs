@@ -1,0 +1,250 @@
+//! Simulation traces: events and charging sessions.
+//!
+//! Detectors (`wrsn-core::detect`) and the experiment harness consume these
+//! records; a [`ChargeSession`] in particular carries both the energy
+//! *radiated* by the charger (what an observer can verify) and the energy
+//! *delivered* to the node (what only the node itself can measure) — the gap
+//! between the two is the spoofing attack's signature.
+
+use serde::{Deserialize, Serialize};
+
+use wrsn_net::{NodeId, Point};
+
+use crate::charger::ChargeMode;
+
+/// One completed (or truncated) charging session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeSession {
+    /// The served node.
+    pub node: NodeId,
+    /// Session start time, seconds.
+    pub start_s: f64,
+    /// Session duration, seconds.
+    pub duration_s: f64,
+    /// Energy actually stored in the node's battery, joules.
+    pub delivered_j: f64,
+    /// RF energy radiated by the charger during the session, joules.
+    pub radiated_j: f64,
+    /// Whether the charger served honestly or spoofed.
+    pub mode: ChargeMode,
+    /// Where the charger parked.
+    pub charger_pos: Point,
+}
+
+impl ChargeSession {
+    /// Delivered-to-radiated energy ratio (the *charging efficiency* a
+    /// perfectly informed auditor would compute). Zero when nothing was
+    /// radiated.
+    pub fn efficiency(&self) -> f64 {
+        if self.radiated_j > 0.0 {
+            self.delivered_j / self.radiated_j
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A timestamped simulation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A node's battery reached zero.
+    NodeDied {
+        /// The node that died.
+        node: NodeId,
+    },
+    /// A node fell to its warning threshold and issued a charging request.
+    RequestIssued {
+        /// The requesting node.
+        node: NodeId,
+    },
+    /// The charger started moving.
+    MoveStarted {
+        /// Destination of the move.
+        dest: Point,
+    },
+    /// The charger finished (or aborted) a move.
+    MoveEnded {
+        /// Where the charger ended up.
+        pos: Point,
+    },
+    /// A charging session completed; the session record holds the details.
+    SessionEnded {
+        /// Index of the session in [`Trace::sessions`].
+        session: usize,
+    },
+    /// The charger's energy budget ran out.
+    ChargerExhausted,
+    /// The charger swapped its battery at the depot.
+    DepotSwap,
+    /// The simulation horizon was reached.
+    HorizonReached,
+}
+
+/// The full recorded trace of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<(f64, SimEvent)>,
+    sessions: Vec<ChargeSession>,
+    death_times: Vec<(NodeId, f64)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records an event at time `t`.
+    pub fn record(&mut self, t: f64, event: SimEvent) {
+        if let SimEvent::NodeDied { node } = event {
+            self.death_times.push((node, t));
+        }
+        self.events.push((t, event));
+    }
+
+    /// Records a completed charging session and its companion event.
+    ///
+    /// Back-to-back sessions on the same node in the same mode from the same
+    /// parking spot are *merged*: they are physically one uninterrupted visit
+    /// (the simulation merely executes long visits in chunks), and auditors
+    /// must see them as one.
+    pub fn record_session(&mut self, session: ChargeSession) {
+        if let Some(last) = self.sessions.last_mut() {
+            let contiguous = last.node == session.node
+                && last.mode == session.mode
+                && last.charger_pos == session.charger_pos
+                && (last.start_s + last.duration_s - session.start_s).abs() < 1e-6;
+            if contiguous {
+                last.duration_s = session.start_s + session.duration_s - last.start_s;
+                last.delivered_j += session.delivered_j;
+                last.radiated_j += session.radiated_j;
+                return;
+            }
+        }
+        let idx = self.sessions.len();
+        let end = session.start_s + session.duration_s;
+        self.sessions.push(session);
+        self.events.push((end, SimEvent::SessionEnded { session: idx }));
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[(f64, SimEvent)] {
+        &self.events
+    }
+
+    /// All charging sessions in completion order.
+    pub fn sessions(&self) -> &[ChargeSession] {
+        &self.sessions
+    }
+
+    /// Death time of each node that died, in death order.
+    pub fn death_times(&self) -> &[(NodeId, f64)] {
+        &self.death_times
+    }
+
+    /// The death time of `node`, if it died.
+    pub fn death_time_of(&self, node: NodeId) -> Option<f64> {
+        self.death_times
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, t)| t)
+    }
+
+    /// Total energy delivered across all sessions, joules.
+    pub fn total_delivered_j(&self) -> f64 {
+        self.sessions.iter().map(|s| s.delivered_j).sum()
+    }
+
+    /// Total energy radiated across all sessions, joules.
+    pub fn total_radiated_j(&self) -> f64 {
+        self.sessions.iter().map(|s| s.radiated_j).sum()
+    }
+
+    /// Sessions that served `node`.
+    pub fn sessions_for(&self, node: NodeId) -> impl Iterator<Item = &ChargeSession> {
+        self.sessions.iter().filter(move |s| s.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(node: usize, start: f64, delivered: f64, radiated: f64) -> ChargeSession {
+        ChargeSession {
+            node: NodeId(node),
+            start_s: start,
+            duration_s: 10.0,
+            delivered_j: delivered,
+            radiated_j: radiated,
+            mode: ChargeMode::Honest,
+            charger_pos: Point::ORIGIN,
+        }
+    }
+
+    #[test]
+    fn death_events_populate_death_times() {
+        let mut t = Trace::new();
+        t.record(5.0, SimEvent::NodeDied { node: NodeId(3) });
+        t.record(9.0, SimEvent::NodeDied { node: NodeId(1) });
+        assert_eq!(t.death_times(), &[(NodeId(3), 5.0), (NodeId(1), 9.0)]);
+        assert_eq!(t.death_time_of(NodeId(1)), Some(9.0));
+        assert_eq!(t.death_time_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn session_totals() {
+        let mut t = Trace::new();
+        t.record_session(session(0, 0.0, 30.0, 30.0));
+        t.record_session(session(1, 20.0, 0.5, 30.0));
+        assert!((t.total_delivered_j() - 30.5).abs() < 1e-12);
+        assert!((t.total_radiated_j() - 60.0).abs() < 1e-12);
+        assert_eq!(t.sessions_for(NodeId(1)).count(), 1);
+    }
+
+    #[test]
+    fn session_event_indexes_are_consistent() {
+        let mut t = Trace::new();
+        t.record_session(session(0, 0.0, 1.0, 2.0));
+        t.record_session(session(1, 5.0, 1.0, 2.0));
+        let idxs: Vec<usize> = t
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                SimEvent::SessionEnded { session } => Some(*session),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idxs, vec![0, 1]);
+        assert_eq!(t.sessions()[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn contiguous_chunks_merge_into_one_session() {
+        let mut t = Trace::new();
+        t.record_session(session(3, 0.0, 1.0, 6.0));
+        // Next chunk starts exactly where the previous ended (10 s later).
+        t.record_session(session(3, 10.0, 2.0, 6.0));
+        assert_eq!(t.sessions().len(), 1);
+        let s = t.sessions()[0];
+        assert_eq!(s.duration_s, 20.0);
+        assert_eq!(s.delivered_j, 3.0);
+        assert_eq!(s.radiated_j, 12.0);
+    }
+
+    #[test]
+    fn non_contiguous_sessions_stay_separate() {
+        let mut t = Trace::new();
+        t.record_session(session(3, 0.0, 1.0, 6.0));
+        t.record_session(session(3, 50.0, 2.0, 6.0)); // gap
+        t.record_session(session(4, 60.0, 2.0, 6.0)); // other node
+        assert_eq!(t.sessions().len(), 3);
+    }
+
+    #[test]
+    fn efficiency_is_ratio_and_zero_safe() {
+        assert!((session(0, 0.0, 15.0, 30.0).efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(session(0, 0.0, 1.0, 0.0).efficiency(), 0.0);
+    }
+}

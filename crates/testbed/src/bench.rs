@@ -1,0 +1,244 @@
+//! The end-to-end benchtop experiment (`tab2`).
+//!
+//! Eight motes in a line on the bench, a sink at one end, a charger robot
+//! crawling alongside. Three conditions on identical initial state:
+//!
+//! 1. **honest** — the robot runs NJNP and keeps the motes alive,
+//! 2. **attack** — the robot runs the Charging Spoofing Attack,
+//! 3. **absent** — no charging at all (the energy floor).
+//!
+//! The outcome is the per-mote table the paper's testbed section reports:
+//! delivered energy under each condition, time to exhaustion under attack,
+//! and whether any detector flagged the mote's sessions.
+
+use serde::{Deserialize, Serialize};
+
+use wrsn_core::attack::{evaluate_attack, AttackOutcome, CsaAttackPolicy};
+use wrsn_core::detect::{self, EnergyReportAudit};
+use wrsn_core::tide::TideConfig;
+use wrsn_net::node::SensorNode;
+use wrsn_net::{Network, NodeId, Point};
+use wrsn_sim::{IdlePolicy, MobileCharger, SimReport, World, WorldConfig};
+
+use crate::hardware::TestbedParams;
+
+/// One row of the testbed table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// The mote.
+    pub node: NodeId,
+    /// Whether the attack's census counted it as a key node.
+    pub is_key: bool,
+    /// Energy delivered to the mote under honest charging, joules.
+    pub honest_delivered_j: f64,
+    /// Whether the mote survived the honest run.
+    pub honest_alive: bool,
+    /// Energy delivered during the attack's "charges", joules.
+    pub attack_delivered_j: f64,
+    /// When the mote died under attack (`None` = survived).
+    pub attack_death_s: Option<f64>,
+    /// Whether any detector flagged this mote during the attack run.
+    pub flagged: bool,
+}
+
+/// The whole experiment's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchOutcome {
+    /// Per-mote rows, by node id.
+    pub rows: Vec<BenchRow>,
+    /// Simulation report of the honest run.
+    pub honest: SimReport,
+    /// Simulation report of the attack run.
+    pub attack: SimReport,
+    /// Simulation report of the no-charger run.
+    pub absent: SimReport,
+    /// Attack accounting (exhaustion ratios, utility).
+    pub outcome: AttackOutcome,
+    /// Fraction of attacked motes flagged by any detector.
+    pub detection_ratio: f64,
+}
+
+/// Mote-report period on the bench, seconds.
+const BENCH_REPORT_INTERVAL_S: f64 = 600.0;
+
+fn bench_world(params: &TestbedParams, horizon_s: f64) -> World {
+    // Eight motes in a 1.2 m-spaced line; the sink sits 1.2 m before mote 0.
+    let nodes: Vec<SensorNode> = (0..8)
+        .map(|i| {
+            SensorNode::with_battery(Point::new(1.2 * (i + 1) as f64, 0.0), params.buffer())
+                .with_sensing_rate(params.sensing_rate_bps)
+        })
+        .collect();
+    let net = Network::build(nodes, Point::ORIGIN, params.comm_range_m);
+    let charger = MobileCharger::standard(Point::new(0.0, 0.5))
+        .with_speed(0.5)
+        .with_service_distance(0.3);
+    let mut world = World::new(
+        net,
+        charger,
+        WorldConfig {
+            horizon_s,
+            radio: params.radio(),
+            sensing_radius_m: 1.0,
+            ..WorldConfig::default()
+        },
+    );
+    // Staggered mid-life levels, as after a few hours of operation.
+    for i in 0..8 {
+        let level = params.buffer_j * (0.30 + 0.05 * ((i * 3) % 8) as f64);
+        world.set_battery_level(NodeId(i), level).unwrap();
+    }
+    world
+}
+
+fn bench_tide_config(params: &TestbedParams) -> TideConfig {
+    TideConfig {
+        radio: params.radio(),
+        charge_power_w: wrsn_em::ChargeModel::powercast().power_at(0.3),
+        report_interval_s: BENCH_REPORT_INTERVAL_S,
+        ..TideConfig::default()
+    }
+}
+
+/// Runs the three-condition experiment. `horizon_s` bounds each run;
+/// `3 × buffer/idle` (a few emulated hours) is plenty.
+pub fn run_bench_experiment(params: &TestbedParams, horizon_s: f64) -> BenchOutcome {
+    // Condition 1: honest NJNP.
+    let mut honest_world = bench_world(params, horizon_s);
+    let honest = honest_world.run(&mut wrsn_charge::Njnp::new());
+
+    // Condition 2: the attack.
+    let mut attack_world = bench_world(params, horizon_s);
+    let mut policy = CsaAttackPolicy::new(bench_tide_config(params));
+    let attack = attack_world.run(&mut policy);
+    let outcome = evaluate_attack(&attack_world, &policy);
+
+    // Condition 3: no charger.
+    let mut absent_world = bench_world(params, horizon_s);
+    let absent = absent_world.run(&mut IdlePolicy);
+
+    // Detector verdicts on the attack run (bench-rate energy reports).
+    let detectors: Vec<Box<dyn detect::Detector>> = vec![
+        Box::new(detect::TrajectoryAudit::default()),
+        Box::new(detect::RadiatedPowerAudit::default()),
+        Box::new(EnergyReportAudit {
+            report_interval_s: BENCH_REPORT_INTERVAL_S,
+            rated_power_w: wrsn_em::ChargeModel::powercast().power_at(0.3),
+            ..EnergyReportAudit::default()
+        }),
+    ];
+    let reports: Vec<_> = detectors.iter().map(|d| d.analyze(&attack_world)).collect();
+
+    let key_ids: std::collections::HashSet<NodeId> = policy
+        .initial_instance()
+        .map(|i| i.victims.iter().map(|v| v.node).collect())
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for i in 0..8 {
+        let id = NodeId(i);
+        let honest_delivered: f64 = honest_world
+            .trace()
+            .sessions_for(id)
+            .map(|s| s.delivered_j)
+            .sum();
+        let attack_delivered: f64 = attack_world
+            .trace()
+            .sessions_for(id)
+            .map(|s| s.delivered_j)
+            .sum();
+        rows.push(BenchRow {
+            node: id,
+            is_key: key_ids.contains(&id),
+            honest_delivered_j: honest_delivered,
+            honest_alive: honest_world.network().nodes()[i].is_alive(),
+            attack_delivered_j: attack_delivered,
+            attack_death_s: attack_world.trace().death_time_of(id),
+            flagged: reports.iter().any(|r| r.flagged(id)),
+        });
+    }
+
+    let attacked: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+    let detection_ratio = if attacked.is_empty() {
+        0.0
+    } else {
+        attacked
+            .iter()
+            .filter(|n| rows[n.0].flagged)
+            .count() as f64
+            / attacked.len() as f64
+    };
+
+    BenchOutcome {
+        rows,
+        honest,
+        attack,
+        absent,
+        outcome,
+        detection_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> BenchOutcome {
+        run_bench_experiment(&TestbedParams::default(), 120_000.0)
+    }
+
+    #[test]
+    fn honest_run_keeps_more_motes_alive_than_attack() {
+        let o = outcome();
+        assert!(
+            o.honest.alive_nodes > o.attack.alive_nodes,
+            "honest {} vs attack {}",
+            o.honest.alive_nodes,
+            o.attack.alive_nodes
+        );
+    }
+
+    #[test]
+    fn attack_exhausts_its_targets_undetected() {
+        let o = outcome();
+        assert!(o.outcome.targeted > 0);
+        assert!(
+            o.outcome.exhausted_ratio >= 0.8,
+            "exhausted ratio {}",
+            o.outcome.exhausted_ratio
+        );
+        assert!(
+            o.detection_ratio < 0.2,
+            "detection ratio {}",
+            o.detection_ratio
+        );
+    }
+
+    #[test]
+    fn spoofed_rows_received_less_than_honest_rows() {
+        let o = outcome();
+        for row in o.rows.iter().filter(|r| r.is_key) {
+            if row.attack_death_s.is_some() && row.honest_delivered_j > 0.0 {
+                assert!(
+                    row.attack_delivered_j < 0.1 * row.honest_delivered_j,
+                    "{row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_line_motes_are_key() {
+        let o = outcome();
+        // On a line topology, every interior relay is a cut vertex.
+        let keys = o.rows.iter().filter(|r| r.is_key).count();
+        assert!(keys >= 4, "keys = {keys}");
+    }
+
+    #[test]
+    fn absent_run_is_the_energy_floor() {
+        let o = outcome();
+        assert!(o.absent.total_delivered_j == 0.0);
+        assert!(o.absent.alive_nodes <= o.honest.alive_nodes);
+    }
+}

@@ -1,0 +1,28 @@
+//! # wrsn-testbed — emulated benchtop experiments
+//!
+//! The paper validates the nonlinear-superposition effect and the end-to-end
+//! attack on physical hardware (a Powercast-class transmitter and a handful
+//! of rechargeable motes on a bench). We have no bench, so this crate
+//! *emulates* one on top of the exact same physics code (`wrsn-em`) and
+//! simulation loop (`wrsn-sim`) the large-scale experiments use, adding the
+//! things a bench has and a clean simulation does not: measurement noise,
+//! small supercap energy buffers, and sub-metre geometry.
+//!
+//! * [`hardware`] — the emulated bill of materials and its parameters,
+//! * [`measure`] — the Section-II style measurement campaigns (received
+//!   power vs. phase offset, vs. distance, cancellation depth vs. tuning
+//!   error),
+//! * [`mod@bench`] — the end-to-end 8-node experiment behind the paper's
+//!   testbed table: per-node delivered energy and time-to-exhaustion under
+//!   honest charging vs. the Charging Spoofing Attack, with detector
+//!   verdicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod hardware;
+pub mod measure;
+
+pub use bench::{run_bench_experiment, BenchOutcome, BenchRow};
+pub use hardware::TestbedParams;

@@ -1,0 +1,49 @@
+//! # wrsn — Charging Spoofing Attacks on Wireless Rechargeable Sensor Networks
+//!
+//! A reproduction of *"Are You Really Charging Me?"* (Chi Lin et al., IEEE
+//! ICDCS 2022): a mobile charger that *looks* like it is charging a sensor
+//! node while the nonlinear superposition of its two transmit antennas
+//! cancels the field at the victim, exhausting the network's key nodes
+//! without tripping the operator's detectors.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Crate | What it provides |
+//! |---|---|
+//! | [`em`] | phasor physics, the charging model, phase cancellation |
+//! | [`net`] | deployments, batteries, routing, key-node identification |
+//! | [`sim`] | the discrete-event world, mobile charger, policy trait |
+//! | [`charge`] | benign charging policies (NJNP, periodic TSP, EDF) |
+//! | [`core`] | TIDE, the CSA algorithm, baselines, detectors |
+//! | [`testbed`] | the emulated benchtop experiments |
+//!
+//! and adds [`scenario`], the shared experiment world builder used by the
+//! examples, the integration tests and the `wrsn-bench` harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wrsn::scenario::{Deployment, Scenario};
+//! use wrsn::core::prelude::*;
+//!
+//! // A 60-node network that has been running for a while.
+//! let mut world = Scenario::paper_scale(60, 42).build();
+//! let (report, outcome) = wrsn::core::attack::run_attack(
+//!     &mut world,
+//!     Scenario::paper_scale(60, 42).tide_config(),
+//! );
+//! assert!(outcome.targeted > 0);
+//! # let _ = report;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wrsn_charge as charge;
+pub use wrsn_core as core;
+pub use wrsn_em as em;
+pub use wrsn_net as net;
+pub use wrsn_sim as sim;
+pub use wrsn_testbed as testbed;
+
+pub mod scenario;

@@ -1,0 +1,92 @@
+//! The attacker/defender arms race, end to end — the extension experiments
+//! (`fig11`, `fig12`) as executable claims.
+//!
+//! 1. A charger that ignores its victims (selective neglect) needs no
+//!    spoofing hardware but is caught by the fairness audit.
+//! 2. CSA's spoofed visits defeat the fairness audit — that is what the
+//!    cancellation rig buys.
+//! 3. The only audit that sees CSA is post-mortem forensics, whose alarms
+//!    arrive at the victims' deaths — after the damage.
+
+use wrsn::core::attack::{CsaAttackPolicy, SelectiveNeglectPolicy};
+use wrsn::core::detect::{Detector, FairnessAudit, PostMortemAudit};
+use wrsn::net::NodeId;
+use wrsn::scenario::Scenario;
+
+#[test]
+fn neglect_kills_but_fairness_audit_sees_it() {
+    let scenario = Scenario::paper_scale(80, 6);
+    let mut world = scenario.build();
+    let mut policy = SelectiveNeglectPolicy::new();
+    world.run(&mut policy);
+    let victims = policy.census();
+    assert!(!victims.is_empty());
+
+    let dead = victims
+        .iter()
+        .filter(|v| !world.network().nodes()[v.0].is_alive())
+        .count();
+    assert!(dead as f64 >= 0.8 * victims.len() as f64, "{dead}/{}", victims.len());
+
+    let ratio = FairnessAudit::default()
+        .analyze(&world)
+        .detection_ratio(&victims);
+    assert!(ratio >= 0.6, "fairness audit missed neglect: {ratio}");
+}
+
+#[test]
+fn csa_defeats_the_fairness_audit() {
+    let scenario = Scenario::paper_scale(80, 6);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+    assert!(!victims.is_empty());
+    let ratio = FairnessAudit::default()
+        .analyze(&world)
+        .detection_ratio(&victims);
+    assert!(ratio < 0.1, "fairness audit should not see CSA: {ratio}");
+}
+
+#[test]
+fn post_mortem_forensics_see_csa_but_only_after_each_death() {
+    let scenario = Scenario::paper_scale(80, 6);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+
+    let report = PostMortemAudit::default().analyze(&world);
+    let ratio = report.detection_ratio(&victims);
+    assert!(ratio > 0.9, "forensics should see CSA: {ratio}");
+    // Every alarm coincides with a death — never earlier.
+    for alarm in &report.alarms {
+        let death = world
+            .trace()
+            .death_time_of(alarm.node)
+            .expect("alarmed node died");
+        assert!(alarm.time_s >= death - 1e-6);
+    }
+}
+
+#[test]
+fn depot_provisioned_honest_charging_is_clean_on_every_audit() {
+    let mut scenario = Scenario::paper_scale(60, 12);
+    scenario.depot = true;
+    let mut world = scenario.build();
+    let report = world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
+    assert!(report.depot_visits > 0, "saturated EDF must visit the depot");
+    let served: Vec<NodeId> = world.trace().sessions().iter().map(|s| s.node).collect();
+    assert!(!served.is_empty());
+    for detector in [
+        Box::new(FairnessAudit::default()) as Box<dyn Detector>,
+        Box::new(PostMortemAudit::default()),
+    ] {
+        let ratio = detector.analyze(&world).detection_ratio(&served);
+        assert!(
+            ratio < 0.15,
+            "{} flags honest depot-provisioned charging: {ratio}",
+            detector.name()
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-style tests of the detector suite over real attack traces:
+//! thresholds must act monotonically, and verdicts must be stable across
+//! snapshot round-trips.
+
+use wrsn::core::attack::CsaAttackPolicy;
+use wrsn::core::detect::{
+    Detector, EnergyReportAudit, FairnessAudit, PostMortemAudit, TrajectoryAudit,
+};
+use wrsn::scenario::Scenario;
+use wrsn::sim::World;
+
+fn attacked_world() -> World {
+    let scenario = Scenario::paper_scale(60, 14);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    world
+}
+
+#[test]
+fn energy_audit_alarms_grow_with_threshold() {
+    let world = attacked_world();
+    let mut prev = 0usize;
+    for thr in [0.05, 0.2, 0.5, 0.8, 0.95] {
+        let alarms = EnergyReportAudit {
+            efficiency_threshold: thr,
+            ..EnergyReportAudit::default()
+        }
+        .analyze(&world)
+        .alarm_count();
+        assert!(
+            alarms >= prev,
+            "threshold {thr}: {alarms} alarms < previous {prev}"
+        );
+        prev = alarms;
+    }
+}
+
+#[test]
+fn trajectory_audit_alarms_shrink_with_deadline() {
+    let world = attacked_world();
+    let mut prev = usize::MAX;
+    for deadline in [50_000.0, 150_000.0, 400_000.0, 900_000.0] {
+        let alarms = TrajectoryAudit {
+            max_response_s: deadline,
+        }
+        .analyze(&world)
+        .alarm_count();
+        assert!(
+            alarms <= prev,
+            "deadline {deadline}: {alarms} alarms > previous {prev}"
+        );
+        prev = alarms;
+    }
+}
+
+#[test]
+fn post_mortem_alarms_grow_with_grace_period() {
+    let world = attacked_world();
+    let mut prev = 0usize;
+    for grace_h in [0.5, 2.0, 8.0, 48.0] {
+        let alarms = PostMortemAudit {
+            grace_period_s: grace_h * 3600.0,
+        }
+        .analyze(&world)
+        .alarm_count();
+        assert!(alarms >= prev, "grace {grace_h} h: {alarms} < {prev}");
+        prev = alarms;
+    }
+}
+
+#[test]
+fn fairness_alarms_shrink_with_latency_factor() {
+    let world = attacked_world();
+    let mut prev = usize::MAX;
+    for factor in [2.0, 5.0, 20.0, 100.0] {
+        let alarms = FairnessAudit {
+            latency_factor: factor,
+        }
+        .analyze(&world)
+        .alarm_count();
+        assert!(alarms <= prev, "factor {factor}: {alarms} > {prev}");
+        prev = alarms;
+    }
+}
+
+#[test]
+fn every_alarm_names_a_real_node_within_the_run() {
+    let world = attacked_world();
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(TrajectoryAudit {
+            max_response_s: 100_000.0,
+        }),
+        Box::new(EnergyReportAudit::default()),
+        Box::new(FairnessAudit::default()),
+        Box::new(PostMortemAudit::default()),
+    ];
+    for detector in detectors {
+        for alarm in &detector.analyze(&world).alarms {
+            assert!(alarm.node.0 < world.network().node_count(), "{alarm:?}");
+            assert!(alarm.time_s >= 0.0 && alarm.time_s <= world.time_s() + 1e-6);
+            assert!(!alarm.detail.is_empty());
+        }
+    }
+}
+
+#[test]
+fn verdicts_survive_snapshot_round_trip() {
+    let world = attacked_world();
+    let json = serde_json::to_string(&world).unwrap();
+    let back: World = serde_json::from_str(&json).unwrap();
+    for detector in [
+        Box::new(EnergyReportAudit::default()) as Box<dyn Detector>,
+        Box::new(PostMortemAudit::default()),
+        Box::new(FairnessAudit::default()),
+    ] {
+        assert_eq!(
+            detector.analyze(&world).alarms,
+            detector.analyze(&back).alarms,
+            "{} verdicts changed across round-trip",
+            detector.name()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end reproduction of the paper's headline claims:
+//! "CSA can exhaust at least 80 % of key nodes without being detected."
+
+use wrsn::core::attack::{evaluate_attack, CsaAttackPolicy, EagerSpoofPolicy};
+use wrsn::core::detect::{Detector, EnergyReportAudit, RadiatedPowerAudit};
+use wrsn::net::NodeId;
+use wrsn::scenario::Scenario;
+use wrsn::sim::ChargeMode;
+
+#[test]
+fn headline_at_least_80_percent_of_key_nodes_exhausted() {
+    for seed in [1u64, 7, 21] {
+        let scenario = Scenario::paper_scale(100, seed);
+        let mut world = scenario.build();
+        let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+        world.run(&mut policy);
+        let outcome = evaluate_attack(&world, &policy);
+        assert!(
+            outcome.covered_exhausted_ratio >= 0.8,
+            "seed {seed}: only {:.0} % of key nodes exhausted under masquerade ({outcome:?})",
+            outcome.covered_exhausted_ratio * 100.0
+        );
+        assert!(
+            outcome.exhausted_ratio >= 0.99,
+            "seed {seed}: a targeted victim survived ({outcome:?})"
+        );
+    }
+}
+
+#[test]
+fn headline_without_being_detected() {
+    let scenario = Scenario::paper_scale(100, 3);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+    assert!(!victims.is_empty());
+
+    let energy = EnergyReportAudit::default().analyze(&world);
+    assert!(
+        energy.detection_ratio(&victims) < 0.1,
+        "energy audit caught CSA: {energy:?}"
+    );
+    let rf = RadiatedPowerAudit::default().analyze(&world);
+    assert_eq!(rf.detection_ratio(&victims), 0.0, "RF audit caught CSA");
+}
+
+#[test]
+fn the_naive_spoofer_is_caught_where_csa_is_not() {
+    let scenario = Scenario::paper_scale(80, 5);
+
+    let mut csa_world = scenario.build();
+    let mut csa = CsaAttackPolicy::new(scenario.tide_config());
+    csa_world.run(&mut csa);
+    let csa_victims: Vec<NodeId> = csa.targets().iter().map(|&(n, _)| n).collect();
+
+    let mut eager_world = scenario.build();
+    eager_world.run(&mut EagerSpoofPolicy::new(3_000.0));
+    let eager_victims: Vec<NodeId> = eager_world
+        .trace()
+        .sessions()
+        .iter()
+        .filter(|s| s.mode == ChargeMode::Spoofed)
+        .map(|s| s.node)
+        .collect();
+    assert!(!eager_victims.is_empty());
+
+    let audit = EnergyReportAudit::default();
+    let csa_ratio = audit.analyze(&csa_world).detection_ratio(&csa_victims);
+    let eager_ratio = audit.analyze(&eager_world).detection_ratio(&eager_victims);
+    assert!(
+        csa_ratio + 0.5 < eager_ratio,
+        "no separation: csa {csa_ratio} vs eager {eager_ratio}"
+    );
+}
+
+#[test]
+fn spoofed_sessions_deliver_nothing_honest_decoys_deliver_plenty() {
+    let scenario = Scenario::paper_scale(60, 9);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    let mut spoofed = 0usize;
+    let mut honest = 0usize;
+    for s in world.trace().sessions() {
+        match s.mode {
+            ChargeMode::Spoofed => {
+                spoofed += 1;
+                assert!(
+                    s.delivered_j < 0.02 * s.radiated_j,
+                    "spoofed session leaked energy: {s:?}"
+                );
+            }
+            ChargeMode::Honest => {
+                honest += 1;
+                if s.duration_s > 60.0 {
+                    assert!(s.delivered_j > 1.0, "decoy session delivered nothing: {s:?}");
+                }
+            }
+        }
+    }
+    assert!(spoofed > 0, "no masquerades happened");
+    assert!(honest > 0, "no decoy service happened");
+}
+
+#[test]
+fn full_campaign_is_deterministic() {
+    let run = || {
+        let scenario = Scenario::paper_scale(60, 11);
+        let mut world = scenario.build();
+        let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+        let report = world.run(&mut policy);
+        let deaths: Vec<_> = world.trace().death_times().to_vec();
+        (report.sessions, report.charger_energy_used_j, deaths)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn key_nodes_die_earlier_under_attack_than_ordinary_nodes() {
+    let scenario = Scenario::paper_scale(100, 13);
+    let mut world = scenario.build();
+    let mut policy = CsaAttackPolicy::new(scenario.tide_config());
+    world.run(&mut policy);
+    let census: Vec<NodeId> = policy
+        .initial_instance()
+        .unwrap()
+        .victims
+        .iter()
+        .map(|v| v.node)
+        .collect();
+    let deaths = world.trace().death_times();
+    let key_deaths: Vec<f64> = deaths
+        .iter()
+        .filter(|(n, _)| census.contains(n))
+        .map(|&(_, t)| t)
+        .collect();
+    let other_deaths: Vec<f64> = deaths
+        .iter()
+        .filter(|(n, _)| !census.contains(n))
+        .map(|&(_, t)| t)
+        .collect();
+    assert!(!key_deaths.is_empty());
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    if !other_deaths.is_empty() {
+        assert!(
+            mean(&key_deaths) < mean(&other_deaths),
+            "key nodes should fall first: key {:.0} vs other {:.0}",
+            mean(&key_deaths),
+            mean(&other_deaths)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the network substrate.
+
+use proptest::prelude::*;
+
+use wrsn::net::energy::Battery;
+use wrsn::net::prelude::*;
+use wrsn::net::routing;
+
+fn random_net(n: usize, seed: u64, range: f64) -> Network {
+    let nodes = deploy::uniform(&Region::square(80.0), n, seed);
+    Network::build(nodes, Point::new(40.0, 40.0), range)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A battery level never leaves [0, capacity] under any operation mix.
+    #[test]
+    fn battery_stays_in_bounds(ops in prop::collection::vec((-500.0..500.0f64,), 0..50)) {
+        let mut b = Battery::new(100.0, 20.0);
+        for (amount,) in ops {
+            if amount >= 0.0 {
+                b.charge(amount);
+            } else {
+                b.discharge(-amount);
+            }
+            prop_assert!((0.0..=100.0).contains(&b.level_j()), "level = {}", b.level_j());
+        }
+    }
+
+    /// Articulation points match the brute-force definition on random nets.
+    #[test]
+    fn articulation_points_are_correct(n in 5usize..20, seed in 0u64..50, range in 15.0..40.0f64) {
+        let net = random_net(n, seed, range);
+        let mask = net.alive_mask();
+        let fast = net.articulation_points(&mask);
+        let before = net.components(&mask).len();
+        let brute: Vec<NodeId> = (0..n)
+            .filter(|&v| {
+                let mut m = mask.clone();
+                m[v] = false;
+                net.components(&m).len() > before
+            })
+            .map(NodeId)
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Along any routing-tree path, the distance to the sink strictly
+    /// decreases hop by hop.
+    #[test]
+    fn routing_tree_distances_decrease(n in 5usize..30, seed in 0u64..50) {
+        let net = random_net(n, seed, 25.0);
+        let mask = net.alive_mask();
+        let tree = routing::RoutingTree::shortest_path(&net, &mask);
+        for id in net.ids() {
+            if let Some(parent) = tree.parent(id) {
+                prop_assert!(
+                    tree.dist_to_sink(parent) < tree.dist_to_sink(id),
+                    "{id}: parent {parent} not closer"
+                );
+            }
+        }
+    }
+
+    /// Traffic conservation: the sink-adjacent nodes' outgoing traffic equals
+    /// the total sensing rate of all reachable nodes.
+    #[test]
+    fn traffic_is_conserved(n in 5usize..30, seed in 0u64..50) {
+        let net = random_net(n, seed, 25.0);
+        let mask = net.alive_mask();
+        let tree = routing::RoutingTree::shortest_path(&net, &mask);
+        let load = routing::traffic_load(&net, &tree, &mask);
+        let generated: f64 = net
+            .ids()
+            .filter(|&id| tree.is_reachable(id))
+            .map(|id| net.nodes()[id.0].sensing_rate_bps())
+            .sum();
+        let delivered: f64 = net
+            .ids()
+            .filter(|&id| tree.is_reachable(id) && tree.parent(id).is_none())
+            .map(|id| load.tx_bps[id.0])
+            .sum();
+        prop_assert!((generated - delivered).abs() < 1e-6 * (1.0 + generated));
+    }
+
+    /// Killing any node never increases sink reachability.
+    #[test]
+    fn deaths_never_help_reachability(n in 5usize..25, seed in 0u64..50, victim in 0usize..25) {
+        let net = random_net(n, seed, 25.0);
+        prop_assume!(victim < n);
+        let mask = net.alive_mask();
+        let tree_before = routing::RoutingTree::shortest_path(&net, &mask);
+        let mut m = mask.clone();
+        m[victim] = false;
+        let tree_after = routing::RoutingTree::shortest_path(&net, &m);
+        prop_assert!(tree_after.reachable_count() <= tree_before.reachable_count());
+    }
+
+    /// The effective power draw is positive for every alive node.
+    #[test]
+    fn effective_power_draw_is_positive(n in 5usize..25, seed in 0u64..50) {
+        let net = random_net(n, seed, 20.0);
+        let mask = net.alive_mask();
+        let power = keynode::effective_power_draw(&net, &mask, &RadioEnergyModel::classical());
+        for id in net.ids() {
+            prop_assert!(power[id.0] > 0.0, "{id} has zero drain");
+        }
+    }
+
+    /// Key-node weights are ≥ 1 and the list is sorted descending.
+    #[test]
+    fn key_nodes_are_ranked(n in 8usize..30, seed in 0u64..50) {
+        let net = random_net(n, seed, 22.0);
+        let keys = keynode::identify(&net, &KeyNodeConfig::default());
+        for pair in keys.windows(2) {
+            prop_assert!(pair[0].weight >= pair[1].weight);
+        }
+        for k in &keys {
+            prop_assert!(k.weight >= 1.0);
+        }
+    }
+}
