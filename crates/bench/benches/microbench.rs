@@ -44,7 +44,7 @@ fn bench_network(c: &mut Criterion) {
 fn bench_planners(c: &mut Criterion) {
     let mut group = c.benchmark_group("planners");
     group.sample_size(10);
-    for &n in &[10usize, 20, 40] {
+    for &n in &[10usize, 20, 40, 80] {
         let inst = synthetic_instance(n, 42, 400.0, 1.0e9);
         group.bench_with_input(BenchmarkId::new("csa_plan", n), &inst, |b, inst| {
             b.iter(|| csa::plan(black_box(inst)))
@@ -78,8 +78,7 @@ fn bench_full_attack(c: &mut Criterion) {
         b.iter(|| {
             let scenario = Scenario::paper_scale(50, 9);
             let mut world = scenario.build();
-            let mut policy =
-                wrsn::core::attack::CsaAttackPolicy::new(scenario.tide_config());
+            let mut policy = wrsn::core::attack::CsaAttackPolicy::new(scenario.tide_config());
             black_box(world.run(&mut policy))
         })
     });

@@ -2,41 +2,129 @@
 //!
 //! ```text
 //! cargo run -p wrsn-bench --release --bin exp -- --id fig6
-//! cargo run -p wrsn-bench --release --bin exp -- --id all
+//! cargo run -p wrsn-bench --release --bin exp -- --id all --json bench.json
 //! cargo run -p wrsn-bench --release --bin exp -- --list
 //! ```
 //!
-//! Tables are printed and also written as CSV under `target/experiments/`.
+//! Tables are printed and also written as CSV under `target/experiments/`
+//! (override with `--out-dir`). With `--id all`, whole experiments run in
+//! parallel; each experiment's output is buffered and printed in the
+//! canonical `EXPERIMENTS.md` order, so the transcript is byte-identical to
+//! a sequential run. `--threads 1` (or `WRSN_THREADS=1`) forces sequential
+//! execution; `--json <path>` additionally records wall-clock time per
+//! experiment and CSA planner micro-timings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-fn csv_dir() -> PathBuf {
-    PathBuf::from("target").join("experiments")
+use serde::Value;
+use wrsn_bench::experiments::common::synthetic_instance;
+use wrsn_bench::parallel;
+
+/// Everything one experiment produced, buffered for in-order printing.
+struct ExpOutput {
+    id: &'static str,
+    wall_s: f64,
+    rendered: Vec<String>,
+    csvs: Vec<(String, String)>,
 }
 
-fn run_one(id: &str) -> Result<(), String> {
-    let started = std::time::Instant::now();
+fn run_experiment(id: &'static str) -> Result<ExpOutput, String> {
+    let started = Instant::now();
     let tables = wrsn_bench::run(id)?;
-    let dir = csv_dir();
-    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    for (k, table) in tables.iter().enumerate() {
-        println!("{}", table.render());
-        let file = dir.join(format!("{id}_{k}.csv"));
-        std::fs::write(&file, table.to_csv())
-            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    let wall_s = started.elapsed().as_secs_f64();
+    Ok(ExpOutput {
+        id,
+        wall_s,
+        rendered: tables.iter().map(|t| t.render()).collect(),
+        csvs: tables
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (format!("{id}_{k}.csv"), t.to_csv()))
+            .collect(),
+    })
+}
+
+fn emit(output: &ExpOutput, dir: &PathBuf) -> Result<(), String> {
+    for rendered in &output.rendered {
+        println!("{rendered}");
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for (name, csv) in &output.csvs {
+        let file = dir.join(name);
+        std::fs::write(&file, csv).map_err(|e| format!("cannot write {}: {e}", file.display()))?;
     }
     eprintln!(
-        "[{id}] done in {:.1} s; CSVs in {}",
-        started.elapsed().as_secs_f64(),
+        "[{}] done in {:.1} s; CSVs in {}",
+        output.id,
+        output.wall_s,
         dir.display()
     );
     Ok(())
 }
 
+/// Times `csa::plan` on the synthetic planner workload at several sizes.
+fn planner_timings() -> Vec<(usize, f64)> {
+    [10usize, 20, 40, 80]
+        .iter()
+        .map(|&n| {
+            let inst = synthetic_instance(n, 42, 400.0, 1.0e9);
+            let schedule = wrsn::core::csa::plan(&inst); // warm-up
+            std::hint::black_box(&schedule);
+            let mut repeats = 0u32;
+            let started = Instant::now();
+            while repeats < 3 || (started.elapsed().as_secs_f64() < 0.3 && repeats < 200) {
+                std::hint::black_box(wrsn::core::csa::plan(std::hint::black_box(&inst)));
+                repeats += 1;
+            }
+            (n, started.elapsed().as_secs_f64() / f64::from(repeats))
+        })
+        .collect()
+}
+
+fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)]) -> Value {
+    let experiments = outputs
+        .iter()
+        .map(|o| {
+            Value::Map(vec![
+                ("id".to_string(), Value::Str(o.id.to_string())),
+                ("wall_s".to_string(), Value::F64(o.wall_s)),
+            ])
+        })
+        .collect();
+    let planner = planner
+        .iter()
+        .map(|&(n, secs)| {
+            Value::Map(vec![
+                ("n".to_string(), Value::U64(n as u64)),
+                ("plan_s".to_string(), Value::F64(secs)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        (
+            "threads".to_string(),
+            Value::U64(parallel::threads() as u64),
+        ),
+        ("experiments".to_string(), Value::Seq(experiments)),
+        ("csa_planner".to_string(), Value::Seq(planner)),
+    ])
+}
+
+fn usage() -> String {
+    format!(
+        "usage: exp --id <id>|all [--threads <n>] [--out-dir <dir>] [--json <path>] | --list\n\
+         known ids: {}",
+        wrsn_bench::ALL_IDS.join(", ")
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut id: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut out_dir = PathBuf::from("target").join("experiments");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,26 +138,87 @@ fn main() -> ExitCode {
                 i += 1;
                 id = args.get(i).cloned();
             }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--out-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out-dir needs a directory\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|raw| raw.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => std::env::set_var(parallel::THREADS_ENV, n.to_string()),
+                    _ => {
+                        eprintln!("--threads needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown argument `{other}`; usage: exp --id <id>|all | --list");
+                eprintln!("unknown argument `{other}`\n{}", usage());
                 return ExitCode::FAILURE;
             }
         }
         i += 1;
     }
     let Some(id) = id else {
-        eprintln!("usage: exp --id <id>|all | --list");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let ids: Vec<&str> = if id == "all" {
+    let ids: Vec<&'static str> = if id == "all" {
         wrsn_bench::ALL_IDS.to_vec()
     } else {
-        vec![id.as_str()]
+        match wrsn_bench::ALL_IDS.iter().find(|known| **known == id) {
+            Some(&known) => vec![known],
+            None => {
+                eprintln!("unknown experiment id `{id}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
     };
-    for id in ids {
-        if let Err(e) = run_one(id) {
+
+    // Run whole experiments in parallel, but buffer their output and print
+    // in canonical order so the transcript matches a sequential run.
+    let results = parallel::map_indexed(ids.len(), |k| run_experiment(ids[k]));
+    let mut outputs = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(output) => outputs.push(output),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for output in &outputs {
+        if let Err(e) = emit(output, &out_dir) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = json_report(&outputs, &planner_timings());
+        match serde_json::to_string(&report) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text + "\n") {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[json] timing report written to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: serialize timing report: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -92,8 +92,15 @@ pub fn run() -> Vec<Table> {
         "fig12b: what each behaviour achieves (key-node deaths)",
         &["behaviour", "victims", "victims dead at horizon"],
     );
-    for label in behaviours() {
-        let runs: Vec<Run> = (0..SEEDS).map(|s| run_behaviour(label, s)).collect();
+    // All (behaviour, seed) simulations at once; the analysis below walks
+    // them in the original order, so the table is unchanged.
+    let labels = behaviours();
+    let seeds = SEEDS as usize;
+    let all: Vec<Run> = crate::parallel::map_indexed(labels.len() * seeds, |k| {
+        run_behaviour(labels[k / seeds], (k % seeds) as u64)
+    });
+    for (bi, label) in labels.into_iter().enumerate() {
+        let runs = &all[bi * seeds..(bi + 1) * seeds];
         let mut row = vec![label.to_string()];
         for (_, detector) in &detectors {
             let ratios: Vec<f64> = runs

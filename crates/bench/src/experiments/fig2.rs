@@ -38,11 +38,23 @@ pub fn run() -> Vec<Table> {
 
     let mut check = Table::new(
         "fig2c: three-meter-reading superposition check (P1, P2 alone vs together)",
-        &["Δφ (rad)", "P1 (W)", "P2 (W)", "together (W)", "naive P1+P2 (W)"],
+        &[
+            "Δφ (rad)",
+            "P1 (W)",
+            "P2 (W)",
+            "together (W)",
+            "naive P1+P2 (W)",
+        ],
     );
     for &dphi in &[0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI] {
         let (p1, p2, together, naive) = measure::superposition_check(&params, dphi);
-        check.push(vec![f(dphi, 3), f(p1, 3), f(p2, 3), f(together, 3), f(naive, 3)]);
+        check.push(vec![
+            f(dphi, 3),
+            f(p1, 3),
+            f(p2, 3),
+            f(together, 3),
+            f(naive, 3),
+        ]);
     }
 
     vec![measured, ratios, check]

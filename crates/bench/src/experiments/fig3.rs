@@ -14,7 +14,12 @@ pub fn run() -> Vec<Table> {
 
     let mut samples = Table::new(
         "fig3a: received power vs distance (measured on the emulated bench)",
-        &["distance (m)", "ideal P (W)", "measured P (W)", "fitted P (W)"],
+        &[
+            "distance (m)",
+            "ideal P (W)",
+            "measured P (W)",
+            "fitted P (W)",
+        ],
     );
     for (d, ideal, noisy) in &series.samples {
         let fitted = fit.alpha / ((d + fit.beta) * (d + fit.beta));
@@ -26,7 +31,11 @@ pub fn run() -> Vec<Table> {
         "fig3b: fitted empirical model parameters vs ground truth",
         &["parameter", "true", "fitted"],
     );
-    params_table.push(vec!["alpha (W·m²)".into(), f(truth.alpha(), 4), f(fit.alpha, 4)]);
+    params_table.push(vec![
+        "alpha (W·m²)".into(),
+        f(truth.alpha(), 4),
+        f(fit.alpha, 4),
+    ]);
     params_table.push(vec!["beta (m)".into(), f(truth.beta(), 4), f(fit.beta, 4)]);
     params_table.push(vec!["R²".into(), "1.0000".into(), f(fit.r_squared, 4)]);
 

@@ -51,18 +51,20 @@ fn planner_ablation() -> Table {
     ];
     let mut table = Table::new(
         "tab3a: planner ablation on contended instances (20 victims, 800 J budget)",
-        &["variant", "utility", "energy (J)", "mean slack before death (s)"],
+        &[
+            "variant",
+            "utility",
+            "energy (J)",
+            "mean slack before death (s)",
+        ],
     );
     for (label, opts) in variants {
-        let mut utility = Vec::new();
-        let mut energy = Vec::new();
-        let mut slack = Vec::new();
-        for seed in 0..PLANNER_SEEDS {
-            let inst = crate::experiments::common::synthetic_instance(20, seed, 300.0, 800.0);
+        // One planner run per seed, fanned out; per-seed rows come back in
+        // seed order, so the aggregated row is byte-identical.
+        let rows = crate::parallel::map_indexed(PLANNER_SEEDS as usize, |k| {
+            let inst = crate::experiments::common::synthetic_instance(20, k as u64, 300.0, 800.0);
             let plan = csa::plan_with(&inst, opts);
             debug_assert!(inst.validate(&plan).is_ok());
-            utility.push(inst.utility(&plan));
-            energy.push(inst.energy_cost(&plan));
             // Slack = victim's residual life after the masquerade ends;
             // latest-start shifting exists to shrink this.
             let slacks: Vec<f64> = plan
@@ -74,8 +76,15 @@ fn planner_ablation() -> Table {
                         .map(|v| v.death_s - (s.begin_s + v.service_s))
                 })
                 .collect();
-            slack.push(mean_std(&slacks).0);
-        }
+            (
+                inst.utility(&plan),
+                inst.energy_cost(&plan),
+                mean_std(&slacks).0,
+            )
+        });
+        let utility: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let energy: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let slack: Vec<f64> = rows.iter().map(|r| r.2).collect();
         table.push(vec![
             label.to_string(),
             f(mean_std(&utility).0, 1),
@@ -102,35 +111,41 @@ fn execution_ablation() -> Table {
         "static plan",
         "no decoy service",
     ];
-    for &label in variants {
-        let mut targeted = Vec::new();
-        let mut covered = Vec::new();
-        let mut detection = Vec::new();
-        for seed in 0..SEEDS {
-            let scenario = Scenario::paper_scale(NODES, seed);
-            let mut cfg = scenario.tide_config();
-            if label == "no stealth windows" {
-                cfg.stealth_windows = false;
-            }
-            let mut policy = CsaAttackPolicy::new(cfg);
-            if label == "static plan" {
-                policy = policy.with_static_plan();
-            }
-            if label == "no decoy service" {
-                policy = policy.without_decoys();
-            }
-            let mut world = scenario.build();
-            world.run(&mut policy);
-            let outcome = evaluate_attack(&world, &policy);
-            let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
-            targeted.push(outcome.targeted as f64);
-            covered.push(outcome.covered_exhausted_ratio);
-            detection.push(
-                EnergyReportAudit::default()
-                    .analyze(&world)
-                    .detection_ratio(&victims),
-            );
+    // Full (variant, seed) simulations are independent — run them all at
+    // once and aggregate per variant afterwards, in the original order.
+    let seeds = SEEDS as usize;
+    let all = crate::parallel::map_indexed(variants.len() * seeds, |k| {
+        let label = variants[k / seeds];
+        let seed = (k % seeds) as u64;
+        let scenario = Scenario::paper_scale(NODES, seed);
+        let mut cfg = scenario.tide_config();
+        if label == "no stealth windows" {
+            cfg.stealth_windows = false;
         }
+        let mut policy = CsaAttackPolicy::new(cfg);
+        if label == "static plan" {
+            policy = policy.with_static_plan();
+        }
+        if label == "no decoy service" {
+            policy = policy.without_decoys();
+        }
+        let mut world = scenario.build();
+        world.run(&mut policy);
+        let outcome = evaluate_attack(&world, &policy);
+        let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
+        (
+            outcome.targeted as f64,
+            outcome.covered_exhausted_ratio,
+            EnergyReportAudit::default()
+                .analyze(&world)
+                .detection_ratio(&victims),
+        )
+    });
+    for (vi, &label) in variants.iter().enumerate() {
+        let rows = &all[vi * seeds..(vi + 1) * seeds];
+        let targeted: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let covered: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let detection: Vec<f64> = rows.iter().map(|r| r.2).collect();
         table.push(vec![
             label.to_string(),
             f(mean_std(&targeted).0, 1),

@@ -18,12 +18,14 @@ pub mod experiments;
 pub mod stats;
 pub mod table;
 
+pub use wrsn::sim::parallel;
+
 pub use table::Table;
 
 /// All experiment ids, in the order of `EXPERIMENTS.md`.
 pub const ALL_IDS: &[&str] = &[
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "tab1",
-    "tab2", "tab3",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "tab1", "tab2", "tab3",
 ];
 
 /// Runs one experiment by id.

@@ -25,7 +25,10 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 
 /// Minimum of `xs` (`NaN`-free input assumed; 0 for empty).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    xs.iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(f64::INFINITY)
 }
 
 /// Maximum of `xs` (0 for empty).

@@ -57,7 +57,11 @@ impl Table {
             s.trim_end().to_string()
         };
         let _ = writeln!(out, "{}", line(&self.columns, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -77,7 +81,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -1,0 +1,32 @@
+//! The parallel fan-out must never change experiment output: results are
+//! collected in index order, so the rendered tables have to be byte-identical
+//! whatever the worker count. This pins that guarantee on the two fastest
+//! experiments that use `parallel::map_indexed`.
+
+use wrsn_bench::parallel;
+
+fn rendered(id: &str) -> String {
+    wrsn_bench::run(id)
+        .unwrap()
+        .iter()
+        .map(|t| t.render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn tables_are_byte_identical_across_thread_counts() {
+    // One test (not one per id) so the env-var mutation cannot race a
+    // concurrently running sibling.
+    for id in ["fig11", "fig13"] {
+        std::env::set_var(parallel::THREADS_ENV, "1");
+        let sequential = rendered(id);
+        std::env::set_var(parallel::THREADS_ENV, "4");
+        let threaded = rendered(id);
+        std::env::remove_var(parallel::THREADS_ENV);
+        assert_eq!(
+            sequential, threaded,
+            "{id}: tables changed with the worker count"
+        );
+    }
+}

@@ -98,7 +98,10 @@ mod tests {
         };
         let d_low = refill_duration_s(&view, NodeId(0)).unwrap();
         let d_full = refill_duration_s(&view, NodeId(1)).unwrap();
-        assert!(d_low > d_full, "drained node needs longer: {d_low} vs {d_full}");
+        assert!(
+            d_low > d_full,
+            "drained node needs longer: {d_low} vs {d_full}"
+        );
         assert!(refill_duration_s(&view, NodeId(99)).is_none());
     }
 }

@@ -38,7 +38,10 @@ impl Njnp {
     ///
     /// Panics if `slice_s` is not finite and positive.
     pub fn with_slice(mut self, slice_s: f64) -> Self {
-        assert!(slice_s.is_finite() && slice_s > 0.0, "slice must be positive");
+        assert!(
+            slice_s.is_finite() && slice_s > 0.0,
+            "slice must be positive"
+        );
         self.slice_s = slice_s;
         self
     }
@@ -137,8 +140,10 @@ mod tests {
         assert!(served.contains(&NodeId(0)));
         assert!(served.contains(&NodeId(8)));
         // Requests were satisfied: both nodes alive and above warning.
-        assert!(w.network().nodes()[0].battery().level_j()
-            > w.network().nodes()[0].battery().warning_j());
+        assert!(
+            w.network().nodes()[0].battery().level_j()
+                > w.network().nodes()[0].battery().warning_j()
+        );
     }
 
     #[test]
@@ -164,7 +169,10 @@ mod tests {
         };
         let idle_dead = build().run(&mut IdlePolicy).dead_nodes;
         let njnp_dead = build().run(&mut Njnp::new()).dead_nodes;
-        assert!(njnp_dead < idle_dead, "njnp {njnp_dead} vs idle {idle_dead}");
+        assert!(
+            njnp_dead < idle_dead,
+            "njnp {njnp_dead} vs idle {idle_dead}"
+        );
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl PeriodicTsp {
         PeriodicTsp {
             depot,
             period_s,
-            phase: Phase::AtDepot { next_round_at_s: 0.0 },
+            phase: Phase::AtDepot {
+                next_round_at_s: 0.0,
+            },
             topup_threshold: 0.95,
         }
     }
@@ -130,14 +132,14 @@ impl ChargerPolicy for PeriodicTsp {
                     }
                 }
                 Phase::Returning => {
-                    let next_round = view.time_s
-                        + view.charger.travel_time_to(self.depot).max(0.0)
-                        + 1.0;
+                    let next_round =
+                        view.time_s + view.charger.travel_time_to(self.depot).max(0.0) + 1.0;
                     // Schedule the next round one full period after this
                     // round's start would have ended, approximated from now.
                     let next_round_at_s = next_round.max(view.time_s + self.period_s * 0.1);
                     self.phase = Phase::AtDepot {
-                        next_round_at_s: next_round_at_s.max(round_start_after(view.time_s, self.period_s)),
+                        next_round_at_s: next_round_at_s
+                            .max(round_start_after(view.time_s, self.period_s)),
                     };
                     return ChargerAction::MoveTo(self.depot);
                 }

@@ -66,8 +66,18 @@ pub fn two_opt(start: Point, points: &[Point], order: &mut [usize], max_rounds: 
                 let a = pos(order, i as isize - 1);
                 let b = pos(order, i as isize);
                 let c = pos(order, j as isize);
-                let before = a.distance(b) + if j + 1 < n { c.distance(pos(order, j as isize + 1)) } else { 0.0 };
-                let after = a.distance(c) + if j + 1 < n { b.distance(pos(order, j as isize + 1)) } else { 0.0 };
+                let before = a.distance(b)
+                    + if j + 1 < n {
+                        c.distance(pos(order, j as isize + 1))
+                    } else {
+                        0.0
+                    };
+                let after = a.distance(c)
+                    + if j + 1 < n {
+                        b.distance(pos(order, j as isize + 1))
+                    } else {
+                        0.0
+                    };
                 if after + 1e-12 < before {
                     order[i..=j].reverse();
                     improved = true;

@@ -263,8 +263,7 @@ impl ChargerPolicy for CsaAttackPolicy {
             self.squatting = None;
         }
         if self.plan.is_none()
-            || (self.replan_every_stop
-                && view.time_s - self.plan_made_at_s > self.plan_age_limit_s)
+            || (self.replan_every_stop && view.time_s - self.plan_made_at_s > self.plan_age_limit_s)
         {
             self.replan(view);
         }
@@ -461,14 +460,10 @@ impl ChargerPolicy for SelectiveNeglectPolicy {
             return ChargerAction::Finish;
         }
         let census = self.census.get_or_insert_with(|| {
-            wrsn_net::keynode::identify_with_mask(
-                view.net,
-                &view.net.alive_mask(),
-                &self.keynode,
-            )
-            .into_iter()
-            .map(|k| k.id)
-            .collect()
+            wrsn_net::keynode::identify_with_mask(view.net, &view.net.alive_mask(), &self.keynode)
+                .into_iter()
+                .map(|k| k.id)
+                .collect()
         });
         // Serve the nearest non-victim requester, honestly (an NJNP that
         // pretends its victims' requests never arrive).

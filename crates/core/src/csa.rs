@@ -21,9 +21,37 @@
 //!
 //! Each component can be disabled through [`CsaOptions`] for the ablation
 //! experiment (`tab3`).
+//!
+//! # Incremental insertion
+//!
+//! A naive greedy evaluates each candidate `(victim, position)` by rebuilding
+//! the whole timed route — O(n) distance computations per candidate, O(n⁴)
+//! overall. [`plan_with`] instead keeps an [`IncrementalRoute`] in the style
+//! of Solomon's insertion heuristics: forward prefixes (departure time and
+//! energy after the first `k` stops) plus backward latest-begin slacks make
+//! each candidate check O(1), with an O(n) refresh per *accepted* insertion.
+//! All geometry comes from one [`DistanceMatrix`]. The results are
+//! **bit-identical** to the naive greedy — the prefixes are exactly the left
+//! folds the naive code evaluates, so every comparison sees the very same
+//! floats. The only approximate ingredient, the backward slack, is used
+//! strictly outside a ±[`SLACK_GUARD_S`] guard band; inside the band the
+//! suffix is re-simulated forward, which is the naive check verbatim
+//! (`crates/core/tests/csa_bit_identity.rs` pins this equivalence down).
 
+use crate::matrix::DistanceMatrix;
 use crate::schedule::{self, AttackSchedule};
 use crate::tide::TideInstance;
+
+/// Half-width of the trust band around the backward latest-begin slack,
+/// seconds.
+///
+/// The slack is a real-arithmetic bound; float evaluation puts it within
+/// rounding error (≪ 1 ms for the second-to-megasecond horizons TIDE
+/// instances use) of the true feasibility threshold, and forward feasibility
+/// is monotone in the start time. A candidate whose suffix start clears the
+/// slack by more than this margin is therefore decided immediately; anything
+/// inside the band falls back to the exact forward re-simulation.
+const SLACK_GUARD_S: f64 = 1e-3;
 
 /// Knobs for the CSA planner (ablation switches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,8 +99,9 @@ pub fn plan(instance: &TideInstance) -> AttackSchedule {
 
 /// Plans with explicit options (ablation entry point).
 pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
+    let matrix = DistanceMatrix::new(instance);
     let n = instance.victims.len();
-    let mut order: Vec<usize> = Vec::new();
+    let mut route = IncrementalRoute::new(instance, &matrix);
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut current_cost = 0.0f64;
 
@@ -80,13 +109,10 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
         let mut best: Option<(f64, f64, usize, usize)> = None; // (score, mcost, vi, pos)
         for &vi in &remaining {
             let weight = instance.victims[vi].weight;
-            for pos in 0..=order.len() {
-                let mut candidate = order.clone();
-                candidate.insert(pos, vi);
-                let Some(sched) = schedule::earliest_times(instance, &candidate) else {
+            for pos in 0..=route.len() {
+                let Some(cost) = route.candidate_cost(vi, pos) else {
                     continue;
                 };
-                let cost = instance.energy_cost(&sched);
                 if cost > instance.budget_j {
                     continue;
                 }
@@ -109,20 +135,20 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
         }
         match best {
             Some((_, mcost, vi, pos)) => {
-                order.insert(pos, vi);
+                route.insert(vi, pos);
                 remaining.retain(|&x| x != vi);
                 current_cost += mcost;
             }
             None => break,
         }
     }
+    let mut order = route.into_order();
 
     if opts.route_improvement {
-        improve_route(instance, &mut order);
+        improve_route(instance, &matrix, &mut order);
     }
 
-    let greedy = schedule::earliest_times(instance, &order)
-        .unwrap_or_else(AttackSchedule::empty);
+    let greedy = schedule::earliest_times(instance, &order).unwrap_or_else(AttackSchedule::empty);
 
     // Candidate pool: the greedy route, the guarantee leg (best feasible
     // singleton — the Khuller–Moss–Naor construction), and two route-first
@@ -165,8 +191,7 @@ pub fn best_singleton(instance: &TideInstance) -> AttackSchedule {
     let mut best_w = 0.0;
     for vi in 0..instance.victims.len() {
         if let Some(s) = schedule::earliest_times(instance, &[vi]) {
-            if instance.energy_cost(&s) <= instance.budget_j
-                && instance.victims[vi].weight > best_w
+            if instance.energy_cost(&s) <= instance.budget_j && instance.victims[vi].weight > best_w
             {
                 best_w = instance.victims[vi].weight;
                 best = s;
@@ -176,19 +201,41 @@ pub fn best_singleton(instance: &TideInstance) -> AttackSchedule {
     best
 }
 
+/// Feasibility + exact energy cost of a fixed visit order in one pass.
+///
+/// Bit-identical to [`schedule::earliest_times`] followed by
+/// [`TideInstance::energy_cost`]: the time and energy accumulators are
+/// independent left folds, so interleaving them (and reading the per-leg
+/// terms from the matrix) changes no rounding — it only removes the stop
+/// allocation and the duplicate geometry.
+fn route_cost(instance: &TideInstance, matrix: &DistanceMatrix, order: &[usize]) -> Option<f64> {
+    let mut time = instance.now_s;
+    let mut node = DistanceMatrix::START;
+    let mut cost = 0.0f64;
+    for &vi in order {
+        let v = instance.victims.get(vi)?;
+        let here = DistanceMatrix::vid(vi);
+        let arrive = time + matrix.travel_s(node, here);
+        let begin = arrive.max(v.window.open_s);
+        if begin > v.window.close_s + 1e-9 {
+            return None;
+        }
+        cost += matrix.leg_cost_j(node, here);
+        cost += matrix.svc_cost_j(vi);
+        time = begin + v.service_s;
+        node = here;
+    }
+    (cost <= instance.budget_j).then_some(cost)
+}
+
 /// Feasibility-preserving 2-opt: reverse segments when that keeps the timed
 /// route feasible and strictly reduces energy cost.
-fn improve_route(instance: &TideInstance, order: &mut [usize]) {
+fn improve_route(instance: &TideInstance, matrix: &DistanceMatrix, order: &mut [usize]) {
     let n = order.len();
     if n < 3 {
         return;
     }
-    let cost_of = |ord: &[usize]| -> Option<f64> {
-        let s = schedule::earliest_times(instance, ord)?;
-        let c = instance.energy_cost(&s);
-        (c <= instance.budget_j).then_some(c)
-    };
-    let Some(mut best_cost) = cost_of(order) else {
+    let Some(mut best_cost) = route_cost(instance, matrix, order) else {
         return;
     };
     for _ in 0..16 {
@@ -196,7 +243,7 @@ fn improve_route(instance: &TideInstance, order: &mut [usize]) {
         for i in 0..n - 1 {
             for j in i + 1..n {
                 order[i..=j].reverse();
-                match cost_of(order) {
+                match route_cost(instance, matrix, order) {
                     Some(c) if c + 1e-9 < best_cost => {
                         best_cost = c;
                         improved = true;
@@ -207,6 +254,145 @@ fn improve_route(instance: &TideInstance, order: &mut [usize]) {
         }
         if !improved {
             break;
+        }
+    }
+}
+
+/// The greedy's working route with the Solomon-style incremental state.
+///
+/// Prefix arrays after the first `k` stops: `node[k]` (matrix node the
+/// charger occupies), `time_after[k]` (departure time) and `cost_after[k]`
+/// (energy left fold, two adds per stop exactly as
+/// [`TideInstance::energy_cost`]). `latest_begin[k]` is the backward slack:
+/// the latest begin time of stop `k` for which the rest of the route stays
+/// feasible, up to float rounding — see [`SLACK_GUARD_S`].
+struct IncrementalRoute<'a> {
+    instance: &'a TideInstance,
+    matrix: &'a DistanceMatrix,
+    order: Vec<usize>,
+    node: Vec<usize>,
+    time_after: Vec<f64>,
+    cost_after: Vec<f64>,
+    latest_begin: Vec<f64>,
+}
+
+impl<'a> IncrementalRoute<'a> {
+    fn new(instance: &'a TideInstance, matrix: &'a DistanceMatrix) -> Self {
+        IncrementalRoute {
+            instance,
+            matrix,
+            order: Vec::new(),
+            node: vec![DistanceMatrix::START],
+            time_after: vec![instance.now_s],
+            cost_after: vec![0.0],
+            latest_begin: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn into_order(self) -> Vec<usize> {
+        self.order
+    }
+
+    /// Evaluates inserting victim `vi` at position `pos`: `Some(cost)` with
+    /// the exact energy cost of the candidate route when it is time-feasible,
+    /// `None` otherwise. O(1) except for the energy refold over the suffix
+    /// (pure adds) and the rare in-band exact fallback.
+    fn candidate_cost(&self, vi: usize, pos: usize) -> Option<f64> {
+        let v = &self.instance.victims[vi];
+        let here = DistanceMatrix::vid(vi);
+        let arrive = self.time_after[pos] + self.matrix.travel_s(self.node[pos], here);
+        let begin = arrive.max(v.window.open_s);
+        if begin > v.window.close_s + 1e-9 {
+            return None;
+        }
+        if pos < self.order.len() {
+            // The suffix keeps its sequence; only its start time moves. Its
+            // first begin against the backward slack decides feasibility
+            // outside the guard band, the exact re-simulation inside it.
+            let succ = self.order[pos];
+            let w = &self.instance.victims[succ];
+            let depart = begin + v.service_s;
+            let arrive2 = depart + self.matrix.travel_s(here, DistanceMatrix::vid(succ));
+            let begin2 = arrive2.max(w.window.open_s);
+            let slack = self.latest_begin[pos];
+            if begin2 > slack + SLACK_GUARD_S {
+                return None;
+            }
+            if begin2 > slack - SLACK_GUARD_S && !self.suffix_feasible(depart, here, pos) {
+                return None;
+            }
+        }
+        // Exact energy: resume the left fold from the prefix through the new
+        // stop and the (position-shifted, otherwise unchanged) suffix.
+        let mut cost = self.cost_after[pos];
+        cost += self.matrix.leg_cost_j(self.node[pos], here);
+        cost += self.matrix.svc_cost_j(vi);
+        let mut prev = here;
+        for &w in &self.order[pos..] {
+            let wn = DistanceMatrix::vid(w);
+            cost += self.matrix.leg_cost_j(prev, wn);
+            cost += self.matrix.svc_cost_j(w);
+            prev = wn;
+        }
+        Some(cost)
+    }
+
+    /// Exact forward window check of `order[pos..]` departing `from` at
+    /// `time` — verbatim the naive recursion over the suffix.
+    fn suffix_feasible(&self, mut time: f64, mut from: usize, pos: usize) -> bool {
+        for &w in &self.order[pos..] {
+            let v = &self.instance.victims[w];
+            let here = DistanceMatrix::vid(w);
+            let arrive = time + self.matrix.travel_s(from, here);
+            let begin = arrive.max(v.window.open_s);
+            if begin > v.window.close_s + 1e-9 {
+                return false;
+            }
+            time = begin + v.service_s;
+            from = here;
+        }
+        true
+    }
+
+    /// Accepts an insertion: O(n) prefix refresh from `pos` plus a full
+    /// backward slack pass.
+    fn insert(&mut self, vi: usize, pos: usize) {
+        self.order.insert(pos, vi);
+        let m = self.order.len();
+        self.node.truncate(pos + 1);
+        self.time_after.truncate(pos + 1);
+        self.cost_after.truncate(pos + 1);
+        for k in pos..m {
+            let w = self.order[k];
+            let v = &self.instance.victims[w];
+            let prev = self.node[k];
+            let here = DistanceMatrix::vid(w);
+            let arrive = self.time_after[k] + self.matrix.travel_s(prev, here);
+            let begin = arrive.max(v.window.open_s);
+            let mut cost = self.cost_after[k];
+            cost += self.matrix.leg_cost_j(prev, here);
+            cost += self.matrix.svc_cost_j(w);
+            self.node.push(here);
+            self.time_after.push(begin + v.service_s);
+            self.cost_after.push(cost);
+        }
+        self.latest_begin.resize(m, 0.0);
+        for k in (0..m).rev() {
+            let w = self.order[k];
+            let v = &self.instance.victims[w];
+            let mut latest = v.window.close_s;
+            if k + 1 < m {
+                let next = DistanceMatrix::vid(self.order[k + 1]);
+                let chain = self.latest_begin[k + 1]
+                    - self.matrix.travel_s(DistanceMatrix::vid(w), next)
+                    - v.service_s;
+                latest = latest.min(chain);
+            }
+            self.latest_begin[k] = latest;
         }
     }
 }
@@ -222,7 +408,10 @@ mod tests {
         let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
         for i in 0..net.node_count() {
             let cap = net.nodes()[i].battery().capacity_j();
-            net.node_mut(NodeId(i)).unwrap().battery_mut().set_level(cap * 0.3);
+            net.node_mut(NodeId(i))
+                .unwrap()
+                .battery_mut()
+                .set_level(cap * 0.3);
         }
         TideInstance::from_network(&net, &TideConfig::default())
     }
@@ -301,7 +490,10 @@ mod tests {
         // budget the ratio rule packs more total weight.
         let mut inst = synthetic(8, 1.0e6, 1.0e9);
         for (i, v) in inst.victims.iter_mut().enumerate() {
-            v.window = TimeWindow { open_s: 0.0, close_s: 1.0e6 };
+            v.window = TimeWindow {
+                open_s: 0.0,
+                close_s: 1.0e6,
+            };
             v.position = Point::new(5.0 * i as f64, 0.0);
             v.weight = 1.0;
         }
@@ -319,7 +511,10 @@ mod tests {
         inst.validate(&with_ratio).unwrap();
         inst.validate(&without).unwrap();
         assert!(inst.utility(&with_ratio) >= inst.utility(&without));
-        assert!(inst.utility(&with_ratio) >= 7.0, "ratio rule should take the 7 near victims");
+        assert!(
+            inst.utility(&with_ratio) >= 7.0,
+            "ratio rule should take the 7 near victims"
+        );
     }
 
     #[test]

@@ -326,7 +326,9 @@ pub struct FairnessAudit {
 
 impl Default for FairnessAudit {
     fn default() -> Self {
-        FairnessAudit { latency_factor: 5.0 }
+        FairnessAudit {
+            latency_factor: 5.0,
+        }
     }
 }
 
@@ -431,7 +433,10 @@ impl SuiteVerdict {
 /// Analyses `world` with [`standard_detectors`].
 pub fn run_suite(world: &World) -> SuiteVerdict {
     SuiteVerdict {
-        reports: standard_detectors().iter().map(|d| d.analyze(world)).collect(),
+        reports: standard_detectors()
+            .iter()
+            .map(|d| d.analyze(world))
+            .collect(),
     }
 }
 
@@ -506,8 +511,12 @@ mod tests {
         let mut csa_world = attack_world(400_000.0);
         let (_, outcome) = run_attack(&mut csa_world, TideConfig::default());
         assert!(outcome.exhausted > 0);
-        let csa_victims: Vec<NodeId> =
-            csa_world.trace().sessions().iter().map(|s| s.node).collect();
+        let csa_victims: Vec<NodeId> = csa_world
+            .trace()
+            .sessions()
+            .iter()
+            .map(|s| s.node)
+            .collect();
         let audit = EnergyReportAudit::default();
         let csa_ratio = audit.analyze(&csa_world).detection_ratio(&csa_victims);
 
@@ -515,8 +524,12 @@ mod tests {
         // the victim has ~20% battery left and survives many report periods.
         let mut eager_world = attack_world(400_000.0);
         eager_world.run(&mut EagerSpoofPolicy::new(3_000.0));
-        let eager_victims: Vec<NodeId> =
-            eager_world.trace().sessions().iter().map(|s| s.node).collect();
+        let eager_victims: Vec<NodeId> = eager_world
+            .trace()
+            .sessions()
+            .iter()
+            .map(|s| s.node)
+            .collect();
         assert!(!eager_victims.is_empty());
         let eager_ratio = audit.analyze(&eager_world).detection_ratio(&eager_victims);
 
@@ -665,7 +678,11 @@ mod tests {
         let mut world = attack_world(300_000.0);
         world.run(&mut IdlePolicy);
         let report = FairnessAudit::default().analyze(&world);
-        assert_eq!(report.alarm_count(), 0, "absence is the trajectory audit's case");
+        assert_eq!(
+            report.alarm_count(),
+            0,
+            "absence is the trajectory audit's case"
+        );
     }
 
     #[test]

@@ -86,6 +86,8 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("10") && msg.contains('5'));
-        assert!(CoreError::UnknownVictim { index: 7 }.to_string().contains('7'));
+        assert!(CoreError::UnknownVictim { index: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

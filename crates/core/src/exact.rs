@@ -6,8 +6,26 @@
 //! other. Exponential in the victim count (practical to ~14 victims); used to
 //! measure CSA's empirical approximation ratio (experiment `fig10`).
 
+use crate::matrix::DistanceMatrix;
 use crate::schedule::{self, AttackSchedule};
 use crate::tide::TideInstance;
+
+/// `out[set] = Σ terms[v] over v ∈ set`, folded in ascending victim order.
+///
+/// Built by peeling the *highest* set bit: `out[set] = out[set \ {h}] +
+/// terms[h]` appends the largest element to the ascending left fold, so every
+/// entry carries exactly the bits of
+/// `(0..n).filter(|v| set has v).map(|v| terms[v]).sum::<f64>()` — the
+/// expression the naive solver evaluated per state — at O(1) per set instead
+/// of O(n).
+fn subset_sums(terms: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; 1 << terms.len()];
+    for set in 1usize..out.len() {
+        let high = usize::BITS - 1 - set.leading_zeros();
+        out[set] = out[set & !(1 << high)] + terms[high as usize];
+    }
+    out
+}
 
 /// Maximum victim count the exact solver accepts.
 pub const MAX_VICTIMS: usize = 20;
@@ -65,12 +83,12 @@ pub fn solve(instance: &TideInstance) -> AttackSchedule {
         return AttackSchedule::empty();
     }
 
+    let matrix = DistanceMatrix::new(instance);
     // radiation[set] = Σ service_s · radiated_power over victims in `set`.
-    let service_energy: Vec<f64> = instance
-        .victims
-        .iter()
-        .map(|v| v.service_s * instance.radiated_power_w)
-        .collect();
+    let service_energy: Vec<f64> = (0..n).map(|v| matrix.svc_cost_j(v)).collect();
+    let set_service = subset_sums(&service_energy);
+    let weights: Vec<f64> = instance.victims.iter().map(|v| v.weight).collect();
+    let set_utility = subset_sums(&weights);
 
     // states[set * n + last] = Pareto labels.
     let mut states: Vec<Vec<Label>> = vec![Vec::new(); (1usize << n) * n];
@@ -78,12 +96,13 @@ pub fn solve(instance: &TideInstance) -> AttackSchedule {
     // Seed: start → each victim alone.
     for v in 0..n {
         let vic = &instance.victims[v];
-        let arrive = instance.now_s + instance.travel_time(instance.start, vic.position);
+        let arrive =
+            instance.now_s + matrix.travel_s(DistanceMatrix::START, DistanceMatrix::vid(v));
         let begin = arrive.max(vic.window.open_s);
         if begin > vic.window.close_s + 1e-9 {
             continue;
         }
-        let dist = instance.start.distance(vic.position);
+        let dist = matrix.dist_m(DistanceMatrix::START, DistanceMatrix::vid(v));
         if dist * instance.move_cost_j_per_m + service_energy[v] > instance.budget_j + 1e-9 {
             continue;
         }
@@ -102,10 +121,7 @@ pub fn solve(instance: &TideInstance) -> AttackSchedule {
             if set & (1 << last) == 0 {
                 continue;
             }
-            let set_service: f64 = (0..n)
-                .filter(|&v| set & (1 << v) != 0)
-                .map(|v| service_energy[v])
-                .sum();
+            let from = DistanceMatrix::vid(last);
             for li in 0..states[set * n + last].len() {
                 let label = states[set * n + last][li];
                 for v in 0..n {
@@ -113,15 +129,15 @@ pub fn solve(instance: &TideInstance) -> AttackSchedule {
                         continue;
                     }
                     let vic = &instance.victims[v];
-                    let from = instance.victims[last].position;
-                    let arrive = label.finish_s + instance.travel_time(from, vic.position);
+                    let here = DistanceMatrix::vid(v);
+                    let arrive = label.finish_s + matrix.travel_s(from, here);
                     let begin = arrive.max(vic.window.open_s);
                     if begin > vic.window.close_s + 1e-9 {
                         continue;
                     }
-                    let dist = label.dist_m + from.distance(vic.position);
+                    let dist = label.dist_m + matrix.dist_m(from, here);
                     let energy =
-                        dist * instance.move_cost_j_per_m + set_service + service_energy[v];
+                        dist * instance.move_cost_j_per_m + set_service[set] + service_energy[v];
                     if energy > instance.budget_j + 1e-9 {
                         continue;
                     }
@@ -140,17 +156,10 @@ pub fn solve(instance: &TideInstance) -> AttackSchedule {
     // Pick the best reachable set.
     let mut best: Option<(f64, f64, usize, usize, usize)> = None; // (utility, energy, set, last, label)
     for set in 1usize..(1 << n) {
-        let utility: f64 = (0..n)
-            .filter(|&v| set & (1 << v) != 0)
-            .map(|v| instance.victims[v].weight)
-            .sum();
-        let set_service: f64 = (0..n)
-            .filter(|&v| set & (1 << v) != 0)
-            .map(|v| service_energy[v])
-            .sum();
+        let utility = set_utility[set];
         for last in 0..n {
             for (li, label) in states[set * n + last].iter().enumerate() {
-                let energy = label.dist_m * instance.move_cost_j_per_m + set_service;
+                let energy = label.dist_m * instance.move_cost_j_per_m + set_service[set];
                 let better = match best {
                     None => true,
                     Some((bu, be, _, _, _)) => {

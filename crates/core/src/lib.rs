@@ -52,6 +52,7 @@ pub mod csa;
 pub mod detect;
 pub mod error;
 pub mod exact;
+pub mod matrix;
 pub mod schedule;
 pub mod theory;
 pub mod tide;
@@ -63,11 +64,14 @@ pub use tide::{TideConfig, TideInstance, Victim};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::attack::{AttackOutcome, CsaAttackPolicy, EagerSpoofPolicy, SelectiveNeglectPolicy};
+    pub use crate::attack::{
+        AttackOutcome, CsaAttackPolicy, EagerSpoofPolicy, SelectiveNeglectPolicy,
+    };
     pub use crate::baseline::{self, Planner};
     pub use crate::csa;
     pub use crate::detect::{self, DetectionReport, Detector};
     pub use crate::exact;
+    pub use crate::matrix::DistanceMatrix;
     pub use crate::schedule::{AttackSchedule, Stop};
     pub use crate::theory;
     pub use crate::tide::{TideConfig, TideInstance, Victim};

@@ -1,0 +1,187 @@
+//! Cached pairwise geometry for the planners.
+//!
+//! Every TIDE planner walks routes over the same `{start} ∪ victims` point
+//! set, and the seed implementations recomputed `Point::distance` (a `hypot`
+//! call) in their innermost loops. [`DistanceMatrix`] computes each pairwise
+//! distance once, together with the derived per-leg quantities the planners
+//! actually consume: travel *time* (distance / speed) and locomotion *energy*
+//! (distance × move cost), plus each victim's radiation energy
+//! (service × radiated power).
+//!
+//! Bit-compatibility: every cached entry is produced by exactly the float
+//! expression the uncached code paths used (`Point::distance` is symmetric —
+//! `hypot` of negated components — so one entry serves both directions, and
+//! `d / speed` / `d * cost` are single rounded operations on identical
+//! inputs). Planners that switch to matrix lookups therefore produce
+//! bit-identical schedules; `wrsn-core`'s golden and equivalence tests pin
+//! this down for [`crate::csa`].
+
+use wrsn_net::Point;
+
+use crate::tide::TideInstance;
+
+/// Pairwise distances, travel times and leg energies over `{start} ∪ victims`.
+///
+/// Matrix indices: [`DistanceMatrix::START`] (0) is the charger start;
+/// victim `i` is [`DistanceMatrix::vid`]`(i)` = `i + 1`.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    stride: usize,
+    /// Pairwise Euclidean distance, metres (row-major, `stride × stride`).
+    dist_m: Vec<f64>,
+    /// Pairwise travel time at charger speed, seconds.
+    travel_s: Vec<f64>,
+    /// Pairwise locomotion energy, joules.
+    leg_cost_j: Vec<f64>,
+    /// Per-victim radiation energy of one full masquerade, joules.
+    svc_cost_j: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Matrix index of the charger start position.
+    pub const START: usize = 0;
+
+    /// Matrix index of victim `vi`.
+    #[inline(always)]
+    pub fn vid(vi: usize) -> usize {
+        vi + 1
+    }
+
+    /// Builds the matrix for an instance. O(n²) time and space.
+    pub fn new(instance: &TideInstance) -> Self {
+        let stride = instance.victims.len() + 1;
+        let point = |a: usize| -> Point {
+            if a == Self::START {
+                instance.start
+            } else {
+                instance.victims[a - 1].position
+            }
+        };
+        let mut dist_m = vec![0.0f64; stride * stride];
+        let mut travel_s = vec![0.0f64; stride * stride];
+        let mut leg_cost_j = vec![0.0f64; stride * stride];
+        for a in 0..stride {
+            for b in (a + 1)..stride {
+                let d = point(a).distance(point(b));
+                let t = d / instance.speed_mps;
+                let e = d * instance.move_cost_j_per_m;
+                dist_m[a * stride + b] = d;
+                dist_m[b * stride + a] = d;
+                travel_s[a * stride + b] = t;
+                travel_s[b * stride + a] = t;
+                leg_cost_j[a * stride + b] = e;
+                leg_cost_j[b * stride + a] = e;
+            }
+        }
+        let svc_cost_j = instance
+            .victims
+            .iter()
+            .map(|v| v.service_s * instance.radiated_power_w)
+            .collect();
+        DistanceMatrix {
+            stride,
+            dist_m,
+            travel_s,
+            leg_cost_j,
+            svc_cost_j,
+        }
+    }
+
+    /// Number of victims covered.
+    #[inline(always)]
+    pub fn victim_count(&self) -> usize {
+        self.stride - 1
+    }
+
+    /// Distance between matrix nodes `a` and `b`, metres.
+    #[inline(always)]
+    pub fn dist_m(&self, a: usize, b: usize) -> f64 {
+        self.dist_m[a * self.stride + b]
+    }
+
+    /// Travel time between matrix nodes `a` and `b`, seconds.
+    #[inline(always)]
+    pub fn travel_s(&self, a: usize, b: usize) -> f64 {
+        self.travel_s[a * self.stride + b]
+    }
+
+    /// Locomotion energy of the leg between `a` and `b`, joules.
+    #[inline(always)]
+    pub fn leg_cost_j(&self, a: usize, b: usize) -> f64 {
+        self.leg_cost_j[a * self.stride + b]
+    }
+
+    /// Radiation energy of victim `vi`'s masquerade, joules.
+    #[inline(always)]
+    pub fn svc_cost_j(&self, vi: usize) -> f64 {
+        self.svc_cost_j[vi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tide::{TimeWindow, Victim};
+    use wrsn_net::NodeId;
+
+    fn instance(n: usize) -> TideInstance {
+        let victims = (0..n)
+            .map(|i| Victim {
+                node: NodeId(i),
+                position: Point::new(13.7 * i as f64, 7.1 * (i as f64).sin()),
+                weight: 1.0,
+                window: TimeWindow {
+                    open_s: 0.0,
+                    close_s: 1e6,
+                },
+                service_s: 10.0 + i as f64,
+                death_s: 2e6,
+            })
+            .collect();
+        TideInstance {
+            victims,
+            start: Point::new(-3.0, 4.0),
+            speed_mps: 5.0,
+            budget_j: 1e9,
+            move_cost_j_per_m: 1.3,
+            radiated_power_w: 2.7,
+            now_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn entries_match_the_uncached_expressions_bitwise() {
+        let inst = instance(7);
+        let m = DistanceMatrix::new(&inst);
+        for i in 0..7 {
+            let vi = DistanceMatrix::vid(i);
+            let d = inst.start.distance(inst.victims[i].position);
+            assert_eq!(m.dist_m(DistanceMatrix::START, vi).to_bits(), d.to_bits());
+            assert_eq!(
+                m.travel_s(vi, DistanceMatrix::START).to_bits(),
+                inst.travel_time(inst.victims[i].position, inst.start)
+                    .to_bits()
+            );
+            assert_eq!(
+                m.leg_cost_j(DistanceMatrix::START, vi).to_bits(),
+                (d * inst.move_cost_j_per_m).to_bits()
+            );
+            assert_eq!(
+                m.svc_cost_j(i).to_bits(),
+                (inst.victims[i].service_s * inst.radiated_power_w).to_bits()
+            );
+            for j in 0..7 {
+                let dd = inst.victims[i].position.distance(inst.victims[j].position);
+                assert_eq!(m.dist_m(vi, DistanceMatrix::vid(j)).to_bits(), dd.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance_has_only_the_start() {
+        let inst = instance(0);
+        let m = DistanceMatrix::new(&inst);
+        assert_eq!(m.victim_count(), 0);
+        assert_eq!(m.dist_m(0, 0), 0.0);
+    }
+}

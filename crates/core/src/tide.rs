@@ -327,8 +327,8 @@ impl TideInstance {
                     begin_s: stop.begin_s,
                 });
             }
-            let in_window_with_tolerance = stop.begin_s >= v.window.open_s - 1e-6
-                && stop.begin_s <= v.window.close_s + 1e-6;
+            let in_window_with_tolerance =
+                stop.begin_s >= v.window.open_s - 1e-6 && stop.begin_s <= v.window.close_s + 1e-6;
             if !in_window_with_tolerance {
                 return Err(CoreError::WindowViolated { stop: k });
             }
@@ -357,7 +357,10 @@ mod tests {
         let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
         for i in 0..net.node_count() {
             let cap = net.nodes()[i].battery().capacity_j();
-            net.node_mut(NodeId(i)).unwrap().battery_mut().set_level(cap * 0.3);
+            net.node_mut(NodeId(i))
+                .unwrap()
+                .battery_mut()
+                .set_level(cap * 0.3);
         }
         net
     }
@@ -415,7 +418,10 @@ mod tests {
         }]);
         let err = inst.validate(&s).unwrap_err();
         assert!(
-            matches!(err, CoreError::ArrivesLate { .. } | CoreError::WindowViolated { .. }),
+            matches!(
+                err,
+                CoreError::ArrivesLate { .. } | CoreError::WindowViolated { .. }
+            ),
             "got {err:?}"
         );
     }
@@ -427,14 +433,23 @@ mod tests {
         let v = &inst.victims[0];
         let begin = (inst.now_s + inst.travel_time(inst.start, v.position)).max(v.window.open_s);
         let dup = AttackSchedule::new(vec![
-            Stop { victim: 0, begin_s: begin },
-            Stop { victim: 0, begin_s: begin + v.service_s + 10.0 },
+            Stop {
+                victim: 0,
+                begin_s: begin,
+            },
+            Stop {
+                victim: 0,
+                begin_s: begin + v.service_s + 10.0,
+            },
         ]);
         assert!(matches!(
             inst.validate(&dup),
             Err(CoreError::DuplicateVictim { index: 0 })
         ));
-        let unknown = AttackSchedule::new(vec![Stop { victim: 999, begin_s: 1.0 }]);
+        let unknown = AttackSchedule::new(vec![Stop {
+            victim: 999,
+            begin_s: 1.0,
+        }]);
         assert!(matches!(
             inst.validate(&unknown),
             Err(CoreError::UnknownVictim { index: 999 })
@@ -451,7 +466,10 @@ mod tests {
         let inst = TideInstance::from_network(&net, &cfg);
         let v = &inst.victims[0];
         let begin = (inst.now_s + inst.travel_time(inst.start, v.position)).max(v.window.open_s);
-        let s = AttackSchedule::new(vec![Stop { victim: 0, begin_s: begin }]);
+        let s = AttackSchedule::new(vec![Stop {
+            victim: 0,
+            begin_s: begin,
+        }]);
         assert!(matches!(
             inst.validate(&s),
             Err(CoreError::BudgetExceeded { .. })

@@ -122,7 +122,10 @@ pub fn fit_charge_model(samples: &[(f64, f64)], beta_max: f64) -> Result<FitResu
     let (alpha, rss) = solve_alpha(samples, beta);
 
     let mean_p = samples.iter().map(|s| s.1).sum::<f64>() / samples.len() as f64;
-    let tss: f64 = samples.iter().map(|s| (s.1 - mean_p) * (s.1 - mean_p)).sum();
+    let tss: f64 = samples
+        .iter()
+        .map(|s| (s.1 - mean_p) * (s.1 - mean_p))
+        .sum();
     let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
 
     Ok(FitResult {

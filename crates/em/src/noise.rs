@@ -69,7 +69,10 @@ impl MeasurementNoise {
 
     /// Applies noise to a whole `(x, y)` sample series, perturbing only `y`.
     pub fn noisy_series(&mut self, samples: &[(f64, f64)]) -> Vec<(f64, f64)> {
-        samples.iter().map(|&(x, y)| (x, self.noisy_power(y))).collect()
+        samples
+            .iter()
+            .map(|&(x, y)| (x, self.noisy_power(y)))
+            .collect()
     }
 }
 

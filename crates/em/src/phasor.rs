@@ -195,7 +195,9 @@ mod tests {
 
     #[test]
     fn sum_of_phasors() {
-        let total: Phasor = (0..4).map(|k| Phasor::from_polar(1.0, k as f64 * FRAC_PI_2)).sum();
+        let total: Phasor = (0..4)
+            .map(|k| Phasor::from_polar(1.0, k as f64 * FRAC_PI_2))
+            .sum();
         // Four unit phasors at 0, 90, 180, 270 degrees cancel exactly.
         assert!(total.magnitude() < 1e-10);
     }

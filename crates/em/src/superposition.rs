@@ -115,7 +115,10 @@ mod tests {
             let waves = [Wave::new(a1, 0.0), Wave::new(a2, dphi)];
             let direct = received_power(&waves);
             let formula = two_wave_power(a1, a2, dphi);
-            assert!((direct - formula).abs() < 1e-10, "a1={a1} a2={a2} dphi={dphi}");
+            assert!(
+                (direct - formula).abs() < 1e-10,
+                "a1={a1} a2={a2} dphi={dphi}"
+            );
         }
     }
 

@@ -61,7 +61,13 @@ pub fn grid(region: &Region, cols: usize, rows: usize, jitter: f64, seed: u64) -
 ///
 /// Clustered topologies produce pronounced cut vertices — the bridges between
 /// blobs — and are therefore the attack's most favourable terrain.
-pub fn clustered(region: &Region, n: usize, clusters: usize, sigma: f64, seed: u64) -> Vec<SensorNode> {
+pub fn clustered(
+    region: &Region,
+    n: usize,
+    clusters: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<SensorNode> {
     assert!(clusters > 0, "need at least one cluster");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let centers: Vec<Point> = (0..clusters)

@@ -499,7 +499,10 @@ mod tests {
     #[test]
     fn unknown_node_errors() {
         let net = path_net();
-        assert!(matches!(net.node(NodeId(99)), Err(NetError::UnknownNode(_))));
+        assert!(matches!(
+            net.node(NodeId(99)),
+            Err(NetError::UnknownNode(_))
+        ));
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub fn identify_with_mask(net: &Network, mask: &[bool], config: &KeyNodeConfig) 
     let mut ranked: Vec<usize> = (0..n)
         .filter(|&i| mask.get(i).copied().unwrap_or(false))
         .collect();
-    ranked.sort_by(|&a, &b| cb[b].partial_cmp(&cb[a]).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|&a, &b| {
+        cb[b]
+            .partial_cmp(&cb[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let hub_count = ((n as f64 * config.hub_fraction).ceil() as usize).min(ranked.len());
     let hubs: std::collections::HashSet<NodeId> = ranked[..hub_count]
         .iter()
@@ -171,8 +175,8 @@ pub fn effective_power_draw(net: &Network, mask: &[bool], radio: &RadioEnergyMod
     for i in 0..net.node_count() {
         let alive = mask.get(i).copied().unwrap_or(false) && net.nodes()[i].is_alive();
         if alive && !tree.is_reachable(NodeId(i)) {
-            power[i] = radio.idle_w
-                + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range());
+            power[i] =
+                radio.idle_w + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range());
         }
     }
     power

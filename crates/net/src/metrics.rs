@@ -136,7 +136,10 @@ mod tests {
         let mut net = small_net();
         for i in 0..8 {
             let cap = net.nodes()[i].battery().capacity_j();
-            net.node_mut(crate::node::NodeId(i)).unwrap().battery_mut().discharge(cap);
+            net.node_mut(crate::node::NodeId(i))
+                .unwrap()
+                .battery_mut()
+                .discharge(cap);
         }
         let s = snapshot(&net, 10.0, 20);
         assert_eq!(s.alive, 8);

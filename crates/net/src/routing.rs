@@ -27,16 +27,49 @@ use crate::node::NodeId;
 ///     }
 /// }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoutingTree {
     /// Next hop toward the sink; `None` for sink-adjacent nodes (they deliver
     /// directly) and for unreachable nodes.
     parent: Vec<Option<NodeId>>,
     /// Shortest distance to the sink (m); `INFINITY` if unreachable.
-    #[serde(with = "infinite_distances")]
     dist: Vec<f64>,
     /// Whether each node can reach the sink at all.
     reachable: Vec<bool>,
+}
+
+// Hand-written impls because `dist` holds `INFINITY` for unreachable nodes
+// and JSON has no non-finite numbers: infinite entries round-trip as `null`.
+impl Serialize for RoutingTree {
+    fn to_value(&self) -> serde::Value {
+        let dist: Vec<Option<f64>> = self
+            .dist
+            .iter()
+            .map(|&d| if d.is_finite() { Some(d) } else { None })
+            .collect();
+        serde::Value::Map(vec![
+            ("parent".to_string(), self.parent.to_value()),
+            ("dist".to_string(), dist.to_value()),
+            ("reachable".to_string(), self.reachable.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RoutingTree {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "RoutingTree"))?;
+        let dist: Vec<Option<f64>> = Deserialize::from_value(serde::map_get(entries, "dist")?)?;
+        Ok(RoutingTree {
+            parent: Deserialize::from_value(serde::map_get(entries, "parent")?)?,
+            dist: dist
+                .into_iter()
+                .map(|d| d.unwrap_or(f64::INFINITY))
+                .collect(),
+            reachable: Deserialize::from_value(serde::map_get(entries, "reachable")?)?,
+        })
+    }
 }
 
 impl RoutingTree {
@@ -65,7 +98,9 @@ impl RoutingTree {
                 if !mask[u.0] {
                     continue;
                 }
-                let w = net.nodes()[v].position().distance(net.nodes()[u.0].position());
+                let w = net.nodes()[v]
+                    .position()
+                    .distance(net.nodes()[u.0].position());
                 let nd = d + w;
                 if nd < dist[u.0] {
                     dist[u.0] = nd;
@@ -117,26 +152,6 @@ impl RoutingTree {
             cur = p;
         }
         path
-    }
-}
-
-/// Serde adapter for distance vectors containing `INFINITY` (JSON has no
-/// non-finite numbers): infinite entries round-trip as `null`.
-mod infinite_distances {
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{SerializeSeq, Serializer};
-
-    pub fn serialize<S: Serializer>(dist: &[f64], ser: S) -> Result<S::Ok, S::Error> {
-        let mut seq = ser.serialize_seq(Some(dist.len()))?;
-        for &d in dist {
-            seq.serialize_element(&if d.is_finite() { Some(d) } else { None })?;
-        }
-        seq.end()
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<f64>, D::Error> {
-        let raw: Vec<Option<f64>> = Vec::deserialize(de)?;
-        Ok(raw.into_iter().map(|d| d.unwrap_or(f64::INFINITY)).collect())
     }
 }
 
@@ -201,7 +216,9 @@ pub fn node_power(
             continue;
         }
         let hop = match tree.parent(NodeId(i)) {
-            Some(p) => net.nodes()[i].position().distance(net.nodes()[p.0].position()),
+            Some(p) => net.nodes()[i]
+                .position()
+                .distance(net.nodes()[p.0].position()),
             None => net.nodes()[i].position().distance(net.sink()),
         };
         out[i] = radio.relay_power(load.rx_bps[i], load.tx_bps[i], hop);

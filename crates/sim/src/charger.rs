@@ -214,7 +214,10 @@ impl MobileCharger {
     ///
     /// Panics if `d` is not finite and positive.
     pub fn with_service_distance(mut self, d: f64) -> Self {
-        assert!(d.is_finite() && d > 0.0, "service distance must be positive");
+        assert!(
+            d.is_finite() && d > 0.0,
+            "service distance must be positive"
+        );
         self.service_distance_m = d;
         self
     }
@@ -340,8 +343,7 @@ mod tests {
     #[test]
     fn perfect_attacker_delivers_exactly_zero() {
         let rig = ChargerRig::powercast().with_errors(0.0, 0.0);
-        let spoofed =
-            rig.delivered_power(Point::ORIGIN, Point::new(1.0, 0.0), ChargeMode::Spoofed);
+        let spoofed = rig.delivered_power(Point::ORIGIN, Point::new(1.0, 0.0), ChargeMode::Spoofed);
         assert!(spoofed < 1e-20);
     }
 

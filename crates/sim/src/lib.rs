@@ -13,7 +13,9 @@
 //! * [`request`]: the charging-request queue nodes use to summon the charger,
 //! * [`trace`]: session/event recording consumed by detectors and experiments,
 //! * [`world`]: the simulation loop with exact piecewise-linear battery drain
-//!   (node deaths are hit exactly, not stepped over).
+//!   (node deaths are hit exactly, not stepped over),
+//! * [`parallel`]: order-preserving scoped-thread fan-out for independent
+//!   simulation trials (`WRSN_THREADS` controls the worker count).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 
 pub mod charger;
 pub mod engine;
+pub mod parallel;
 pub mod policy;
 pub mod request;
 pub mod trace;

@@ -1,0 +1,106 @@
+//! Dependency-free data parallelism for simulation campaigns.
+//!
+//! Heavy experiments repeat independent deterministic trials (one RNG seed
+//! per trial, or one scenario per condition), so they parallelize trivially:
+//! [`map_indexed`] fans the trial indices out over scoped threads and
+//! returns results **in index order**, which keeps every downstream table
+//! byte-identical to a sequential run.
+//!
+//! The worker count comes from the `WRSN_THREADS` environment variable when
+//! set (the `exp` runner's `--threads` flag sets it), otherwise from
+//! [`std::thread::available_parallelism`]. `WRSN_THREADS=1` is the
+//! determinism escape hatch: it degenerates to a plain sequential loop on
+//! the calling thread — though order-preserving collection means the output
+//! is the same either way.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "WRSN_THREADS";
+
+/// The worker thread count: `WRSN_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `0..count` on up to [`threads`] scoped worker threads and
+/// returns the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven per-index
+/// cost does not idle workers. With one worker (or one item) this is a plain
+/// sequential loop. A panic in `f` is propagated to the caller.
+pub fn map_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        local.push((index, f(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = map_indexed(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn uneven_workloads_preserve_order() {
+        let out = map_indexed(20, |i| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -71,10 +71,7 @@ impl WorldView<'_> {
 
     /// Whether `node` is still alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.net
-            .node(node)
-            .map(|n| n.is_alive())
-            .unwrap_or(false)
+        self.net.node(node).map(|n| n.is_alive()).unwrap_or(false)
     }
 }
 

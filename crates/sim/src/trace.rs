@@ -125,7 +125,8 @@ impl Trace {
         let idx = self.sessions.len();
         let end = session.start_s + session.duration_s;
         self.sessions.push(session);
-        self.events.push((end, SimEvent::SessionEnded { session: idx }));
+        self.events
+            .push((end, SimEvent::SessionEnded { session: idx }));
     }
 
     /// All events in record order.

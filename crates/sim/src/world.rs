@@ -190,7 +190,8 @@ impl World {
         // Includes the disconnected-drain floor: alive-but-disconnected nodes
         // keep listening and beaconing for a route — they are "exhausted in
         // vain", which is exactly the fate the attack inflicts.
-        self.power_w = wrsn_net::keynode::effective_power_draw(&self.net, &mask, &self.config.radio);
+        self.power_w =
+            wrsn_net::keynode::effective_power_draw(&self.net, &mask, &self.config.radio);
         self.check_lifetime();
         self.scan_requests();
     }
@@ -203,7 +204,11 @@ impl World {
     /// # Errors
     ///
     /// Returns [`wrsn_net::NetError::UnknownNode`] for invalid ids.
-    pub fn set_battery_level(&mut self, node: NodeId, level_j: f64) -> Result<(), wrsn_net::NetError> {
+    pub fn set_battery_level(
+        &mut self,
+        node: NodeId,
+        level_j: f64,
+    ) -> Result<(), wrsn_net::NetError> {
         self.net.node_mut(node)?.battery_mut().set_level(level_j);
         if !self.net.nodes()[node.0].is_alive() {
             self.trace.record(self.time_s, SimEvent::NodeDied { node });
@@ -243,7 +248,8 @@ impl World {
                     residual_j: node.battery().level_j(),
                 });
                 if issued {
-                    self.trace.record(self.time_s, SimEvent::RequestIssued { node: nid });
+                    self.trace
+                        .record(self.time_s, SimEvent::RequestIssued { node: nid });
                 }
             } else {
                 self.requests.withdraw(nid);
@@ -322,7 +328,8 @@ impl World {
             let mut any_death = false;
             for i in 0..n {
                 if alive_before[i] && !self.net.nodes()[i].is_alive() {
-                    self.trace.record(self.time_s, SimEvent::NodeDied { node: NodeId(i) });
+                    self.trace
+                        .record(self.time_s, SimEvent::NodeDied { node: NodeId(i) });
                     any_death = true;
                 }
             }
@@ -381,11 +388,13 @@ impl World {
                     self.trace.record(self.time_s, SimEvent::ChargerExhausted);
                     return false;
                 }
-                self.trace.record(self.time_s, SimEvent::MoveStarted { dest });
+                self.trace
+                    .record(self.time_s, SimEvent::MoveStarted { dest });
                 let e0 = self.charger.energy_j();
                 let travelled = self.charger.move_to(dest);
                 self.energy_used_j += e0 - self.charger.energy_j();
-                let dt = (travelled / self.charger.speed_mps()).min(self.config.horizon_s - self.time_s);
+                let dt =
+                    (travelled / self.charger.speed_mps()).min(self.config.horizon_s - self.time_s);
                 if dt > 0.0 {
                     self.advance(dt, None, 0.0);
                 }
@@ -413,9 +422,10 @@ impl World {
                 // Drive to the service point first.
                 let park = self.charger.service_point(node_pos);
                 if self.charger.position().distance(park) > 1e-9
-                    && !self.execute(ChargerAction::MoveTo(park)) {
-                        return false;
-                    }
+                    && !self.execute(ChargerAction::MoveTo(park))
+                {
+                    return false;
+                }
                 let pos = self.charger.position();
                 let delivered_w = self.charger.rig().delivered_power(pos, node_pos, mode);
                 let radiated_w = self.charger.rig().radiated_power(pos, node_pos, mode);
@@ -690,7 +700,14 @@ mod tests {
         let nodes = deploy::uniform(&Region::square(30.0), 5, 1);
         let net = Network::build(nodes, Point::ORIGIN, 15.0);
         let charger = MobileCharger::standard(Point::ORIGIN).with_energy(1e-6);
-        let mut w = World::new(net, charger, WorldConfig { horizon_s: 100.0, ..WorldConfig::default() });
+        let mut w = World::new(
+            net,
+            charger,
+            WorldConfig {
+                horizon_s: 100.0,
+                ..WorldConfig::default()
+            },
+        );
         let report = w.run(&mut ChargeOnce(false));
         // The charge action is refused; world free-runs to the horizon.
         assert_eq!(report.sessions, 0);

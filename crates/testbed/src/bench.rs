@@ -103,19 +103,47 @@ fn bench_tide_config(params: &TestbedParams) -> TideConfig {
 /// Runs the three-condition experiment. `horizon_s` bounds each run;
 /// `3 × buffer/idle` (a few emulated hours) is plenty.
 pub fn run_bench_experiment(params: &TestbedParams, horizon_s: f64) -> BenchOutcome {
-    // Condition 1: honest NJNP.
-    let mut honest_world = bench_world(params, horizon_s);
-    let honest = honest_world.run(&mut wrsn_charge::Njnp::new());
+    let run_honest = || {
+        // Condition 1: honest NJNP.
+        let mut world = bench_world(params, horizon_s);
+        let report = world.run(&mut wrsn_charge::Njnp::new());
+        (world, report)
+    };
+    let run_attack = || {
+        // Condition 2: the attack.
+        let mut world = bench_world(params, horizon_s);
+        let mut policy = CsaAttackPolicy::new(bench_tide_config(params));
+        let report = world.run(&mut policy);
+        let outcome = evaluate_attack(&world, &policy);
+        (world, policy, report, outcome)
+    };
+    let run_absent = || {
+        // Condition 3: no charger.
+        let mut world = bench_world(params, horizon_s);
+        let report = world.run(&mut IdlePolicy);
+        (world, report)
+    };
 
-    // Condition 2: the attack.
-    let mut attack_world = bench_world(params, horizon_s);
-    let mut policy = CsaAttackPolicy::new(bench_tide_config(params));
-    let attack = attack_world.run(&mut policy);
-    let outcome = evaluate_attack(&attack_world, &policy);
-
-    // Condition 3: no charger.
-    let mut absent_world = bench_world(params, horizon_s);
-    let absent = absent_world.run(&mut IdlePolicy);
+    // The three conditions start from identical state and never interact, so
+    // they can run concurrently: honest and absent on scoped workers, the
+    // attack (the heaviest) on the calling thread. `WRSN_THREADS=1` keeps
+    // everything sequential; either way each run is deterministic, so the
+    // outcome is identical.
+    let ((honest_world, honest), (attack_world, policy, attack, outcome), (_absent_world, absent)) =
+        if wrsn_sim::parallel::threads() > 1 {
+            std::thread::scope(|scope| {
+                let h = scope.spawn(run_honest);
+                let a = scope.spawn(run_absent);
+                let mid = run_attack();
+                (
+                    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                    mid,
+                    a.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                )
+            })
+        } else {
+            (run_honest(), run_attack(), run_absent())
+        };
 
     // Detector verdicts on the attack run (bench-rate energy reports).
     let detectors: Vec<Box<dyn detect::Detector>> = vec![
@@ -162,11 +190,7 @@ pub fn run_bench_experiment(params: &TestbedParams, horizon_s: f64) -> BenchOutc
     let detection_ratio = if attacked.is_empty() {
         0.0
     } else {
-        attacked
-            .iter()
-            .filter(|n| rows[n.0].flagged)
-            .count() as f64
-            / attacked.len() as f64
+        attacked.iter().filter(|n| rows[n.0].flagged).count() as f64 / attacked.len() as f64
     };
 
     BenchOutcome {

@@ -150,15 +150,18 @@ mod tests {
         let (series, fit) = distance_campaign(&params(), &ds);
         assert_eq!(series.samples.len(), 29);
         let truth = wrsn_em::ChargeModel::powercast();
-        assert!((fit.alpha - truth.alpha()).abs() < 0.1, "alpha {}", fit.alpha);
+        assert!(
+            (fit.alpha - truth.alpha()).abs() < 0.1,
+            "alpha {}",
+            fit.alpha
+        );
         assert!((fit.beta - truth.beta()).abs() < 0.2, "beta {}", fit.beta);
         assert!(fit.r_squared > 0.9);
     }
 
     #[test]
     fn cancellation_residual_grows_with_error() {
-        let rows =
-            cancellation_robustness_campaign(&params(), &[0.0, 0.1, 0.3], &[0.0]);
+        let rows = cancellation_robustness_campaign(&params(), &[0.0, 0.1, 0.3], &[0.0]);
         assert_eq!(rows.len(), 3);
         assert!(rows[0].2 < rows[1].2 && rows[1].2 < rows[2].2);
         assert!(rows[0].2 < 1e-12, "perfect tuning → zero residual");
@@ -168,7 +171,10 @@ mod tests {
     fn superposition_check_antiphase_destroys_power() {
         let (p1, p2, together, naive) = superposition_check(&params(), PI);
         assert!(p1 > 0.5 && p2 > 0.5);
-        assert!(together < 0.1 * naive, "together {together} vs naive {naive}");
+        assert!(
+            together < 0.1 * naive,
+            "together {together} vs naive {naive}"
+        );
     }
 
     #[test]

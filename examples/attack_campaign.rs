@@ -47,7 +47,10 @@ fn main() {
     let report = world.run(&mut policy);
     let outcome = evaluate_attack(&world, &policy);
 
-    println!("\nafter {:.1} simulated hours:", report.final_time_s / 3600.0);
+    println!(
+        "\nafter {:.1} simulated hours:",
+        report.final_time_s / 3600.0
+    );
     println!(
         "  targeted {} victims, exhausted {} ({:.0} %)",
         outcome.targeted,

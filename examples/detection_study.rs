@@ -53,8 +53,12 @@ fn main() {
     let mut eager_world = scenario.build();
     let mut eager = EagerSpoofPolicy::new(3_000.0);
     eager_world.run(&mut eager);
-    let eager_victims: Vec<NodeId> =
-        eager_world.trace().sessions().iter().map(|s| s.node).collect();
+    let eager_victims: Vec<NodeId> = eager_world
+        .trace()
+        .sessions()
+        .iter()
+        .map(|s| s.node)
+        .collect();
 
     // The no-hardware attacker: just never visits its victims.
     let mut neglect_world = scenario.build();

@@ -62,8 +62,11 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--seed" => out.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--policy" => out.policy = take(&mut i)?,
             "--horizon" => {
-                out.horizon_s =
-                    Some(take(&mut i)?.parse().map_err(|e| format!("--horizon: {e}"))?)
+                out.horizon_s = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
             }
             "--depot" => out.depot = true,
             "--save" => out.save = Some(take(&mut i)?),
@@ -91,7 +94,11 @@ fn make_policy(name: &str, scenario: &Scenario) -> Result<Box<dyn ChargerPolicy>
         "csa" => Box::new(CsaAttackPolicy::new(scenario.tide_config())),
         "eager" => Box::new(EagerSpoofPolicy::new(3_000.0)),
         "neglect" => Box::new(SelectiveNeglectPolicy::new()),
-        other => return Err(format!("unknown policy `{other}`; try `wrsn list-policies`")),
+        other => {
+            return Err(format!(
+                "unknown policy `{other}`; try `wrsn list-policies`"
+            ))
+        }
     })
 }
 
@@ -179,7 +186,10 @@ fn plan(args: &Args) -> Result<(), String> {
 }
 
 fn audit(args: &Args) -> Result<(), String> {
-    let path = args.load.as_ref().ok_or("audit needs --load <world.json>")?;
+    let path = args
+        .load
+        .as_ref()
+        .ok_or("audit needs --load <world.json>")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let world: World = serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
     println!(
@@ -193,7 +203,11 @@ fn audit(args: &Args) -> Result<(), String> {
     detectors.push(Box::new(PostMortemAudit::default()));
     for detector in detectors {
         let report = detector.analyze(&world);
-        print!("  {:<22} {:>4} alarms", detector.name(), report.alarm_count());
+        print!(
+            "  {:<22} {:>4} alarms",
+            detector.name(),
+            report.alarm_count()
+        );
         if !args.victims.is_empty() {
             print!(
                 "   detection ratio on given victims: {:.0} %",
@@ -202,7 +216,10 @@ fn audit(args: &Args) -> Result<(), String> {
         }
         println!();
         for alarm in report.alarms.iter().take(5) {
-            println!("      {} @ {:.0} s — {}", alarm.node, alarm.time_s, alarm.detail);
+            println!(
+                "      {} @ {:.0} s — {}",
+                alarm.node, alarm.time_s, alarm.detail
+            );
         }
         if report.alarm_count() > 5 {
             println!("      … and {} more", report.alarm_count() - 5);
@@ -246,7 +263,10 @@ mod tests {
 
     #[test]
     fn parse_simulate_flags() {
-        let a = parse(&argv("--nodes 60 --seed 4 --policy edf --depot --horizon 1000")).unwrap();
+        let a = parse(&argv(
+            "--nodes 60 --seed 4 --policy edf --depot --horizon 1000",
+        ))
+        .unwrap();
         assert_eq!(a.nodes, 60);
         assert_eq!(a.seed, 4);
         assert_eq!(a.policy, "edf");
@@ -259,7 +279,11 @@ mod tests {
         let a = parse(&argv("--victims 1,2,9")).unwrap();
         assert_eq!(
             a.victims,
-            vec![wrsn::net::NodeId(1), wrsn::net::NodeId(2), wrsn::net::NodeId(9)]
+            vec![
+                wrsn::net::NodeId(1),
+                wrsn::net::NodeId(2),
+                wrsn::net::NodeId(9)
+            ]
         );
     }
 

@@ -115,7 +115,12 @@ impl Scenario {
             }
             Deployment::Corridor => {
                 let per = (self.num_nodes.saturating_sub(4)) / 2;
-                deploy::corridor(per.max(2), self.num_nodes.saturating_sub(2 * per.max(2)).max(2), self.seed).1
+                deploy::corridor(
+                    per.max(2),
+                    self.num_nodes.saturating_sub(2 * per.max(2)).max(2),
+                    self.seed,
+                )
+                .1
             }
         };
         let nodes: Vec<SensorNode> = raw
@@ -222,7 +227,10 @@ mod tests {
     #[test]
     fn clustered_deployment_builds() {
         let w = Scenario::paper_scale(30, 3)
-            .with_deployment(Deployment::Clustered { count: 3, sigma: 10.0 })
+            .with_deployment(Deployment::Clustered {
+                count: 3,
+                sigma: 10.0,
+            })
             .build();
         assert_eq!(w.network().node_count(), 30);
     }

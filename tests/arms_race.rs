@@ -26,7 +26,11 @@ fn neglect_kills_but_fairness_audit_sees_it() {
         .iter()
         .filter(|v| !world.network().nodes()[v.0].is_alive())
         .count();
-    assert!(dead as f64 >= 0.8 * victims.len() as f64, "{dead}/{}", victims.len());
+    assert!(
+        dead as f64 >= 0.8 * victims.len() as f64,
+        "{dead}/{}",
+        victims.len()
+    );
 
     let ratio = FairnessAudit::default()
         .analyze(&world)
@@ -75,7 +79,10 @@ fn depot_provisioned_honest_charging_is_clean_on_every_audit() {
     scenario.depot = true;
     let mut world = scenario.build();
     let report = world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
-    assert!(report.depot_visits > 0, "saturated EDF must visit the depot");
+    assert!(
+        report.depot_visits > 0,
+        "saturated EDF must visit the depot"
+    );
     let served: Vec<NodeId> = world.trace().sessions().iter().map(|s| s.node).collect();
     assert!(!served.is_empty());
     for detector in [

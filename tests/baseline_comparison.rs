@@ -120,7 +120,10 @@ fn attack_charger_spends_less_energy_per_dead_key_node_than_benign_saves() {
 fn njnp_and_edf_both_serve_requesters() {
     let scenario = Scenario::paper_scale(40, 10);
     for (name, mut policy) in [
-        ("njnp", Box::new(Njnp::new()) as Box<dyn wrsn::sim::ChargerPolicy>),
+        (
+            "njnp",
+            Box::new(Njnp::new()) as Box<dyn wrsn::sim::ChargerPolicy>,
+        ),
         ("edf", Box::new(EarliestDeadlineFirst::new())),
     ] {
         let mut world = scenario.build();

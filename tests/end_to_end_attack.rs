@@ -94,7 +94,10 @@ fn spoofed_sessions_deliver_nothing_honest_decoys_deliver_plenty() {
             ChargeMode::Honest => {
                 honest += 1;
                 if s.duration_s > 60.0 {
-                    assert!(s.delivered_j > 1.0, "decoy session delivered nothing: {s:?}");
+                    assert!(
+                        s.delivered_j > 1.0,
+                        "decoy session delivered nothing: {s:?}"
+                    );
                 }
             }
         }

@@ -60,7 +60,11 @@ fn death_events_are_time_ordered_and_unique() {
         let world = run(&scenario, policy.as_mut());
         let deaths = world.trace().death_times();
         for pair in deaths.windows(2) {
-            assert!(pair[0].1 <= pair[1].1, "{}: deaths out of order", policy.name());
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{}: deaths out of order",
+                policy.name()
+            );
         }
         let mut ids: Vec<NodeId> = deaths.iter().map(|&(n, _)| n).collect();
         let before = ids.len();
@@ -158,10 +162,7 @@ fn world_snapshot_round_trips_through_json() {
     }
     // Derived routing state (with its INFINITY distances) survived too.
     for id in back.network().ids() {
-        assert_eq!(
-            back.tree().is_reachable(id),
-            world.tree().is_reachable(id)
-        );
+        assert_eq!(back.tree().is_reachable(id), world.tree().is_reachable(id));
     }
     // Detectors work identically on the reloaded snapshot.
     let suite_a = wrsn::core::detect::run_suite(&world);

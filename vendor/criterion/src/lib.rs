@@ -1,0 +1,243 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Exposes the criterion API surface `benches/microbench.rs` uses
+//! (`criterion_group!`, `benchmark_group`, `bench_with_input`, …) without
+//! the statistics machinery. Behaviour mirrors criterion's two modes:
+//!
+//! * `cargo bench` passes `--bench`: every routine is timed (median over
+//!   `sample_size` samples after a warm-up) and a one-line result printed.
+//! * `cargo test` passes no flag: every routine runs once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness handle passed to every benchmark function.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Criterion {
+    /// A harness configured from the process arguments (`--bench` selects
+    /// measurement mode; its absence means `cargo test` smoke mode).
+    pub fn from_args() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|arg| arg == "--bench"),
+        }
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.bench_mode, id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Registers and runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion.bench_mode, &full, self.sample_size, f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion.bench_mode, &full, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`, criterion-style.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Median wall time per iteration, filled in by `iter`.
+    result: Option<Duration>,
+}
+
+enum BencherMode {
+    /// Run the routine once (under `cargo test`).
+    Smoke,
+    /// Time it over this many samples (under `cargo bench`).
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Runs (and in bench mode, times) the benchmark routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BencherMode::Smoke => {
+                std::hint::black_box(routine());
+            }
+            BencherMode::Measure { samples } => {
+                // Warm up, then size iteration counts so each sample spans at
+                // least ~1 ms, keeping timer quantization noise down.
+                let warmup = Instant::now();
+                std::hint::black_box(routine());
+                let once = warmup.elapsed().max(Duration::from_nanos(1));
+                let iters_per_sample =
+                    (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+                let mut sample_times: Vec<Duration> = (0..samples)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters_per_sample {
+                            std::hint::black_box(routine());
+                        }
+                        start.elapsed() / iters_per_sample
+                    })
+                    .collect();
+                sample_times.sort_unstable();
+                self.result = Some(sample_times[sample_times.len() / 2]);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(bench_mode: bool, id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode: if bench_mode {
+            BencherMode::Measure { samples }
+        } else {
+            BencherMode::Smoke
+        },
+        result: None,
+    };
+    f(&mut bencher);
+    if bench_mode {
+        match bencher.result {
+            Some(median) => println!("{id:<50} median {}", format_duration(median)),
+            None => println!("{id:<50} (no measurement: routine never called iter)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Groups benchmark functions under one name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routine_once() {
+        let mut criterion = Criterion { bench_mode: false };
+        let mut calls = 0usize;
+        criterion.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::new("csa_plan", 40);
+        assert_eq!(id.0, "csa_plan/40");
+        let mut criterion = Criterion { bench_mode: false };
+        let mut group = criterion.benchmark_group("planners");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &n| {
+            b.iter(|| {
+                ran = true;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn measure_mode_times_medians() {
+        let mut bencher = Bencher {
+            mode: BencherMode::Measure { samples: 5 },
+            result: None,
+        };
+        bencher.iter(|| std::hint::black_box(1 + 1));
+        assert!(bencher.result.is_some());
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Generates impls of the workspace serde subset's value-tree traits for
+//! plain (non-generic) structs and enums. Parsing is a small hand-rolled
+//! token scanner — the environment has no `syn`/`quote`.
+//!
+//! Supported shapes: unit/tuple/named structs; enums with unit, tuple and
+//! struct variants. Generic types and `#[serde(...)]` attributes are not
+//! supported — hand-write the impl for those (see `wrsn-net`'s
+//! `RoutingTree`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive target looks like after scanning.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the workspace `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => named_to_value(fields, "self.", ""),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => format!(
+                        "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {})]),",
+                        fields.join(", "),
+                        named_to_value(fields, "", "")
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Unit => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected(\"null\", other.kind())),\n\
+             }}"
+        ),
+        Shape::Tuple(arity) => format!(
+            "{{ let __s = __v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+               if __s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{arity} elements\", \"{name}\")); }}\n\
+               ::std::result::Result::Ok({name}({})) }}",
+            (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Shape::Named(fields) => format!(
+            "{{ let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+               ::std::result::Result::Ok({name} {{ {} }}) }}",
+            named_from_value(fields)
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(arity) => Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __s = __inner.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                             if __s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{arity} elements\", \"{name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                    VariantShape::Named(fields) => Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                         }}",
+                        named_from_value(fields)
+                    )),
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::Error::expected(\"known unit variant\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::Error::expected(\"known variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\"enum value\", other.kind())),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str, deref: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({deref}&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_from_value(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\")?)?,")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// ---- token scanning ------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive (vendored): generic type `{name}` is not supported; hand-write the impl"
+        );
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => (name, Shape::Unit),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's bracket group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional pub(...) restriction
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips type tokens until a comma at angle-bracket depth 0, consuming it.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((vname, shape));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
