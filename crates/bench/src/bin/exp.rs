@@ -12,7 +12,10 @@
 //! canonical `EXPERIMENTS.md` order, so the transcript is byte-identical to
 //! a sequential run. `--threads 1` (or `WRSN_THREADS=1`) forces sequential
 //! execution; `--json <path>` additionally records wall-clock time per
-//! experiment and CSA planner micro-timings.
+//! experiment, observability counters, span timings, and CSA planner
+//! micro-timings; `--trace <path>` writes the versioned JSONL trace stream
+//! (one record per simulation event / charging session / health snapshot,
+//! plus per-experiment counters) in canonical experiment order.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +23,7 @@ use std::time::Instant;
 
 use serde::Value;
 use wrsn_bench::experiments::common::synthetic_instance;
+use wrsn_bench::obs::{self, Recorder, SpanStats, StatsRecorder};
 use wrsn_bench::parallel;
 
 /// Everything one experiment produced, buffered for in-order printing.
@@ -28,12 +32,35 @@ struct ExpOutput {
     wall_s: f64,
     rendered: Vec<String>,
     csvs: Vec<(String, String)>,
+    /// Serialized JSONL trace lines (empty unless observability is on).
+    jsonl: Vec<String>,
+    /// Nonzero counters at the end of the experiment.
+    counters: Vec<(String, u64)>,
+    /// Aggregated span wall-times (never part of the JSONL stream).
+    spans: Vec<SpanStats>,
 }
 
-fn run_experiment(id: &'static str) -> Result<ExpOutput, String> {
+fn run_experiment(id: &'static str, observe: bool) -> Result<ExpOutput, String> {
     let started = Instant::now();
-    let tables = wrsn_bench::run(id)?;
+    let mut stats = StatsRecorder::new();
+    let mut null = obs::NullRecorder;
+    let rec: &mut dyn Recorder = if observe { &mut stats } else { &mut null };
+    let tables = wrsn_bench::run_with(id, rec)?;
     let wall_s = started.elapsed().as_secs_f64();
+    let mut jsonl = Vec::new();
+    let mut counters = Vec::new();
+    let mut spans = Vec::new();
+    if observe {
+        stats.emit_counters(id);
+        counters = stats.counter_entries();
+        spans = stats.spans().to_vec();
+        for record in stats.records() {
+            jsonl.push(
+                obs::to_jsonl_line(record)
+                    .map_err(|e| format!("{id}: cannot serialize trace record: {}", e.0))?,
+            );
+        }
+    }
     Ok(ExpOutput {
         id,
         wall_s,
@@ -43,6 +70,9 @@ fn run_experiment(id: &'static str) -> Result<ExpOutput, String> {
             .enumerate()
             .map(|(k, t)| (format!("{id}_{k}.csv"), t.to_csv()))
             .collect(),
+        jsonl,
+        counters,
+        spans,
     })
 }
 
@@ -87,10 +117,39 @@ fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)]) -> Value {
     let experiments = outputs
         .iter()
         .map(|o| {
-            Value::Map(vec![
+            let mut entry = vec![
                 ("id".to_string(), Value::Str(o.id.to_string())),
                 ("wall_s".to_string(), Value::F64(o.wall_s)),
-            ])
+            ];
+            if !o.counters.is_empty() {
+                entry.push((
+                    "counters".to_string(),
+                    Value::Map(
+                        o.counters
+                            .iter()
+                            .map(|(name, v)| (name.clone(), Value::U64(*v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            if !o.spans.is_empty() {
+                entry.push((
+                    "spans".to_string(),
+                    Value::Seq(
+                        o.spans
+                            .iter()
+                            .map(|s| {
+                                Value::Map(vec![
+                                    ("path".to_string(), Value::Str(s.path.clone())),
+                                    ("total_s".to_string(), Value::F64(s.total_s)),
+                                    ("count".to_string(), Value::U64(s.count)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Value::Map(entry)
         })
         .collect();
     let planner = planner
@@ -114,7 +173,7 @@ fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)]) -> Value {
 
 fn usage() -> String {
     format!(
-        "usage: exp --id <id>|all [--threads <n>] [--out-dir <dir>] [--json <path>] | --list\n\
+        "usage: exp --id <id>|all [--threads <n>] [--out-dir <dir>] [--json <path>] [--trace <path>] | --list\n\
          known ids: {}",
         wrsn_bench::ALL_IDS.join(", ")
     )
@@ -124,6 +183,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut id: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut out_dir = PathBuf::from("target").join("experiments");
     let mut i = 0;
     while i < args.len() {
@@ -141,6 +201,16 @@ fn main() -> ExitCode {
             "--json" => {
                 i += 1;
                 json_path = args.get(i).cloned();
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--out-dir" => {
                 i += 1;
@@ -187,7 +257,11 @@ fn main() -> ExitCode {
 
     // Run whole experiments in parallel, but buffer their output and print
     // in canonical order so the transcript matches a sequential run.
-    let results = parallel::map_indexed(ids.len(), |k| run_experiment(ids[k]));
+    // Observability is on only when something consumes it: traces need the
+    // records, the JSON report the counters/spans. The plain path keeps the
+    // allocation-free NullRecorder.
+    let observe = trace_path.is_some() || json_path.is_some();
+    let results = parallel::map_indexed(ids.len(), |k| run_experiment(ids[k], observe));
     let mut outputs = Vec::with_capacity(results.len());
     for result in results {
         match result {
@@ -203,6 +277,25 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some(path) = trace_path {
+        // One stream, canonical experiment order: each experiment contributes
+        // a Meta header, its event/session/snapshot records, and a closing
+        // Counters record.
+        let mut stream = String::new();
+        for output in &outputs {
+            for line in &output.jsonl {
+                stream.push_str(line);
+                stream.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &stream) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let records: usize = outputs.iter().map(|o| o.jsonl.len()).sum();
+        eprintln!("[trace] {records} records written to {path}");
     }
 
     if let Some(path) = json_path {

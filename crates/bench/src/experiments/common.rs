@@ -8,13 +8,22 @@ use wrsn::core::attack::{evaluate_attack, AttackOutcome, CsaAttackPolicy};
 use wrsn::core::tide::{TideInstance, TimeWindow, Victim};
 use wrsn::net::{NodeId, Point};
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 use wrsn::sim::{SimReport, World};
 
 /// Runs a full adaptive CSA campaign on `scenario`'s world.
 pub fn run_csa(scenario: &Scenario) -> (World, CsaAttackPolicy, SimReport, AttackOutcome) {
+    run_csa_with(scenario, &mut NullRecorder)
+}
+
+/// Like [`run_csa`], with the campaign observed through `rec`.
+pub fn run_csa_with(
+    scenario: &Scenario,
+    rec: &mut dyn Recorder,
+) -> (World, CsaAttackPolicy, SimReport, AttackOutcome) {
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    let report = world.run(&mut policy);
+    let report = world.run_with(&mut policy, rec);
     let outcome = evaluate_attack(&world, &policy);
     (world, policy, report, outcome)
 }

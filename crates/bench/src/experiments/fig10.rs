@@ -2,6 +2,7 @@
 //! small instances ("bounded performance guarantee").
 
 use wrsn::core::{csa, exact, theory};
+use wrsn::sim::obs::{NullRecorder, Recorder};
 
 use crate::experiments::common::synthetic_instance;
 use crate::stats::{mean_std, min};
@@ -23,6 +24,11 @@ pub const CONFIGS: &[(&str, f64, f64)] = &[
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, counting CSA planner work into `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let mut table = Table::new(
         format!(
             "fig10: CSA / exact utility ratio over {INSTANCES} random instances of {VICTIMS} victims \
@@ -37,7 +43,7 @@ pub fn run() -> Vec<Table> {
         for seed in 0..INSTANCES {
             let inst = synthetic_instance(VICTIMS, seed.wrapping_mul(7919) + 13, window, budget);
             let opt = inst.utility(&exact::solve(&inst));
-            let got = inst.utility(&csa::plan(&inst));
+            let got = inst.utility(&csa::plan_with_obs(&inst, &csa::CsaOptions::default(), rec));
             let ratio = theory::approximation_ratio(got, opt);
             if ratio > 1.0 - 1e-9 {
                 perfect += 1;

@@ -11,6 +11,7 @@ use wrsn::core::attack::CsaAttackPolicy;
 use wrsn::core::detect::{Detector, PostMortemAudit};
 use wrsn::net::NodeId;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder, StatsRecorder};
 use wrsn::sim::World;
 
 use crate::stats::mean_std;
@@ -28,20 +29,20 @@ struct Run {
     victims: Vec<NodeId>,
 }
 
-fn csa_run(seed: u64) -> Run {
+fn csa_run(seed: u64, rec: &mut dyn Recorder) -> Run {
     let scenario = Scenario::paper_scale(NODES, seed);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run_with(&mut policy, rec);
     let victims = policy.targets().iter().map(|&(n, _)| n).collect();
     Run { world, victims }
 }
 
-fn honest_run(seed: u64, depot: bool) -> Run {
+fn honest_run(seed: u64, depot: bool, rec: &mut dyn Recorder) -> Run {
     let mut scenario = Scenario::paper_scale(NODES, seed);
     scenario.depot = depot;
     let mut world = scenario.build();
-    world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
+    world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
     Run {
         world,
         victims: Vec::new(),
@@ -50,17 +51,36 @@ fn honest_run(seed: u64, depot: bool) -> Run {
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing every run through `rec`. The parallel
+/// workers record into private [`StatsRecorder`]s that are merged back in
+/// index order, so the merged stream is independent of the worker count.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     // Every (condition, seed) simulation is independent — fan all of them
     // out at once; index order keeps the tables byte-identical.
+    let observe = rec.enabled();
     let seeds = SEEDS as usize;
-    let mut all = crate::parallel::map_indexed(3 * seeds, |k| {
+    let pairs = crate::parallel::map_indexed(3 * seeds, |k| {
         let seed = (k % seeds) as u64;
-        match k / seeds {
-            0 => csa_run(seed),
-            1 => honest_run(seed, false),
-            _ => honest_run(seed, true),
-        }
+        let mut worker = StatsRecorder::new();
+        let mut null = NullRecorder;
+        let sink: &mut dyn Recorder = if observe { &mut worker } else { &mut null };
+        let run = match k / seeds {
+            0 => csa_run(seed, sink),
+            1 => honest_run(seed, false, sink),
+            _ => honest_run(seed, true, sink),
+        };
+        (run, worker)
     });
+    let mut all = Vec::with_capacity(pairs.len());
+    for (run, worker) in pairs {
+        if observe {
+            worker.merge_into(rec);
+        }
+        all.push(run);
+    }
     let depot_runs: Vec<Run> = all.split_off(2 * seeds);
     let honest_runs: Vec<Run> = all.split_off(seeds);
     let csa_runs: Vec<Run> = all;

@@ -14,6 +14,7 @@ use wrsn::core::detect::{
 };
 use wrsn::net::NodeId;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder, StatsRecorder};
 use wrsn::sim::World;
 
 use crate::stats::mean_std;
@@ -33,24 +34,24 @@ fn behaviours() -> Vec<&'static str> {
     vec!["honest-edf", "csa", "eager-spoof", "selective-neglect"]
 }
 
-fn run_behaviour(label: &str, seed: u64) -> Run {
+fn run_behaviour(label: &str, seed: u64, rec: &mut dyn Recorder) -> Run {
     let scenario = Scenario::paper_scale(NODES, seed);
     let mut world = scenario.build();
     match label {
         "honest-edf" => {
-            world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
+            world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
             let victims = world.trace().sessions().iter().map(|s| s.node).collect();
             Run { world, victims }
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             let victims = p.targets().iter().map(|&(n, _)| n).collect();
             Run { world, victims }
         }
         "eager-spoof" => {
             let mut p = EagerSpoofPolicy::new(3_000.0);
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             let victims = world
                 .trace()
                 .sessions()
@@ -62,7 +63,7 @@ fn run_behaviour(label: &str, seed: u64) -> Run {
         }
         "selective-neglect" => {
             let mut p = SelectiveNeglectPolicy::new();
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             let victims = p.census();
             Run { world, victims }
         }
@@ -72,6 +73,12 @@ fn run_behaviour(label: &str, seed: u64) -> Run {
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing every run through `rec`. Parallel workers
+/// record into private [`StatsRecorder`]s merged back in index order.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let detectors: Vec<(&str, Box<dyn Detector>)> = vec![
         ("energy-report", Box::new(EnergyReportAudit::default())),
         ("radiated-power", Box::new(RadiatedPowerAudit::default())),
@@ -96,9 +103,23 @@ pub fn run() -> Vec<Table> {
     // them in the original order, so the table is unchanged.
     let labels = behaviours();
     let seeds = SEEDS as usize;
-    let all: Vec<Run> = crate::parallel::map_indexed(labels.len() * seeds, |k| {
-        run_behaviour(labels[k / seeds], (k % seeds) as u64)
+    let observe = rec.enabled();
+    let pairs = crate::parallel::map_indexed(labels.len() * seeds, |k| {
+        let mut worker = StatsRecorder::new();
+        let mut null = NullRecorder;
+        let sink: &mut dyn Recorder = if observe { &mut worker } else { &mut null };
+        (
+            run_behaviour(labels[k / seeds], (k % seeds) as u64, sink),
+            worker,
+        )
     });
+    let mut all: Vec<Run> = Vec::with_capacity(pairs.len());
+    for (run, worker) in pairs {
+        if observe {
+            worker.merge_into(rec);
+        }
+        all.push(run);
+    }
     for (bi, label) in labels.into_iter().enumerate() {
         let runs = &all[bi * seeds..(bi + 1) * seeds];
         let mut row = vec![label.to_string()];

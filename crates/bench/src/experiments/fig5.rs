@@ -4,6 +4,7 @@
 use wrsn::core::baseline;
 use wrsn::core::tide::TideInstance;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 
 use crate::stats::mean_std;
 use crate::table::{pm, Table};
@@ -15,6 +16,11 @@ pub const SEEDS: u64 = 8;
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, counting planner work into `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let mut table = Table::new(
         "fig5: planned attack utility vs network size (mean ± std over seeds)",
         &["nodes", "victims", "csa", "greedy-utility", "tsp", "random"],
@@ -28,7 +34,7 @@ pub fn run() -> Vec<Table> {
             let instance = TideInstance::from_world(&world, &scenario.tide_config());
             victims.push(instance.victim_count() as f64);
             for (k, planner) in baseline::standard_planners(seed).iter().enumerate() {
-                let schedule = planner.plan(&instance);
+                let schedule = planner.plan_obs(&instance, rec);
                 debug_assert!(instance.validate(&schedule).is_ok());
                 per_planner[k].push(instance.utility(&schedule));
             }

@@ -2,8 +2,9 @@
 //! masquerade) vs. network size, from full attack executions.
 
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 
-use crate::experiments::common::run_csa;
+use crate::experiments::common::{run_csa, run_csa_with};
 use crate::stats::mean_std;
 use crate::table::{f, pm, Table};
 
@@ -14,6 +15,11 @@ pub const SEEDS: u64 = 5;
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing every campaign through `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let mut table = Table::new(
         "fig6: key nodes exhausted by the executed attack vs network size (paper: ≥80 %)",
         &[
@@ -31,7 +37,7 @@ pub fn run() -> Vec<Table> {
         let mut energy = Vec::new();
         for seed in 0..SEEDS {
             let scenario = Scenario::paper_scale(n, seed);
-            let (_, _, report, outcome) = run_csa(&scenario);
+            let (_, _, report, outcome) = run_csa_with(&scenario, rec);
             targeted.push(outcome.targeted as f64);
             exhausted_ratio.push(outcome.exhausted_ratio);
             covered.push(outcome.covered_exhausted_ratio);

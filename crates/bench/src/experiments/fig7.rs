@@ -2,8 +2,9 @@
 //! energy budget.
 
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 
-use crate::experiments::common::run_csa;
+use crate::experiments::common::run_csa_with;
 use crate::stats::mean_std;
 use crate::table::{f, pm, Table};
 
@@ -20,7 +21,12 @@ pub const SPEEDS: &[f64] = &[0.1, 0.25, 1.0, 5.0];
 /// budget caps the victim count.
 pub const BUDGETS: &[f64] = &[2.0e4, 5.0e4, 1.0e5, 2.0e6];
 
-fn sweep<F: Fn(&mut Scenario, f64)>(values: &[f64], label: &str, apply: F) -> Table {
+fn sweep<F: Fn(&mut Scenario, f64)>(
+    values: &[f64],
+    label: &str,
+    apply: F,
+    rec: &mut dyn Recorder,
+) -> Table {
     let mut table = Table::new(
         format!("fig7: executed attack vs {label} ({NODES} nodes)"),
         &[label, "targeted", "census covered", "utility"],
@@ -32,7 +38,7 @@ fn sweep<F: Fn(&mut Scenario, f64)>(values: &[f64], label: &str, apply: F) -> Ta
         for seed in 0..SEEDS {
             let mut scenario = Scenario::paper_scale(NODES, seed);
             apply(&mut scenario, v);
-            let (_, _, _, outcome) = run_csa(&scenario);
+            let (_, _, _, outcome) = run_csa_with(&scenario, rec);
             targeted.push(outcome.targeted as f64);
             covered.push(outcome.covered_exhausted_ratio);
             utility.push(outcome.utility);
@@ -50,8 +56,13 @@ fn sweep<F: Fn(&mut Scenario, f64)>(values: &[f64], label: &str, apply: F) -> Ta
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing every campaign through `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     vec![
-        sweep(SPEEDS, "speed (m/s)", |s, v| s.mc_speed_mps = v),
-        sweep(BUDGETS, "budget (J)", |s, v| s.mc_energy_j = v),
+        sweep(SPEEDS, "speed (m/s)", |s, v| s.mc_speed_mps = v, rec),
+        sweep(BUDGETS, "budget (J)", |s, v| s.mc_energy_j = v, rec),
     ]
 }

@@ -8,6 +8,7 @@ use wrsn::core::attack::{CsaAttackPolicy, EagerSpoofPolicy};
 use wrsn::core::detect::{Detector, EnergyReportAudit, TrajectoryAudit};
 use wrsn::net::NodeId;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 use wrsn::sim::World;
 
 use crate::stats::mean_std;
@@ -29,22 +30,22 @@ struct Run {
     victims: Vec<NodeId>,
 }
 
-fn runs_for(policy_kind: &str, seed: u64) -> Run {
+fn runs_for(policy_kind: &str, seed: u64, rec: &mut dyn Recorder) -> Run {
     let scenario = Scenario::paper_scale(NODES, seed);
     let mut world = scenario.build();
     let victims = match policy_kind {
         "honest" => {
-            world.run(&mut wrsn::charge::Njnp::new());
+            world.run_with(&mut wrsn::charge::Njnp::new(), rec);
             world.trace().sessions().iter().map(|s| s.node).collect()
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             p.targets().iter().map(|&(n, _)| n).collect()
         }
         "eager" => {
             let mut p = EagerSpoofPolicy::new(3_000.0);
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             world.trace().sessions().iter().map(|s| s.node).collect()
         }
         other => unreachable!("unknown policy {other}"),
@@ -57,10 +58,15 @@ fn runs_for(policy_kind: &str, seed: u64) -> Run {
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing every run through `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let policies = ["honest", "csa", "eager"];
     let runs: Vec<Vec<Run>> = policies
         .iter()
-        .map(|p| (0..SEEDS).map(|s| runs_for(p, s)).collect())
+        .map(|p| (0..SEEDS).map(|s| runs_for(p, s, rec)).collect())
         .collect();
 
     let mut energy = Table::new(

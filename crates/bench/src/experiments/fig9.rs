@@ -4,6 +4,7 @@
 
 use wrsn::core::attack::CsaAttackPolicy;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder};
 use wrsn::sim::{ChargerPolicy, IdlePolicy, World};
 
 use crate::experiments::common::dead_at;
@@ -16,22 +17,22 @@ pub const SEED: u64 = 1;
 /// Sample interval for the time series, hours.
 pub const STEP_H: f64 = 48.0;
 
-fn run_policy(label: &str) -> (String, World) {
+fn run_policy(label: &str, rec: &mut dyn Recorder) -> (String, World) {
     let scenario = Scenario::paper_scale(NODES, SEED);
     let mut world = scenario.build();
     match label {
         "absent" => {
-            world.run(&mut IdlePolicy);
+            world.run_with(&mut IdlePolicy, rec);
         }
         "njnp" => {
-            world.run(&mut wrsn::charge::Njnp::new());
+            world.run_with(&mut wrsn::charge::Njnp::new(), rec);
         }
         "edf" => {
-            world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
+            world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run(&mut p);
+            world.run_with(&mut p, rec);
             return (p.name().to_string(), world);
         }
         other => unreachable!("unknown label {other}"),
@@ -41,8 +42,13 @@ fn run_policy(label: &str) -> (String, World) {
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing all four policy runs through `rec`.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
     let labels = ["absent", "njnp", "edf", "csa"];
-    let runs: Vec<(String, World)> = labels.iter().map(|l| run_policy(l)).collect();
+    let runs: Vec<(String, World)> = labels.iter().map(|l| run_policy(l, rec)).collect();
 
     let horizon_h = Scenario::paper_scale(NODES, SEED).horizon_s / 3600.0;
     let mut table = Table::new(

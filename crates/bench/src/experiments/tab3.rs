@@ -10,6 +10,7 @@ use wrsn::core::csa::{self, CsaOptions};
 use wrsn::core::detect::{Detector, EnergyReportAudit};
 use wrsn::net::NodeId;
 use wrsn::scenario::Scenario;
+use wrsn::sim::obs::{NullRecorder, Recorder, StatsRecorder};
 
 use crate::stats::mean_std;
 use crate::table::{f, Table};
@@ -24,7 +25,7 @@ pub const SEEDS: u64 = 3;
 /// contended instances: many victims, tight budget.
 const PLANNER_SEEDS: u64 = 10;
 
-fn planner_ablation() -> Table {
+fn planner_ablation(rec: &mut dyn Recorder) -> Table {
     let variants: &[(&str, CsaOptions)] = &[
         ("full CSA", CsaOptions::default()),
         (
@@ -58,12 +59,16 @@ fn planner_ablation() -> Table {
             "mean slack before death (s)",
         ],
     );
+    let observe = rec.enabled();
     for (label, opts) in variants {
         // One planner run per seed, fanned out; per-seed rows come back in
         // seed order, so the aggregated row is byte-identical.
-        let rows = crate::parallel::map_indexed(PLANNER_SEEDS as usize, |k| {
+        let pairs = crate::parallel::map_indexed(PLANNER_SEEDS as usize, |k| {
+            let mut worker = StatsRecorder::new();
+            let mut null = NullRecorder;
+            let sink: &mut dyn Recorder = if observe { &mut worker } else { &mut null };
             let inst = crate::experiments::common::synthetic_instance(20, k as u64, 300.0, 800.0);
-            let plan = csa::plan_with(&inst, opts);
+            let plan = csa::plan_with_obs(&inst, opts, sink);
             debug_assert!(inst.validate(&plan).is_ok());
             // Slack = victim's residual life after the masquerade ends;
             // latest-start shifting exists to shrink this.
@@ -77,11 +82,21 @@ fn planner_ablation() -> Table {
                 })
                 .collect();
             (
-                inst.utility(&plan),
-                inst.energy_cost(&plan),
-                mean_std(&slacks).0,
+                (
+                    inst.utility(&plan),
+                    inst.energy_cost(&plan),
+                    mean_std(&slacks).0,
+                ),
+                worker,
             )
         });
+        let mut rows = Vec::with_capacity(pairs.len());
+        for (row, worker) in pairs {
+            if observe {
+                worker.merge_into(rec);
+            }
+            rows.push(row);
+        }
         let utility: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let energy: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let slack: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -95,7 +110,7 @@ fn planner_ablation() -> Table {
     table
 }
 
-fn execution_ablation() -> Table {
+fn execution_ablation(rec: &mut dyn Recorder) -> Table {
     let mut table = Table::new(
         "tab3b: execution ablation (full runs)",
         &[
@@ -114,7 +129,11 @@ fn execution_ablation() -> Table {
     // Full (variant, seed) simulations are independent — run them all at
     // once and aggregate per variant afterwards, in the original order.
     let seeds = SEEDS as usize;
-    let all = crate::parallel::map_indexed(variants.len() * seeds, |k| {
+    let observe = rec.enabled();
+    let pairs = crate::parallel::map_indexed(variants.len() * seeds, |k| {
+        let mut worker = StatsRecorder::new();
+        let mut null = NullRecorder;
+        let sink: &mut dyn Recorder = if observe { &mut worker } else { &mut null };
         let label = variants[k / seeds];
         let seed = (k % seeds) as u64;
         let scenario = Scenario::paper_scale(NODES, seed);
@@ -130,17 +149,27 @@ fn execution_ablation() -> Table {
             policy = policy.without_decoys();
         }
         let mut world = scenario.build();
-        world.run(&mut policy);
+        world.run_with(&mut policy, sink);
         let outcome = evaluate_attack(&world, &policy);
         let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
         (
-            outcome.targeted as f64,
-            outcome.covered_exhausted_ratio,
-            EnergyReportAudit::default()
-                .analyze(&world)
-                .detection_ratio(&victims),
+            (
+                outcome.targeted as f64,
+                outcome.covered_exhausted_ratio,
+                EnergyReportAudit::default()
+                    .analyze(&world)
+                    .detection_ratio(&victims),
+            ),
+            worker,
         )
     });
+    let mut all = Vec::with_capacity(pairs.len());
+    for (row, worker) in pairs {
+        if observe {
+            worker.merge_into(rec);
+        }
+        all.push(row);
+    }
     for (vi, &label) in variants.iter().enumerate() {
         let rows = &all[vi * seeds..(vi + 1) * seeds];
         let targeted: Vec<f64> = rows.iter().map(|r| r.0).collect();
@@ -158,5 +187,12 @@ fn execution_ablation() -> Table {
 
 /// Runs the experiment.
 pub fn run() -> Vec<Table> {
-    vec![planner_ablation(), execution_ablation()]
+    run_with(&mut NullRecorder)
+}
+
+/// Runs the experiment, observing planner and execution runs through `rec`.
+/// Parallel workers record into private [`StatsRecorder`]s merged back in
+/// index order.
+pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
+    vec![planner_ablation(rec), execution_ablation(rec)]
 }

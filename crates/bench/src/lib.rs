@@ -18,9 +18,12 @@ pub mod experiments;
 pub mod stats;
 pub mod table;
 
+pub use wrsn::sim::obs;
 pub use wrsn::sim::parallel;
 
 pub use table::Table;
+
+use obs::{Recorder, TraceRecord, SCHEMA_VERSION};
 
 /// All experiment ids, in the order of `EXPERIMENTS.md`.
 pub const ALL_IDS: &[&str] = &[
@@ -34,22 +37,43 @@ pub const ALL_IDS: &[&str] = &[
 ///
 /// Returns an error string for unknown ids.
 pub fn run(id: &str) -> Result<Vec<Table>, String> {
+    run_with(id, &mut obs::NullRecorder)
+}
+
+/// Runs one experiment by id, reporting counters, spans, and trace records
+/// into `rec`. The stream opens with a [`TraceRecord::Meta`] header scoped to
+/// `id`; close it afterwards with [`obs::StatsRecorder::emit_counters`].
+///
+/// With a [`obs::NullRecorder`] this is exactly [`run`]: the recorder is
+/// never consulted on the hot path and every table stays byte-identical
+/// (pinned by the `trace_identity` integration tests).
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids.
+pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, String> {
+    if rec.enabled() {
+        rec.emit(&TraceRecord::Meta {
+            schema: format!("wrsn-trace-v{SCHEMA_VERSION}"),
+            scope: id.to_string(),
+        });
+    }
     match id {
         "fig2" => Ok(experiments::fig2::run()),
         "fig3" => Ok(experiments::fig3::run()),
         "fig4" => Ok(experiments::fig4::run()),
-        "fig5" => Ok(experiments::fig5::run()),
-        "fig6" => Ok(experiments::fig6::run()),
-        "fig7" => Ok(experiments::fig7::run()),
-        "fig8" => Ok(experiments::fig8::run()),
-        "fig9" => Ok(experiments::fig9::run()),
-        "fig10" => Ok(experiments::fig10::run()),
-        "fig11" => Ok(experiments::fig11::run()),
-        "fig12" => Ok(experiments::fig12::run()),
+        "fig5" => Ok(experiments::fig5::run_with(rec)),
+        "fig6" => Ok(experiments::fig6::run_with(rec)),
+        "fig7" => Ok(experiments::fig7::run_with(rec)),
+        "fig8" => Ok(experiments::fig8::run_with(rec)),
+        "fig9" => Ok(experiments::fig9::run_with(rec)),
+        "fig10" => Ok(experiments::fig10::run_with(rec)),
+        "fig11" => Ok(experiments::fig11::run_with(rec)),
+        "fig12" => Ok(experiments::fig12::run_with(rec)),
         "fig13" => Ok(experiments::fig13::run()),
         "tab1" => Ok(experiments::tab1::run()),
         "tab2" => Ok(experiments::tab2::run()),
-        "tab3" => Ok(experiments::tab3::run()),
+        "tab3" => Ok(experiments::tab3::run_with(rec)),
         other => Err(format!(
             "unknown experiment id `{other}`; known ids: {}",
             ALL_IDS.join(", ")

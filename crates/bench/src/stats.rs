@@ -25,14 +25,17 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 
 /// Minimum of `xs` (`NaN`-free input assumed; 0 for empty).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min)
-        .min(f64::INFINITY)
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of `xs` (0 for empty).
 pub fn max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
     xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
@@ -62,5 +65,15 @@ mod tests {
         let xs = [3.0, -1.0, 7.0];
         assert_eq!(min(&xs), -1.0);
         assert_eq!(max(&xs), 7.0);
+    }
+
+    #[test]
+    fn min_max_of_empty_slice_are_zero() {
+        // Documented contract: empty input yields 0.0, not ±infinity (which
+        // used to leak into CSV cells as "inf"/"-inf").
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert!(min(&[]).is_finite());
+        assert!(max(&[]).is_finite());
     }
 }

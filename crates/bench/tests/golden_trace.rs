@@ -1,0 +1,73 @@
+//! Golden snapshot of the JSONL trace for one small deterministic run.
+//!
+//! Pins the serialized schema (field names, envelope, float formatting) so
+//! accidental format drift is caught even when round-trip tests still pass.
+//! Regenerate after an *intentional* schema change (and bump
+//! `obs::SCHEMA_VERSION` if record shapes changed) with:
+//!
+//! ```text
+//! WRSN_BLESS=1 cargo test -p wrsn-bench --test golden_trace
+//! ```
+
+use wrsn::charge::Njnp;
+use wrsn::net::deploy;
+use wrsn::net::energy::Battery;
+use wrsn::net::node::SensorNode;
+use wrsn::net::{Network, NodeId, Point, Region};
+use wrsn::sim::obs::StatsRecorder;
+use wrsn::sim::{MobileCharger, World, WorldConfig};
+
+use wrsn_bench::obs;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_trace.jsonl");
+
+/// One fully deterministic small run: a 2×2 grid, pre-drained, served by
+/// NJNP over a short horizon.
+fn golden_stream() -> String {
+    let nodes: Vec<SensorNode> = deploy::grid(&Region::square(40.0), 2, 2, 0.0, 0)
+        .into_iter()
+        .map(|n| SensorNode::with_battery(n.position(), Battery::new(200.0, 40.0)))
+        .collect();
+    let net = Network::build(nodes, Point::new(20.0, 20.0), 30.0);
+    let mut world = World::new(
+        net,
+        MobileCharger::standard(Point::new(20.0, 20.0)),
+        WorldConfig {
+            horizon_s: 20_000.0,
+            ..WorldConfig::default()
+        },
+    );
+    // Staggered levels below the 40 J warning threshold: every node
+    // requests immediately, so the trace exercises requests, moves,
+    // charging sessions, and the final health snapshot.
+    for (i, level) in [35.0, 30.0, 25.0, 2.0].into_iter().enumerate() {
+        world.set_battery_level(NodeId(i), level).unwrap();
+    }
+    let mut rec = StatsRecorder::new();
+    world.run_with(&mut Njnp::new(), &mut rec);
+    rec.emit_counters("golden");
+    let mut stream = String::new();
+    for record in rec.records() {
+        stream.push_str(&obs::to_jsonl_line(record).unwrap());
+        stream.push('\n');
+    }
+    stream
+}
+
+#[test]
+fn golden_trace_matches_snapshot() {
+    let stream = golden_stream();
+    assert_eq!(stream, golden_stream(), "trace must be deterministic");
+    if std::env::var_os("WRSN_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data")).unwrap();
+        std::fs::write(GOLDEN_PATH, &stream).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; regenerate with WRSN_BLESS=1 (see module docs)");
+    assert_eq!(
+        stream, golden,
+        "JSONL trace drifted from the golden snapshot; if the change is \
+         intentional, regenerate with WRSN_BLESS=1 (see module docs)"
+    );
+}

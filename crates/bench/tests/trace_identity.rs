@@ -1,0 +1,82 @@
+//! The observability layer must never change what it observes: running an
+//! experiment with a [`StatsRecorder`] has to produce byte-identical tables
+//! to the default [`NullRecorder`] path, and the JSONL stream itself must be
+//! a pure function of the simulation — independent of the worker count.
+
+use wrsn_bench::obs::{self, Counter, StatsRecorder, TraceRecord};
+use wrsn_bench::parallel;
+
+fn rendered(tables: &[wrsn_bench::Table]) -> String {
+    tables
+        .iter()
+        .map(|t| t.render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn jsonl(rec: &StatsRecorder) -> Vec<String> {
+    rec.records()
+        .iter()
+        .map(|r| obs::to_jsonl_line(r).unwrap())
+        .collect()
+}
+
+#[test]
+fn fig9_tables_identical_and_trace_parses_back_losslessly() {
+    let baseline = rendered(&wrsn_bench::run("fig9").unwrap());
+    let mut rec = StatsRecorder::new();
+    let observed = rendered(&wrsn_bench::run_with("fig9", &mut rec).unwrap());
+    assert_eq!(baseline, observed, "recorder must not change the tables");
+    rec.emit_counters("fig9");
+
+    // Every record kind the trace promises is present: Meta header first,
+    // events, merged sessions, health snapshots, Counters footer last.
+    let records = rec.records();
+    assert!(matches!(records.first(), Some(TraceRecord::Meta { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, TraceRecord::Event { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, TraceRecord::Session { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, TraceRecord::Snapshot { .. })));
+    assert!(matches!(records.last(), Some(TraceRecord::Counters { .. })));
+
+    // Planner counters flowed up from the CSA planner through the attack
+    // policy into the experiment's recorder.
+    assert!(rec.counter(Counter::PolicyDecisions) > 0);
+    assert!(rec.counter(Counter::PlannerRuns) > 0);
+    assert!(rec.counter(Counter::Replans) > 0);
+    assert!(rec.counter(Counter::CandidateProbes) > 0);
+    assert!(rec.counter(Counter::HonestSessions) > 0);
+
+    // Lossless: record → line → record → line reproduces the exact bytes.
+    for record in records {
+        let line = obs::to_jsonl_line(record).unwrap();
+        let back = obs::from_jsonl_line(&line).unwrap();
+        assert_eq!(&back, record);
+        assert_eq!(obs::to_jsonl_line(&back).unwrap(), line);
+    }
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_thread_counts() {
+    // fig11 fans its runs out with `parallel::map_indexed`; per-worker
+    // recorders are merged back in index order, so the stream must not
+    // depend on how many workers carried them.
+    std::env::set_var(parallel::THREADS_ENV, "1");
+    let mut sequential = StatsRecorder::new();
+    wrsn_bench::run_with("fig11", &mut sequential).unwrap();
+    std::env::set_var(parallel::THREADS_ENV, "4");
+    let mut threaded = StatsRecorder::new();
+    wrsn_bench::run_with("fig11", &mut threaded).unwrap();
+    std::env::remove_var(parallel::THREADS_ENV);
+    assert_eq!(
+        jsonl(&sequential),
+        jsonl(&threaded),
+        "JSONL changed with the worker count"
+    );
+    assert_eq!(sequential.counter_entries(), threaded.counter_entries());
+}

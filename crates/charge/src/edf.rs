@@ -3,6 +3,7 @@
 //! strongest benign baseline for lifetime under load.
 
 use wrsn_net::NodeId;
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
 use wrsn_sim::{ChargeMode, ChargerAction, ChargerPolicy, WorldView};
 
 use crate::refill_duration_s;
@@ -48,14 +49,15 @@ impl Default for EarliestDeadlineFirst {
     }
 }
 
-impl ChargerPolicy for EarliestDeadlineFirst {
-    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+impl EarliestDeadlineFirst {
+    fn decide(&mut self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> ChargerAction {
         if view.should_recharge(0.15) {
             return ChargerAction::Recharge;
         }
         if view.charger.is_exhausted() {
             return ChargerAction::Finish;
         }
+        rec.add(Counter::RequestScans, view.requests.len() as u64);
         let urgent = view
             .requests
             .iter()
@@ -86,6 +88,20 @@ impl ChargerPolicy for EarliestDeadlineFirst {
                 }
             }
         }
+    }
+}
+
+impl ChargerPolicy for EarliestDeadlineFirst {
+    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+        self.decide(view, &mut NullRecorder)
+    }
+
+    fn next_action_observed(
+        &mut self,
+        view: &WorldView<'_>,
+        rec: &mut dyn Recorder,
+    ) -> ChargerAction {
+        self.decide(view, rec)
     }
 
     fn name(&self) -> &str {

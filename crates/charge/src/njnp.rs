@@ -7,6 +7,7 @@
 //! takes over at the next slice boundary.
 
 use wrsn_net::NodeId;
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
 use wrsn_sim::{ChargeMode, ChargerAction, ChargerPolicy, WorldView};
 
 use crate::refill_duration_s;
@@ -46,6 +47,36 @@ impl Njnp {
         self
     }
 
+    fn decide(&mut self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> ChargerAction {
+        if view.should_recharge(0.15) {
+            return ChargerAction::Recharge;
+        }
+        if view.charger.is_exhausted() {
+            return ChargerAction::Finish;
+        }
+        rec.add(Counter::RequestScans, view.requests.len() as u64);
+        match self.nearest_request(view) {
+            Some(node) => {
+                let full = refill_duration_s(view, node).unwrap_or(self.slice_s);
+                if full > self.slice_s {
+                    rec.add(Counter::PolicySlices, 1);
+                }
+                ChargerAction::Charge {
+                    node,
+                    duration_s: full.min(self.slice_s),
+                    mode: ChargeMode::Honest,
+                }
+            }
+            None => {
+                if view.time_left_s() <= 0.0 {
+                    ChargerAction::Finish
+                } else {
+                    ChargerAction::Wait(self.poll_s.min(view.time_left_s()))
+                }
+            }
+        }
+    }
+
     fn nearest_request(&self, view: &WorldView<'_>) -> Option<NodeId> {
         view.requests
             .iter()
@@ -75,29 +106,15 @@ impl Default for Njnp {
 
 impl ChargerPolicy for Njnp {
     fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
-        if view.should_recharge(0.15) {
-            return ChargerAction::Recharge;
-        }
-        if view.charger.is_exhausted() {
-            return ChargerAction::Finish;
-        }
-        match self.nearest_request(view) {
-            Some(node) => {
-                let full = refill_duration_s(view, node).unwrap_or(self.slice_s);
-                ChargerAction::Charge {
-                    node,
-                    duration_s: full.min(self.slice_s),
-                    mode: ChargeMode::Honest,
-                }
-            }
-            None => {
-                if view.time_left_s() <= 0.0 {
-                    ChargerAction::Finish
-                } else {
-                    ChargerAction::Wait(self.poll_s.min(view.time_left_s()))
-                }
-            }
-        }
+        self.decide(view, &mut NullRecorder)
+    }
+
+    fn next_action_observed(
+        &mut self,
+        view: &WorldView<'_>,
+        rec: &mut dyn Recorder,
+    ) -> ChargerAction {
+        self.decide(view, rec)
     }
 
     fn name(&self) -> &str {

@@ -4,10 +4,11 @@
 //! behaviour a spoofing attacker can imitate.
 
 use wrsn_net::{NodeId, Point};
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
 use wrsn_sim::{ChargeMode, ChargerAction, ChargerPolicy, WorldView};
 
 use crate::refill_duration_s;
-use crate::tour::plan_tour;
+use crate::tour::plan_tour_with;
 
 /// State of the periodic tour.
 #[derive(Debug, Clone)]
@@ -66,7 +67,8 @@ impl PeriodicTsp {
         self.period_s
     }
 
-    fn plan_round(&self, view: &WorldView<'_>) -> Vec<NodeId> {
+    fn plan_round(&self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> Vec<NodeId> {
+        rec.add(Counter::TourRebuilds, 1);
         let candidates: Vec<NodeId> = view
             .net
             .ids()
@@ -79,13 +81,11 @@ impl PeriodicTsp {
             .iter()
             .map(|id| view.net.nodes()[id.0].position())
             .collect();
-        let (order, _) = plan_tour(view.charger.position(), &points);
+        let (order, _) = plan_tour_with(view.charger.position(), &points, rec);
         order.into_iter().map(|i| candidates[i]).collect()
     }
-}
 
-impl ChargerPolicy for PeriodicTsp {
-    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+    fn decide(&mut self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> ChargerAction {
         if view.should_recharge(0.15) {
             return ChargerAction::Recharge;
         }
@@ -102,7 +102,7 @@ impl ChargerPolicy for PeriodicTsp {
                         }
                         return ChargerAction::Wait(wait);
                     }
-                    let queue = self.plan_round(view);
+                    let queue = self.plan_round(view, rec);
                     self.phase = Phase::Touring { queue };
                 }
                 Phase::Touring { queue } => {
@@ -145,6 +145,20 @@ impl ChargerPolicy for PeriodicTsp {
                 }
             }
         }
+    }
+}
+
+impl ChargerPolicy for PeriodicTsp {
+    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+        self.decide(view, &mut NullRecorder)
+    }
+
+    fn next_action_observed(
+        &mut self,
+        view: &WorldView<'_>,
+        rec: &mut dyn Recorder,
+    ) -> ChargerAction {
+        self.decide(view, rec)
     }
 
     fn name(&self) -> &str {

@@ -4,6 +4,7 @@
 //! attack planner in `wrsn-core` to order victim visits.
 
 use wrsn_net::geom::{path_length, Point};
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
 
 /// Builds a visiting order over `points` starting from `start` by repeatedly
 /// hopping to the nearest unvisited point. Returns indices into `points`.
@@ -46,6 +47,18 @@ pub fn tour_length(start: Point, points: &[Point], order: &[usize]) -> f64 {
 /// improving move exists or `max_rounds` passes complete. Returns the final
 /// tour length.
 pub fn two_opt(start: Point, points: &[Point], order: &mut [usize], max_rounds: usize) -> f64 {
+    two_opt_with(start, points, order, max_rounds, &mut NullRecorder)
+}
+
+/// Like [`two_opt`], but counts accepted reversals
+/// ([`Counter::TourTwoOptMoves`]) into `rec`.
+pub fn two_opt_with(
+    start: Point,
+    points: &[Point],
+    order: &mut [usize],
+    max_rounds: usize,
+    rec: &mut dyn Recorder,
+) -> f64 {
     let n = order.len();
     if n < 3 {
         return tour_length(start, points, order);
@@ -80,6 +93,7 @@ pub fn two_opt(start: Point, points: &[Point], order: &mut [usize], max_rounds: 
                     };
                 if after + 1e-12 < before {
                     order[i..=j].reverse();
+                    rec.add(Counter::TourTwoOptMoves, 1);
                     improved = true;
                 }
             }
@@ -106,8 +120,13 @@ pub fn two_opt(start: Point, points: &[Point], order: &mut [usize], max_rounds: 
 /// assert!((len - 20.0).abs() < 1e-9);
 /// ```
 pub fn plan_tour(start: Point, points: &[Point]) -> (Vec<usize>, f64) {
+    plan_tour_with(start, points, &mut NullRecorder)
+}
+
+/// Like [`plan_tour`], but counts accepted 2-opt reversals into `rec`.
+pub fn plan_tour_with(start: Point, points: &[Point], rec: &mut dyn Recorder) -> (Vec<usize>, f64) {
     let mut order = nearest_neighbor_order(start, points);
-    let len = two_opt(start, points, &mut order, 64);
+    let len = two_opt_with(start, points, &mut order, 64, rec);
     (order, len)
 }
 

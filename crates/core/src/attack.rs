@@ -11,6 +11,7 @@
 //! motivates TIDE's time windows (experiment `fig8`).
 
 use wrsn_net::NodeId;
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
 use wrsn_sim::{ChargeMode, ChargerAction, ChargerPolicy, SimReport, World, WorldView};
 
 use crate::baseline::{CsaPlanner, Planner};
@@ -153,9 +154,10 @@ impl CsaAttackPolicy {
         }
     }
 
-    fn replan(&mut self, view: &WorldView<'_>) {
+    fn replan(&mut self, view: &WorldView<'_>, rec: &mut dyn Recorder) {
+        rec.add(Counter::Replans, 1);
         let instance = self.make_instance(view);
-        let schedule = self.planner.plan(&instance);
+        let schedule = self.planner.plan_obs(&instance, rec);
         self.next_stop = 0;
         self.plan_made_at_s = view.time_s;
         self.plan = Some((instance, schedule));
@@ -242,8 +244,8 @@ impl CsaAttackPolicy {
     }
 }
 
-impl ChargerPolicy for CsaAttackPolicy {
-    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+impl CsaAttackPolicy {
+    fn decide(&mut self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> ChargerAction {
         // A charger that lets its own battery die is conspicuous; swap at the
         // depot like the real one would — but never abandon a masquerade in
         // progress (the victim must not outlive the visit).
@@ -258,6 +260,7 @@ impl ChargerPolicy for CsaAttackPolicy {
         // must stay parked until the victim is dead.
         if let Some(node) = self.squatting {
             if view.is_alive(node) && !view.charger.is_exhausted() && view.time_left_s() > 0.0 {
+                rec.add(Counter::SquatChunks, 1);
                 return self.squat_chunk(view, node);
             }
             self.squatting = None;
@@ -265,7 +268,7 @@ impl ChargerPolicy for CsaAttackPolicy {
         if self.plan.is_none()
             || (self.replan_every_stop && view.time_s - self.plan_made_at_s > self.plan_age_limit_s)
         {
-            self.replan(view);
+            self.replan(view, rec);
         }
         let mut replanned_this_call = false;
         loop {
@@ -275,7 +278,7 @@ impl ChargerPolicy for CsaAttackPolicy {
                 // per decision; static mode is done.
                 if self.replan_every_stop && !replanned_this_call {
                     replanned_this_call = true;
-                    self.replan(view);
+                    self.replan(view, rec);
                     let (_, fresh) = self.plan.as_ref().expect("plan ensured");
                     if !fresh.is_empty() {
                         continue;
@@ -287,6 +290,7 @@ impl ChargerPolicy for CsaAttackPolicy {
                     if let Some(action) =
                         self.decoy_action(view, f64::INFINITY, view.charger.position())
                     {
+                        rec.add(Counter::DecoyCharges, 1);
                         return action;
                     }
                     return ChargerAction::Wait(600.0_f64.min(view.time_left_s()));
@@ -312,6 +316,7 @@ impl ChargerPolicy for CsaAttackPolicy {
                 // the network staying healthy is the attacker's camouflage.
                 if self.serve_decoys {
                     if let Some(action) = self.decoy_action(view, depart_at, victim.position) {
+                        rec.add(Counter::DecoyCharges, 1);
                         return action;
                     }
                 }
@@ -337,8 +342,23 @@ impl ChargerPolicy for CsaAttackPolicy {
             // is chunked so the cost tracks the victim's *actual* residual
             // life even when cascade deaths change its drain mid-masquerade.
             self.squatting = Some(victim.node);
+            rec.add(Counter::SquatChunks, 1);
             return self.squat_chunk(view, victim.node);
         }
+    }
+}
+
+impl ChargerPolicy for CsaAttackPolicy {
+    fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction {
+        self.decide(view, &mut NullRecorder)
+    }
+
+    fn next_action_observed(
+        &mut self,
+        view: &WorldView<'_>,
+        rec: &mut dyn Recorder,
+    ) -> ChargerAction {
+        self.decide(view, rec)
     }
 
     fn name(&self) -> &str {

@@ -16,6 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use wrsn_net::Point;
+use wrsn_sim::obs::Recorder;
 
 use crate::csa;
 use crate::schedule::{from_order_skipping, AttackSchedule};
@@ -25,6 +26,14 @@ use crate::tide::TideInstance;
 pub trait Planner {
     /// Plans a feasible attack schedule.
     fn plan(&self, instance: &TideInstance) -> AttackSchedule;
+
+    /// Like [`Planner::plan`], but with a [`Recorder`] for planner counters
+    /// (probes, fallbacks, 2-opt moves). The default ignores the recorder;
+    /// instrumented planners override it.
+    fn plan_obs(&self, instance: &TideInstance, rec: &mut dyn Recorder) -> AttackSchedule {
+        let _ = rec;
+        self.plan(instance)
+    }
 
     /// Short name used in experiment tables.
     fn name(&self) -> &str;
@@ -37,6 +46,10 @@ pub struct CsaPlanner;
 impl Planner for CsaPlanner {
     fn plan(&self, instance: &TideInstance) -> AttackSchedule {
         csa::plan(instance)
+    }
+
+    fn plan_obs(&self, instance: &TideInstance, rec: &mut dyn Recorder) -> AttackSchedule {
+        csa::plan_with_obs(instance, &csa::CsaOptions::default(), rec)
     }
 
     fn name(&self) -> &str {
@@ -93,6 +106,12 @@ impl Planner for TspPlanner {
     fn plan(&self, instance: &TideInstance) -> AttackSchedule {
         let points: Vec<Point> = instance.victims.iter().map(|v| v.position).collect();
         let (order, _) = wrsn_charge::tour::plan_tour(instance.start, &points);
+        from_order_skipping(instance, &order)
+    }
+
+    fn plan_obs(&self, instance: &TideInstance, rec: &mut dyn Recorder) -> AttackSchedule {
+        let points: Vec<Point> = instance.victims.iter().map(|v| v.position).collect();
+        let (order, _) = wrsn_charge::tour::plan_tour_with(instance.start, &points, rec);
         from_order_skipping(instance, &order)
     }
 

@@ -38,6 +38,8 @@
 //! suffix is re-simulated forward, which is the naive check verbatim
 //! (`crates/core/tests/csa_bit_identity.rs` pins this equivalence down).
 
+use wrsn_sim::obs::{Counter, NullRecorder, Recorder};
+
 use crate::matrix::DistanceMatrix;
 use crate::schedule::{self, AttackSchedule};
 use crate::tide::TideInstance;
@@ -99,6 +101,21 @@ pub fn plan(instance: &TideInstance) -> AttackSchedule {
 
 /// Plans with explicit options (ablation entry point).
 pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
+    plan_with_obs(instance, opts, &mut NullRecorder)
+}
+
+/// Plans with explicit options, counting planner work into `rec`: candidate
+/// probes, exact slack-band fallbacks, accepted insertions and 2-opt moves —
+/// the counters that explain the incremental planner's speedup. A
+/// [`NullRecorder`] makes this exactly [`plan_with`]; the recorder never
+/// influences the plan.
+pub fn plan_with_obs(
+    instance: &TideInstance,
+    opts: &CsaOptions,
+    rec: &mut dyn Recorder,
+) -> AttackSchedule {
+    rec.add(Counter::PlannerRuns, 1);
+    rec.span_enter("csa_plan");
     let matrix = DistanceMatrix::new(instance);
     let n = instance.victims.len();
     let mut route = IncrementalRoute::new(instance, &matrix);
@@ -110,7 +127,7 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
         for &vi in &remaining {
             let weight = instance.victims[vi].weight;
             for pos in 0..=route.len() {
-                let Some(cost) = route.candidate_cost(vi, pos) else {
+                let Some(cost) = route.candidate_cost(vi, pos, rec) else {
                     continue;
                 };
                 if cost > instance.budget_j {
@@ -135,6 +152,7 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
         }
         match best {
             Some((_, mcost, vi, pos)) => {
+                rec.add(Counter::Insertions, 1);
                 route.insert(vi, pos);
                 remaining.retain(|&x| x != vi);
                 current_cost += mcost;
@@ -145,7 +163,7 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
     let mut order = route.into_order();
 
     if opts.route_improvement {
-        improve_route(instance, &matrix, &mut order);
+        improve_route(instance, &matrix, &mut order, rec);
     }
 
     let greedy = schedule::earliest_times(instance, &order).unwrap_or_else(AttackSchedule::empty);
@@ -157,7 +175,7 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
     // baselines by construction on every instance, not just on average.
     let mut candidates = vec![greedy, best_singleton(instance)];
     let points: Vec<wrsn_net::Point> = instance.victims.iter().map(|v| v.position).collect();
-    let (tsp_order, _) = wrsn_charge::tour::plan_tour(instance.start, &points);
+    let (tsp_order, _) = wrsn_charge::tour::plan_tour_with(instance.start, &points, rec);
     candidates.push(schedule::from_order_skipping(instance, &tsp_order));
     let mut weight_order: Vec<usize> = (0..n).collect();
     weight_order.sort_by(|&a, &b| {
@@ -182,6 +200,7 @@ pub fn plan_with(instance: &TideInstance, opts: &CsaOptions) -> AttackSchedule {
     if opts.latest_start {
         chosen = schedule::latest_start_shift(instance, &chosen);
     }
+    rec.span_exit("csa_plan");
     chosen
 }
 
@@ -230,7 +249,12 @@ fn route_cost(instance: &TideInstance, matrix: &DistanceMatrix, order: &[usize])
 
 /// Feasibility-preserving 2-opt: reverse segments when that keeps the timed
 /// route feasible and strictly reduces energy cost.
-fn improve_route(instance: &TideInstance, matrix: &DistanceMatrix, order: &mut [usize]) {
+fn improve_route(
+    instance: &TideInstance,
+    matrix: &DistanceMatrix,
+    order: &mut [usize],
+    rec: &mut dyn Recorder,
+) {
     let n = order.len();
     if n < 3 {
         return;
@@ -239,6 +263,7 @@ fn improve_route(instance: &TideInstance, matrix: &DistanceMatrix, order: &mut [
         return;
     };
     for _ in 0..16 {
+        rec.add(Counter::TwoOptPasses, 1);
         let mut improved = false;
         for i in 0..n - 1 {
             for j in i + 1..n {
@@ -246,6 +271,7 @@ fn improve_route(instance: &TideInstance, matrix: &DistanceMatrix, order: &mut [
                 match route_cost(instance, matrix, order) {
                     Some(c) if c + 1e-9 < best_cost => {
                         best_cost = c;
+                        rec.add(Counter::TwoOptMoves, 1);
                         improved = true;
                     }
                     _ => order[i..=j].reverse(), // undo
@@ -301,7 +327,8 @@ impl<'a> IncrementalRoute<'a> {
     /// the exact energy cost of the candidate route when it is time-feasible,
     /// `None` otherwise. O(1) except for the energy refold over the suffix
     /// (pure adds) and the rare in-band exact fallback.
-    fn candidate_cost(&self, vi: usize, pos: usize) -> Option<f64> {
+    fn candidate_cost(&self, vi: usize, pos: usize, rec: &mut dyn Recorder) -> Option<f64> {
+        rec.add(Counter::CandidateProbes, 1);
         let v = &self.instance.victims[vi];
         let here = DistanceMatrix::vid(vi);
         let arrive = self.time_after[pos] + self.matrix.travel_s(self.node[pos], here);
@@ -322,8 +349,11 @@ impl<'a> IncrementalRoute<'a> {
             if begin2 > slack + SLACK_GUARD_S {
                 return None;
             }
-            if begin2 > slack - SLACK_GUARD_S && !self.suffix_feasible(depart, here, pos) {
-                return None;
+            if begin2 > slack - SLACK_GUARD_S {
+                rec.add(Counter::ExactFallbacks, 1);
+                if !self.suffix_feasible(depart, here, pos) {
+                    return None;
+                }
             }
         }
         // Exact energy: resume the left fold from the prefix through the new

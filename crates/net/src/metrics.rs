@@ -47,10 +47,12 @@ pub fn snapshot(net: &Network, sensing_radius_m: f64, coverage_grid: usize) -> H
 
 /// Monte-Carlo-free coverage estimate: fraction of a `grid × grid` lattice of
 /// sample points (over the nodes' bounding box) within `sensing_radius_m` of
-/// an alive node. Returns `0.0` for an empty network or degenerate bounding
-/// box.
+/// an alive node. A degenerate bounding-box axis (single node, collinear
+/// deployment) is padded by `sensing_radius_m` on both sides so such
+/// deployments still report the coverage their sensing disks provide.
+/// Returns `0.0` for an empty network or a non-positive sensing radius.
 pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize) -> f64 {
-    if net.node_count() == 0 || grid == 0 {
+    if net.node_count() == 0 || grid == 0 || sensing_radius_m <= 0.0 {
         return 0.0;
     }
     let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
@@ -61,8 +63,13 @@ pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize
         x1 = x1.max(p.x);
         y1 = y1.max(p.y);
     }
-    if x1 <= x0 || y1 <= y0 {
-        return 0.0;
+    if x1 <= x0 {
+        x0 -= sensing_radius_m;
+        x1 += sensing_radius_m;
+    }
+    if y1 <= y0 {
+        y0 -= sensing_radius_m;
+        y1 += sensing_radius_m;
     }
     let r2 = sensing_radius_m * sensing_radius_m;
     let mut covered = 0usize;
@@ -154,9 +161,31 @@ mod tests {
     }
 
     #[test]
-    fn coverage_zero_for_single_point_bbox() {
+    fn coverage_positive_for_single_point_bbox() {
+        // A lone node covers a disk; the padded bbox is a 2r × 2r square, so
+        // the lattice estimate approaches π/4 ≈ 0.785.
         let net = Network::build(vec![SensorNode::new(Point::ORIGIN)], Point::ORIGIN, 10.0);
-        assert_eq!(coverage(&net, &[true], 5.0, 10), 0.0);
+        let c = coverage(&net, &[true], 5.0, 40);
+        assert!(
+            (c - std::f64::consts::FRAC_PI_4).abs() < 0.05,
+            "coverage = {c}"
+        );
+        // A dead lone node still covers nothing.
+        assert_eq!(coverage(&net, &[false], 5.0, 40), 0.0);
+    }
+
+    #[test]
+    fn coverage_positive_for_collinear_deployment() {
+        // Five nodes on a horizontal line: the y-axis bbox is degenerate, but
+        // the sensing disks obviously cover area. The padded band is
+        // 60 m × 10 m; disks of radius 5 m every 10 m cover most of it.
+        let nodes: Vec<SensorNode> = (0..5)
+            .map(|i| SensorNode::new(Point::new(10.0 * i as f64, 20.0)))
+            .collect();
+        let net = Network::build(nodes, Point::new(20.0, 20.0), 15.0);
+        let c = coverage(&net, &[true; 5], 5.0, 40);
+        assert!(c > 0.5, "line deployment must report coverage, got {c}");
+        assert!(c <= 1.0);
     }
 
     #[test]

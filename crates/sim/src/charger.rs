@@ -13,6 +13,8 @@ use serde::{Deserialize, Serialize};
 use wrsn_em::{CancelController, Transmitter};
 use wrsn_net::Point;
 
+use crate::obs::{Gauge, Recorder};
+
 /// How the charger serves a node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ChargeMode {
@@ -312,6 +314,12 @@ impl MobileCharger {
     /// Whether the budget is effectively exhausted.
     pub fn is_exhausted(&self) -> bool {
         self.energy_j <= 1e-9
+    }
+
+    /// Samples the charger's gauges into `rec` (currently the remaining
+    /// energy budget). The world loop calls this at the end of a run.
+    pub fn observe(&self, rec: &mut dyn Recorder) {
+        rec.gauge(Gauge::ChargerEnergyJ, self.energy_j);
     }
 }
 

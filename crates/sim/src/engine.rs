@@ -24,6 +24,7 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    high_water: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -65,6 +66,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            high_water: 0,
         }
     }
 
@@ -78,6 +80,7 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
@@ -100,9 +103,23 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events. Lifetime statistics
+    /// ([`EventQueue::scheduled_total`], [`EventQueue::high_water`]) are
+    /// preserved.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Total events ever scheduled on this queue (an observability counter;
+    /// popping does not decrease it).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Largest number of events simultaneously pending over the queue's
+    /// lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -153,6 +170,23 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn lifetime_stats_track_scheduling() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.high_water(), 0);
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(3.0, ());
+        // Three scheduled in total; at most two were pending at once.
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.high_water(), 2);
+        q.clear();
+        assert_eq!(q.scheduled_total(), 3, "clear keeps lifetime stats");
+        assert_eq!(q.high_water(), 2);
     }
 
     #[test]

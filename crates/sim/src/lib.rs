@@ -15,7 +15,11 @@
 //! * [`world`]: the simulation loop with exact piecewise-linear battery drain
 //!   (node deaths are hit exactly, not stepped over),
 //! * [`parallel`]: order-preserving scoped-thread fan-out for independent
-//!   simulation trials (`WRSN_THREADS` controls the worker count).
+//!   simulation trials (`WRSN_THREADS` controls the worker count),
+//! * [`obs`]: structured observability — the [`obs::Recorder`] trait (typed
+//!   counters, gauges, nested timing spans) and the versioned JSONL trace
+//!   schema; the default [`obs::NullRecorder`] keeps uninstrumented runs
+//!   byte-identical.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 
 pub mod charger;
 pub mod engine;
+pub mod obs;
 pub mod parallel;
 pub mod policy;
 pub mod request;
@@ -43,6 +48,7 @@ pub mod trace;
 pub mod world;
 
 pub use charger::{ChargeMode, ChargerRig, MobileCharger};
+pub use obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
 pub use policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
 pub use request::ChargeRequest;
 pub use trace::{ChargeSession, SimEvent, Trace};
@@ -51,6 +57,7 @@ pub use world::{SimReport, World, WorldConfig};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::charger::{ChargeMode, ChargerRig, MobileCharger};
+    pub use crate::obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
     pub use crate::policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
     pub use crate::request::ChargeRequest;
     pub use crate::trace::{ChargeSession, SimEvent, Trace};

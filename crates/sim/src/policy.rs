@@ -8,6 +8,7 @@ use wrsn_net::routing::RoutingTree;
 use wrsn_net::{Network, NodeId, Point};
 
 use crate::charger::{ChargeMode, MobileCharger};
+use crate::obs::Recorder;
 use crate::request::ChargeRequest;
 
 /// One step of charger behaviour.
@@ -82,6 +83,21 @@ impl WorldView<'_> {
 pub trait ChargerPolicy {
     /// Decides the next action given the current world state.
     fn next_action(&mut self, view: &WorldView<'_>) -> ChargerAction;
+
+    /// Like [`ChargerPolicy::next_action`], but with a [`Recorder`] the
+    /// policy may report counters and spans into. The default ignores the
+    /// recorder, so existing policies are unaffected; instrumented policies
+    /// override this and have `next_action` delegate with a
+    /// [`crate::obs::NullRecorder`]. The world loop always calls this
+    /// variant.
+    fn next_action_observed(
+        &mut self,
+        view: &WorldView<'_>,
+        rec: &mut dyn Recorder,
+    ) -> ChargerAction {
+        let _ = rec;
+        self.next_action(view)
+    }
 
     /// A short human-readable name used in reports and experiment tables.
     fn name(&self) -> &str {

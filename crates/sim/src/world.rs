@@ -14,6 +14,7 @@ use wrsn_net::routing::RoutingTree;
 use wrsn_net::{Network, NodeId};
 
 use crate::charger::MobileCharger;
+use crate::obs::{self, Counter, Gauge, Recorder, TraceRecord};
 use crate::policy::{ChargerAction, ChargerPolicy, WorldView};
 use crate::request::{ChargeRequest, RequestQueue};
 use crate::trace::{ChargeSession, SimEvent, Trace};
@@ -262,11 +263,18 @@ impl World {
     /// node deaths exactly. Returns the energy actually stored in
     /// `inject_node`'s battery over the interval.
     #[allow(clippy::needless_range_loop)] // several same-length vectors are co-indexed
-    fn advance(&mut self, dt: f64, inject_node: Option<NodeId>, inject_w: f64) -> f64 {
+    fn advance(
+        &mut self,
+        dt: f64,
+        inject_node: Option<NodeId>,
+        inject_w: f64,
+        rec: &mut dyn Recorder,
+    ) -> f64 {
         debug_assert!(dt >= 0.0 && dt.is_finite());
         let mut remaining = dt;
         let mut stored = 0.0;
         while remaining > 0.0 {
+            rec.add(Counter::AdvanceSegments, 1);
             // Net drain per node under current topology.
             let n = self.net.node_count();
             let mut net_w = vec![0.0f64; n];
@@ -334,6 +342,7 @@ impl World {
                 }
             }
             if any_death {
+                rec.add(Counter::TopologyRefreshes, 1);
                 self.refresh();
             } else {
                 self.scan_requests();
@@ -349,17 +358,17 @@ impl World {
     }
 
     /// Executes one policy action; returns `false` when the run should stop.
-    fn execute(&mut self, action: ChargerAction) -> bool {
+    fn execute(&mut self, action: ChargerAction, rec: &mut dyn Recorder) -> bool {
         match action {
             ChargerAction::Finish => false,
             ChargerAction::Recharge => {
                 let Some(depot) = self.config.depot else {
                     // No depot: a recharge request degrades to a no-op wait so
                     // policies written for depot worlds still run.
-                    return self.execute(ChargerAction::Wait(1.0));
+                    return self.execute(ChargerAction::Wait(1.0), rec);
                 };
                 if self.charger.position().distance(depot) > 1e-9
-                    && !self.execute(ChargerAction::MoveTo(depot))
+                    && !self.execute(ChargerAction::MoveTo(depot), rec)
                 {
                     return false;
                 }
@@ -368,7 +377,7 @@ impl World {
                     .depot_swap_time_s
                     .min(self.config.horizon_s - self.time_s);
                 if swap > 0.0 {
-                    self.advance(swap, None, 0.0);
+                    self.advance(swap, None, 0.0, rec);
                 }
                 self.charger.refill();
                 self.depot_visits += 1;
@@ -380,7 +389,8 @@ impl World {
                 if d <= 0.0 {
                     return self.time_s < self.config.horizon_s;
                 }
-                self.advance(d, None, 0.0);
+                rec.add(Counter::Waits, 1);
+                self.advance(d, None, 0.0, rec);
                 true
             }
             ChargerAction::MoveTo(dest) => {
@@ -396,7 +406,7 @@ impl World {
                 let dt =
                     (travelled / self.charger.speed_mps()).min(self.config.horizon_s - self.time_s);
                 if dt > 0.0 {
-                    self.advance(dt, None, 0.0);
+                    self.advance(dt, None, 0.0, rec);
                 }
                 self.trace.record(
                     self.time_s,
@@ -422,7 +432,7 @@ impl World {
                 // Drive to the service point first.
                 let park = self.charger.service_point(node_pos);
                 if self.charger.position().distance(park) > 1e-9
-                    && !self.execute(ChargerAction::MoveTo(park))
+                    && !self.execute(ChargerAction::MoveTo(park), rec)
                 {
                     return false;
                 }
@@ -451,7 +461,8 @@ impl World {
                     } else {
                         remaining
                     };
-                    stored += self.advance(chunk, Some(node), delivered_w);
+                    rec.add(Counter::SessionChunks, 1);
+                    stored += self.advance(chunk, Some(node), delivered_w, rec);
                     remaining -= chunk;
                     guard += 1;
                     if guard > 10_000 {
@@ -481,11 +492,35 @@ impl World {
     /// is reached, then free-runs the network to the horizon. Returns the run
     /// report; the detailed trace stays available via [`World::trace`].
     pub fn run<P: ChargerPolicy + ?Sized>(&mut self, policy: &mut P) -> SimReport {
+        self.run_with(policy, &mut obs::NullRecorder)
+    }
+
+    /// Like [`World::run`], but reports engine counters, timing spans and the
+    /// full trace into `rec`. With a [`obs::NullRecorder`] this is exactly
+    /// `run`; a recorder never influences the simulation itself.
+    ///
+    /// On completion the *entire* recorded trace (including any events
+    /// predating this call, e.g. deaths injected via
+    /// [`World::set_battery_level`]) is exported as
+    /// [`TraceRecord::Event`]/[`TraceRecord::Session`] records, followed by
+    /// one [`TraceRecord::Snapshot`] of the final network health.
+    pub fn run_with<P: ChargerPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        rec: &mut dyn Recorder,
+    ) -> SimReport {
+        rec.span_enter("world_run");
         let mut guard = 0usize;
         while self.time_s < self.config.horizon_s {
-            let action = policy.next_action(&self.view());
+            rec.add(Counter::PolicyDecisions, 1);
+            rec.span_enter("policy_decide");
+            let action = policy.next_action_observed(&self.view(), rec);
+            rec.span_exit("policy_decide");
             let t_before = self.time_s;
-            if !self.execute(action) {
+            rec.span_enter("execute");
+            let keep_going = self.execute(action, rec);
+            rec.span_exit("execute");
+            if !keep_going {
                 break;
             }
             if self.time_s == t_before {
@@ -502,10 +537,23 @@ impl World {
         // Free-run the network (no charger activity) to the horizon.
         if self.time_s < self.config.horizon_s {
             let left = self.config.horizon_s - self.time_s;
-            self.advance(left, None, 0.0);
+            self.advance(left, None, 0.0, rec);
         }
         self.trace.record(self.time_s, SimEvent::HorizonReached);
-        self.report(policy.name())
+        let report = self.report(policy.name());
+        if rec.enabled() {
+            obs::export_trace(rec, &self.trace);
+            rec.emit(&TraceRecord::Snapshot {
+                t_s: self.time_s,
+                health: report.final_health,
+            });
+            self.charger.observe(rec);
+            rec.gauge(Gauge::SimTimeS, self.time_s);
+            rec.gauge(Gauge::AliveNodes, report.alive_nodes as f64);
+            rec.gauge(Gauge::PendingRequests, self.requests.pending().len() as f64);
+        }
+        rec.span_exit("world_run");
+        report
     }
 
     /// Builds a report for the current state.

@@ -13,4 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== trace export smoke test"
+trace_file="$(mktemp)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run -p wrsn-bench --release --bin exp -- --id fig2 --trace "$trace_file" >/dev/null
+test -s "$trace_file" || { echo "trace file is empty" >&2; exit 1; }
+head -n 1 "$trace_file" | grep -q '^{"v":1,"record":{"Meta":' \
+  || { echo "trace does not start with a versioned Meta record" >&2; exit 1; }
+tail -n 1 "$trace_file" | grep -q '"Counters"' \
+  || { echo "trace does not end with a Counters record" >&2; exit 1; }
+
 echo "All checks passed."
