@@ -1,0 +1,59 @@
+//! Release-mode golden digest over full experiment traces.
+//!
+//! The perf work on the simulation hot path (incremental routing repair,
+//! zero-allocation advance, spatial-grid network build) promises *byte
+//! identical* results. This test pins an FNV-1a digest of the complete JSONL
+//! trace of two sim-backed experiments, fig9 and fig13, so CI can run it in
+//! release mode (where `debug_assert` equality harnesses are compiled out)
+//! and still catch any drift in events, sessions, snapshots or float
+//! formatting. Regenerate after an *intentional* trace change with:
+//!
+//! ```text
+//! WRSN_BLESS=1 cargo test --release -p wrsn-bench --test golden_exp_digest
+//! ```
+
+use wrsn_bench::obs::{self, StatsRecorder};
+
+const DIGEST_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/golden_exp_digest.txt"
+);
+
+/// FNV-1a over the experiment's full JSONL trace.
+fn digest(id: &str) -> u64 {
+    let mut rec = StatsRecorder::new();
+    wrsn_bench::run_with(id, &mut rec).unwrap();
+    rec.emit_counters(id);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for record in rec.records() {
+        let line = obs::to_jsonl_line(record).unwrap();
+        for byte in line.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn fig9_and_fig13_traces_match_golden_digest() {
+    let current = format!(
+        "fig9:{:016x}\nfig13:{:016x}\n",
+        digest("fig9"),
+        digest("fig13")
+    );
+    if std::env::var_os("WRSN_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data")).unwrap();
+        std::fs::write(DIGEST_PATH, &current).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(DIGEST_PATH)
+        .expect("golden digest missing; regenerate with WRSN_BLESS=1 (see module docs)");
+    assert_eq!(
+        current, golden,
+        "experiment traces drifted from the golden digest; if the change is \
+         intentional, regenerate with WRSN_BLESS=1 (see module docs)"
+    );
+}

@@ -95,6 +95,7 @@ mod tests {
             requests: &[],
             horizon_s: 10.0,
             depot: None,
+            radio: wrsn_net::energy::RadioEnergyModel::classical(),
         };
         let d_low = refill_duration_s(&view, NodeId(0)).unwrap();
         let d_full = refill_duration_s(&view, NodeId(1)).unwrap();

@@ -235,6 +235,7 @@ mod tests {
             requests: &[],
             horizon_s: 1000.0,
             depot: None,
+            radio: wrsn_net::energy::RadioEnergyModel::classical(),
         };
         assert!(matches!(
             Njnp::new().next_action(&view),

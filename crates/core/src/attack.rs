@@ -52,6 +52,15 @@ pub struct CsaAttackPolicy {
     /// Victim currently being squatted on (masquerade in progress).
     squatting: Option<NodeId>,
     served: std::collections::HashSet<NodeId>,
+    /// Census victims not yet served, in census order — the filter
+    /// `make_instance` would otherwise re-derive from `served` on each of the
+    /// tens of thousands of replans, maintained instead at the (rare) serves.
+    unserved: Vec<(NodeId, f64)>,
+    /// Census ∪ served as a direct-indexed mask: nodes the decoy pass must
+    /// never rescue. The request scan runs on nearly every idle decision, so
+    /// it checks one bool per request instead of hashing and walking the
+    /// census.
+    decoy_excluded: Vec<bool>,
     /// Every victim actually spoofed, with its weight at targeting time.
     targets: Vec<(NodeId, f64)>,
     /// Instance snapshot at first decision — the key-node census used for the
@@ -91,6 +100,8 @@ impl CsaAttackPolicy {
             next_stop: 0,
             squatting: None,
             served: std::collections::HashSet::new(),
+            unserved: Vec::new(),
+            decoy_excluded: Vec::new(),
             targets: Vec::new(),
             initial_instance: None,
             name,
@@ -141,14 +152,22 @@ impl CsaAttackPolicy {
             // The census is fixed at campaign start: these are the operator's
             // key nodes regardless of how the degrading graph reshuffles
             // centralities. Only windows/drains are re-derived.
-            Some(census) => {
-                let remaining: Vec<(NodeId, f64)> = census
-                    .victims
-                    .iter()
-                    .filter(|v| !self.served.contains(&v.node))
-                    .map(|v| (v.node, v.weight))
-                    .collect();
-                TideInstance::for_targets(view.net, &cfg, &remaining)
+            Some(_) => {
+                // `unserved` is the census filtered by `served`, kept current
+                // at serve time (see `decide`) so replans skip the filter.
+                if cfg.radio == view.radio {
+                    // The simulator's live power vector is computed under the
+                    // same radio model, so reuse it instead of paying for a
+                    // fresh shortest-path build on every replan.
+                    TideInstance::for_targets_with_power(
+                        view.net,
+                        &cfg,
+                        &self.unserved,
+                        view.power_w,
+                    )
+                } else {
+                    TideInstance::for_targets(view.net, &cfg, &self.unserved)
+                }
             }
             None => TideInstance::from_network_excluding(view.net, &cfg, &self.served),
         }
@@ -179,35 +198,34 @@ impl CsaAttackPolicy {
         if view.charger.energy_j() < 0.25 * view.charger.capacity_j() {
             return None;
         }
-        // Never rescue a census member: they are the campaign's victims even
-        // when the degraded graph no longer ranks them as key.
-        let census: &[crate::tide::Victim] = self
-            .initial_instance
-            .as_ref()
-            .map(|i| i.victims.as_slice())
-            .unwrap_or(&[]);
+        // Travel and service times are nonnegative, so when even an
+        // instantaneous rescue misses the departure cushion no requester can
+        // qualify — skip the scan entirely.
+        if view.time_s + 60.0 > depart_at {
+            return None;
+        }
         let speed = view.charger.speed_mps();
-        let request = view
-            .requests
-            .iter()
-            .filter(|r| {
-                view.is_alive(r.node)
-                    && !self.served.contains(&r.node)
-                    && !census.iter().any(|v| v.node == r.node)
-            })
-            .min_by(|a, b| {
-                let da = view
-                    .net
-                    .node(a.node)
-                    .map(|n| view.charger.position().distance_sq(n.position()))
-                    .unwrap_or(f64::INFINITY);
-                let db = view
-                    .net
-                    .node(b.node)
-                    .map(|n| view.charger.position().distance_sq(n.position()))
-                    .unwrap_or(f64::INFINITY);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })?;
+        // Nearest live requester outside census ∪ served (`decoy_excluded`:
+        // census members are the campaign's victims even when the degraded
+        // graph no longer ranks them as key). First minimum wins on distance
+        // ties, matching the former `min_by` scan node for node.
+        let cpos = view.charger.position();
+        let mut best: Option<(usize, f64)> = None;
+        for (k, r) in view.requests.iter().enumerate() {
+            if self.decoy_excluded.get(r.node.0).copied().unwrap_or(false) || !view.is_alive(r.node)
+            {
+                continue;
+            }
+            let d = view
+                .net
+                .node(r.node)
+                .map(|n| cpos.distance_sq(n.position()))
+                .unwrap_or(f64::INFINITY);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((k, d));
+            }
+        }
+        let request = &view.requests[best?.0];
         let pos = view.net.node(request.node).ok()?.position();
         let slice = wrsn_charge::refill_duration_s(view, request.node)
             .unwrap_or(900.0)
@@ -254,6 +272,15 @@ impl CsaAttackPolicy {
         }
         if self.initial_instance.is_none() {
             let census = self.make_instance(view);
+            // `served` is necessarily empty here, so the whole census is
+            // unserved and fair game for exclusion from decoy rescues.
+            self.unserved = census.victims.iter().map(|v| (v.node, v.weight)).collect();
+            self.decoy_excluded = vec![false; view.net.node_count()];
+            for v in &census.victims {
+                if let Some(slot) = self.decoy_excluded.get_mut(v.node.0) {
+                    *slot = true;
+                }
+            }
             self.initial_instance = Some(census);
         }
         // Finish an in-progress masquerade before anything else: the charger
@@ -330,6 +357,10 @@ impl CsaAttackPolicy {
                 return ChargerAction::Wait(wait);
             }
             self.served.insert(victim.node);
+            self.unserved.retain(|&(n, _)| n != victim.node);
+            if let Some(slot) = self.decoy_excluded.get_mut(victim.node.0) {
+                *slot = true;
+            }
             self.targets.push((victim.node, victim.weight));
             if self.replan_every_stop {
                 self.plan = None; // force a replan after this masquerade
@@ -697,6 +728,7 @@ mod tests {
             requests: &[],
             horizon_s: 1000.0,
             depot: None,
+            radio: wrsn_net::energy::RadioEnergyModel::classical(),
         };
         let _ = policy.next_action(&view);
         let (instance, schedule) = policy.plan().unwrap();

@@ -183,6 +183,21 @@ impl TideInstance {
         // disconnected-drain floor), or stranded key nodes look drainless and
         // vanish from the victim set.
         let power = keynode::effective_power_draw(net, &mask, &config.radio);
+        TideInstance::for_targets_with_power(net, config, targets, &power)
+    }
+
+    /// [`TideInstance::for_targets`] with the per-node power draw supplied by
+    /// the caller instead of recomputed. The vector must come from the same
+    /// drain model the simulator uses (`keynode::effective_power_draw` under
+    /// `config.radio`); a live [`crate::WorldView`] whose radio matches
+    /// `config.radio` provides exactly that, saving a full shortest-path
+    /// rebuild per replan.
+    pub fn for_targets_with_power(
+        net: &Network,
+        config: &TideConfig,
+        targets: &[(NodeId, f64)],
+        power: &[f64],
+    ) -> Self {
         let mut victims = Vec::new();
         for &(id, weight) in targets {
             let Ok(node) = net.node(id) else {

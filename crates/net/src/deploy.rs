@@ -2,6 +2,10 @@
 //!
 //! All generators are deterministic in their seed (ChaCha-based), so every
 //! experiment in the paper-reproduction harness is exactly reproducible.
+//!
+//! Deployments of any size feed straight into [`crate::Network::build`],
+//! whose grid-bucketed adjacency construction is near-linear in node count —
+//! large sweep scenarios no longer pay an O(n²) build per world.
 
 use rand::Rng;
 use rand::SeedableRng;

@@ -41,6 +41,14 @@ pub struct Network {
 impl Network {
     /// Builds the network, computing adjacency from `comm_range_m`.
     ///
+    /// Adjacency is found with a uniform grid bucketed at the communication
+    /// range: each node only tests the nodes in its own and the eight
+    /// surrounding cells, so construction is ~O(n) for bounded-density
+    /// deployments instead of the O(n²) all-pairs scan. Neighbour lists come
+    /// out identical to the all-pairs build — sorted ascending by id — so
+    /// every downstream traversal order (and thus every float accumulation
+    /// order) is unchanged.
+    ///
     /// # Panics
     ///
     /// Panics if `comm_range_m` is not finite and positive.
@@ -52,9 +60,42 @@ impl Network {
         let n = nodes.len();
         let r2 = comm_range_m * comm_range_m;
         let mut adj = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if nodes[i].position().distance_sq(nodes[j].position()) <= r2 {
+        if n > 0 {
+            let inv_cell = 1.0 / comm_range_m;
+            let mut min_x = f64::INFINITY;
+            let mut min_y = f64::INFINITY;
+            for node in &nodes {
+                let p = node.position();
+                min_x = min_x.min(p.x);
+                min_y = min_y.min(p.y);
+            }
+            let cell_of = |p: Point| -> (i64, i64) {
+                (
+                    ((p.x - min_x) * inv_cell).floor() as i64,
+                    ((p.y - min_y) * inv_cell).floor() as i64,
+                )
+            };
+            let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+                std::collections::HashMap::new();
+            for (i, node) in nodes.iter().enumerate() {
+                buckets.entry(cell_of(node.position())).or_default().push(i);
+            }
+            let mut candidates: Vec<usize> = Vec::new();
+            for i in 0..n {
+                let (cx, cy) = cell_of(nodes[i].position());
+                candidates.clear();
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        if let Some(bucket) = buckets.get(&(cx + dx, cy + dy)) {
+                            candidates.extend(bucket.iter().copied().filter(|&j| {
+                                j > i && nodes[i].position().distance_sq(nodes[j].position()) <= r2
+                            }));
+                        }
+                    }
+                }
+                // Ascending ids so neighbour lists match the all-pairs order.
+                candidates.sort_unstable();
+                for &j in &candidates {
                     adj[i].push(NodeId(j));
                     adj[j].push(NodeId(i));
                 }
@@ -510,6 +551,28 @@ mod tests {
         let net = Network::build(Vec::new(), Point::ORIGIN, 10.0);
         assert!(net.is_connected(&[]));
         assert_eq!(net.sink_reachability(&[]), 1.0);
+    }
+
+    #[test]
+    fn grid_adjacency_matches_all_pairs_scan() {
+        for seed in 0..8 {
+            let nodes = crate::deploy::uniform(&Region::square(120.0), 60, seed);
+            let net = Network::build(nodes.clone(), Point::new(60.0, 60.0), 22.0);
+            let n = nodes.len();
+            let r2 = 22.0f64 * 22.0;
+            let mut expect = vec![Vec::new(); n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if nodes[i].position().distance_sq(nodes[j].position()) <= r2 {
+                        expect[i].push(NodeId(j));
+                        expect[j].push(NodeId(i));
+                    }
+                }
+            }
+            for (i, want) in expect.iter().enumerate() {
+                assert_eq!(net.neighbors(NodeId(i)), &want[..], "seed {seed} node {i}");
+            }
+        }
     }
 
     #[test]

@@ -167,19 +167,85 @@ pub fn power_draw(net: &Network, mask: &[bool], radio: &RadioEnergyModel) -> Vec
 /// drain model the simulator itself uses; depletion predictions (and the
 /// attack's time windows) must match it, or stranded key nodes become
 /// invisible to the planner.
-#[allow(clippy::needless_range_loop)] // index form mirrors the matrix math
 pub fn effective_power_draw(net: &Network, mask: &[bool], radio: &RadioEnergyModel) -> Vec<f64> {
     let tree = RoutingTree::shortest_path(net, mask);
     let load = routing::traffic_load(net, &tree, mask);
-    let mut power = routing::node_power(net, &tree, &load, radio, mask);
+    effective_power_draw_with_tree(net, mask, radio, &tree, &load)
+}
+
+/// [`effective_power_draw`] from a precomputed routing tree and traffic load
+/// — the hot-path variant. The simulator keeps both current across topology
+/// changes, so a refresh no longer pays for a second shortest-path build.
+pub fn effective_power_draw_with_tree(
+    net: &Network,
+    mask: &[bool],
+    radio: &RadioEnergyModel,
+    tree: &RoutingTree,
+    load: &routing::TrafficLoad,
+) -> Vec<f64> {
+    (0..net.node_count())
+        .map(|i| effective_node_power(net, mask, radio, tree, load, i))
+        .collect()
+}
+
+/// Effective power draw of a single node: relay power over the hop to its
+/// parent when routed, the disconnected-drain floor when alive but stranded,
+/// nothing when dead. Pure in `(mask, aliveness, parent, reachability, load)`
+/// — recomputing it with unchanged inputs reproduces the exact same bits,
+/// which is what lets [`update_effective_power`] skip untouched nodes.
+pub fn effective_node_power(
+    net: &Network,
+    mask: &[bool],
+    radio: &RadioEnergyModel,
+    tree: &RoutingTree,
+    load: &routing::TrafficLoad,
+    i: usize,
+) -> f64 {
+    let masked_in = mask.get(i).copied().unwrap_or(false);
+    let id = NodeId(i);
+    if masked_in && tree.is_reachable(id) {
+        let hop = match tree.parent(id) {
+            Some(p) => net.nodes()[i]
+                .position()
+                .distance(net.nodes()[p.0].position()),
+            None => net.nodes()[i].position().distance(net.sink()),
+        };
+        radio.relay_power(load.rx_bps[i], load.tx_bps[i], hop)
+    } else if masked_in && net.nodes()[i].is_alive() {
+        radio.idle_w + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range())
+    } else {
+        0.0
+    }
+}
+
+/// Updates `power` in place after an incremental routing repair: only nodes
+/// whose routing state may have changed (`affected`, from
+/// [`RoutingTree::repair_after_deaths`]) or whose traffic load changed are
+/// recomputed. Every other entry is bitwise-stable because its inputs are
+/// unchanged. Returns the number of entries recomputed.
+#[allow(clippy::too_many_arguments)] // mirrors effective_power_draw's inputs plus the diff state
+#[allow(clippy::needless_range_loop)] // co-indexes four same-length vectors
+pub fn update_effective_power(
+    net: &Network,
+    mask: &[bool],
+    radio: &RadioEnergyModel,
+    tree: &RoutingTree,
+    load: &routing::TrafficLoad,
+    prev_load: &routing::TrafficLoad,
+    affected: &[bool],
+    power: &mut [f64],
+) -> usize {
+    let mut recomputed = 0usize;
     for i in 0..net.node_count() {
-        let alive = mask.get(i).copied().unwrap_or(false) && net.nodes()[i].is_alive();
-        if alive && !tree.is_reachable(NodeId(i)) {
-            power[i] =
-                radio.idle_w + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range());
+        let dirty = affected.get(i).copied().unwrap_or(true)
+            || load.rx_bps[i].to_bits() != prev_load.rx_bps[i].to_bits()
+            || load.tx_bps[i].to_bits() != prev_load.tx_bps[i].to_bits();
+        if dirty {
+            power[i] = effective_node_power(net, mask, radio, tree, load, i);
+            recomputed += 1;
         }
     }
-    power
+    recomputed
 }
 
 #[cfg(test)]

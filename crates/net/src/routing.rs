@@ -117,6 +117,186 @@ impl RoutingTree {
         }
     }
 
+    /// Repairs the tree in place after the nodes in `dead` left the alive
+    /// set, touching only the invalidated subtrees instead of rebuilding from
+    /// scratch.
+    ///
+    /// The *affected* set — the dead nodes plus their routing-tree
+    /// descendants — is the only part of the tree a death can change: every
+    /// other node keeps a shortest path that avoids the dead nodes, and its
+    /// distance, parent and reachability (including Dijkstra tie-breaks) are
+    /// provably bit-identical to a full [`RoutingTree::shortest_path`] run
+    /// over the shrunken mask. Affected nodes are re-relaxed from the
+    /// frontier: their alive, still-routed neighbours re-enter the heap at
+    /// their existing distances, so pops interleave in the same global
+    /// `(dist, id)` order a full build would produce.
+    ///
+    /// `mask` must already exclude the dead nodes. `affected` is an output
+    /// buffer (reused across calls) set to the affected mask; callers use it
+    /// to limit downstream power-draw recomputation. When a death
+    /// invalidates most of the tree the repair falls back to a full rebuild
+    /// (same result, cheaper) and reports it.
+    ///
+    /// Debug builds re-run the full computation and assert bitwise equality
+    /// — the equality harness backing the `routing_repair` property tests.
+    #[allow(clippy::needless_range_loop)] // `affected` co-indexes self.dist/parent/reachable
+    pub fn repair_after_deaths(
+        &mut self,
+        net: &Network,
+        mask: &[bool],
+        dead: &[NodeId],
+        affected: &mut Vec<bool>,
+    ) -> RepairReport {
+        let n = net.node_count();
+        debug_assert_eq!(self.dist.len(), n);
+        affected.clear();
+        affected.resize(n, false);
+
+        // Classify every node: 0 = unknown, 1 = clean, 2 = affected,
+        // 3 = on the current walk. Affected = dead ∪ descendants, found by
+        // memoized parent-chain walks (O(n) amortized).
+        let mut status = vec![0u8; n];
+        for &d in dead {
+            if d.0 < n {
+                status[d.0] = 2;
+            }
+        }
+        let mut path = Vec::new();
+        for i in 0..n {
+            if status[i] != 0 {
+                continue;
+            }
+            path.clear();
+            let mut cur = i;
+            let verdict = loop {
+                match status[cur] {
+                    1 => break 1,
+                    2 => break 2,
+                    3 => break 1, // defensive: parent pointers form a forest
+                    _ => {}
+                }
+                status[cur] = 3;
+                path.push(cur);
+                match self.parent[cur] {
+                    Some(p) => cur = p.0,
+                    // Chain root: sink-adjacent or unreachable — both keep
+                    // their state when other nodes die.
+                    None => break 1,
+                }
+            };
+            for &v in &path {
+                status[v] = verdict;
+            }
+        }
+        let mut affected_count = 0usize;
+        let mut alive_count = 0usize;
+        for i in 0..n {
+            if status[i] == 2 {
+                affected[i] = true;
+                affected_count += 1;
+            }
+            if mask.get(i).copied().unwrap_or(false) {
+                alive_count += 1;
+            }
+        }
+
+        // A death that guts most of the tree is repaired fastest by simply
+        // rebuilding; the result is identical either way.
+        if 2 * affected_count > alive_count {
+            *self = RoutingTree::shortest_path(net, mask);
+            return RepairReport {
+                relaxed: 0,
+                full_rebuild: true,
+            };
+        }
+
+        for i in 0..n {
+            if affected[i] {
+                self.dist[i] = f64::INFINITY;
+                self.parent[i] = None;
+            }
+        }
+        let mut heap = std::collections::BinaryHeap::new();
+        // Re-seed affected sink-neighbours exactly as the full build does.
+        for &s in net.sink_neighbors() {
+            if !affected[s.0] || !mask.get(s.0).copied().unwrap_or(false) {
+                continue;
+            }
+            let d0 = net.nodes()[s.0].position().distance(net.sink());
+            if d0 < self.dist[s.0] {
+                self.dist[s.0] = d0;
+                heap.push(Item { d: d0, v: s.0 });
+            }
+        }
+        // Frontier donors: clean, alive, routed neighbours of affected alive
+        // nodes re-enter the heap at their final distances. Their own state
+        // cannot improve (their distances are already shortest), but they
+        // re-relax the affected region in full-build pop order.
+        let mut seeded = vec![false; n];
+        for i in 0..n {
+            if !affected[i] || !mask[i] {
+                continue;
+            }
+            for &u in net.neighbors(NodeId(i)) {
+                if affected[u.0] || seeded[u.0] || !mask[u.0] || !self.dist[u.0].is_finite() {
+                    continue;
+                }
+                seeded[u.0] = true;
+                heap.push(Item {
+                    d: self.dist[u.0],
+                    v: u.0,
+                });
+            }
+        }
+        let mut relaxed = 0usize;
+        while let Some(Item { d, v }) = heap.pop() {
+            if d > self.dist[v] {
+                continue;
+            }
+            relaxed += 1;
+            for &u in net.neighbors(NodeId(v)) {
+                if !mask[u.0] {
+                    continue;
+                }
+                let w = net.nodes()[v]
+                    .position()
+                    .distance(net.nodes()[u.0].position());
+                let nd = d + w;
+                if nd < self.dist[u.0] {
+                    self.dist[u.0] = nd;
+                    self.parent[u.0] = Some(NodeId(v));
+                    heap.push(Item { d: nd, v: u.0 });
+                }
+            }
+        }
+        for i in 0..n {
+            if affected[i] {
+                self.reachable[i] = self.dist[i].is_finite();
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.bitwise_eq(&RoutingTree::shortest_path(net, mask)),
+            "incremental routing repair diverged from the full recomputation"
+        );
+        RepairReport {
+            relaxed,
+            full_rebuild: false,
+        }
+    }
+
+    /// Exact (bitwise on distances) equality — the repair harness oracle.
+    #[cfg(debug_assertions)]
+    fn bitwise_eq(&self, other: &RoutingTree) -> bool {
+        self.parent == other.parent
+            && self.reachable == other.reachable
+            && self
+                .dist
+                .iter()
+                .zip(&other.dist)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Next hop of `id` toward the sink (`None` = delivers directly to the
     /// sink, or is unreachable — check [`RoutingTree::is_reachable`]).
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
@@ -153,6 +333,17 @@ impl RoutingTree {
         }
         path
     }
+}
+
+/// Outcome of [`RoutingTree::repair_after_deaths`].
+#[derive(Debug, Clone, Copy)]
+pub struct RepairReport {
+    /// Nodes settled by the incremental re-relaxation (frontier donors plus
+    /// re-routed affected nodes); `0` when a full rebuild ran instead.
+    pub relaxed: usize,
+    /// Whether the repair fell back to a full rebuild because the deaths
+    /// invalidated most of the tree.
+    pub full_rebuild: bool,
 }
 
 /// Per-node traffic derived from a routing tree, bits per second.
@@ -327,6 +518,62 @@ mod tests {
             .0;
         assert_eq!(max, 0, "power = {power:?}");
         assert!(power.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn repair_after_tail_death_matches_full_rebuild() {
+        let net = path_net();
+        let mut mask = net.alive_mask();
+        let mut tree = RoutingTree::shortest_path(&net, &mask);
+        mask[3] = false;
+        let mut affected = Vec::new();
+        let report = tree.repair_after_deaths(&net, &mask, &[NodeId(3)], &mut affected);
+        assert!(!report.full_rebuild, "small subtree should repair in place");
+        let full = RoutingTree::shortest_path(&net, &mask);
+        for i in 0..net.node_count() {
+            let id = NodeId(i);
+            assert_eq!(tree.parent(id), full.parent(id), "parent of {i}");
+            assert_eq!(tree.is_reachable(id), full.is_reachable(id));
+            assert_eq!(
+                tree.dist_to_sink(id).to_bits(),
+                full.dist_to_sink(id).to_bits()
+            );
+        }
+        // The dead node and its downstream subtree are the affected set.
+        assert_eq!(affected, vec![false, false, false, true, true]);
+        assert!(!tree.is_reachable(NodeId(4)));
+    }
+
+    #[test]
+    fn repair_of_sink_neighbor_death_reroutes_survivors() {
+        // Two parallel chains to the sink; killing one sink-adjacent node
+        // reroutes its child through the other chain's frontier.
+        let nodes = vec![
+            SensorNode::new(Point::new(10.0, 0.0)),  // 0: sink-adjacent
+            SensorNode::new(Point::new(0.0, 10.0)),  // 1: sink-adjacent
+            SensorNode::new(Point::new(10.0, 10.0)), // 2: tied child of 0/1
+            SensorNode::new(Point::new(0.0, 20.0)),  // 3: child of 1
+            SensorNode::new(Point::new(0.0, 30.0)),  // 4: child of 3
+        ];
+        let net = Network::build(nodes, Point::new(0.0, 0.0), 12.0);
+        let mut mask = net.alive_mask();
+        let mut tree = RoutingTree::shortest_path(&net, &mask);
+        assert_eq!(tree.parent(NodeId(2)), Some(NodeId(0)));
+        mask[0] = false;
+        let mut affected = Vec::new();
+        let report = tree.repair_after_deaths(&net, &mask, &[NodeId(0)], &mut affected);
+        assert!(!report.full_rebuild);
+        assert!(report.relaxed > 0, "frontier donors must re-relax");
+        let full = RoutingTree::shortest_path(&net, &mask);
+        for i in 0..net.node_count() {
+            let id = NodeId(i);
+            assert_eq!(tree.parent(id), full.parent(id));
+            assert_eq!(
+                tree.dist_to_sink(id).to_bits(),
+                full.dist_to_sink(id).to_bits()
+            );
+        }
+        assert_eq!(tree.parent(NodeId(2)), Some(NodeId(1)));
     }
 
     #[test]

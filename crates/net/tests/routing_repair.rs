@@ -1,0 +1,101 @@
+//! Property tests for incremental routing repair.
+//!
+//! Over random deployments and random death sequences, the incrementally
+//! repaired [`RoutingTree`] and the incrementally updated power-draw vector
+//! must equal the from-scratch [`RoutingTree::shortest_path`] +
+//! [`keynode::effective_power_draw`] results *exactly*: bitwise on parents
+//! and reachability, 0 ulp on distances and power. The repair re-relaxes the
+//! invalidated subtree through the same heap discipline as a full build, so
+//! equality holds by construction — these tests pin that invariant against
+//! regressions in release builds too (the `debug_assert` inside
+//! `repair_after_deaths` only guards debug builds).
+
+use proptest::prelude::*;
+
+use wrsn_net::energy::RadioEnergyModel;
+use wrsn_net::keynode;
+use wrsn_net::routing::{self, RoutingTree, TrafficLoad};
+use wrsn_net::{deploy, Network, NodeId, Point, Region};
+
+fn assert_tree_bitwise(incr: &RoutingTree, full: &RoutingTree, n: usize) {
+    for i in 0..n {
+        let id = NodeId(i);
+        assert_eq!(incr.parent(id), full.parent(id), "parent of node {i}");
+        assert_eq!(
+            incr.is_reachable(id),
+            full.is_reachable(id),
+            "reachability of node {i}"
+        );
+        assert_eq!(
+            incr.dist_to_sink(id).to_bits(),
+            full.dist_to_sink(id).to_bits(),
+            "distance of node {i}"
+        );
+    }
+}
+
+/// Kills the nodes in `deaths` one at a time, repairing incrementally after
+/// each, and asserts tree + power equality with the from-scratch computation
+/// at every step.
+fn check_death_sequence(net: &Network, deaths: &[usize]) {
+    let n = net.node_count();
+    let radio = RadioEnergyModel::classical();
+    let mut mask = vec![true; n];
+    let mut tree = RoutingTree::shortest_path(net, &mask);
+    let mut load: TrafficLoad = routing::traffic_load(net, &tree, &mask);
+    let mut power = keynode::effective_power_draw_with_tree(net, &mask, &radio, &tree, &load);
+    let mut affected = Vec::new();
+
+    for &d in deaths {
+        let d = d % n;
+        if !mask[d] {
+            continue;
+        }
+        mask[d] = false;
+        tree.repair_after_deaths(net, &mask, &[NodeId(d)], &mut affected);
+        let full = RoutingTree::shortest_path(net, &mask);
+        assert_tree_bitwise(&tree, &full, n);
+
+        let new_load = routing::traffic_load(net, &tree, &mask);
+        keynode::update_effective_power(
+            net, &mask, &radio, &tree, &new_load, &load, &affected, &mut power,
+        );
+        let full_power = keynode::effective_power_draw(net, &mask, &radio);
+        for i in 0..n {
+            assert_eq!(
+                power[i].to_bits(),
+                full_power[i].to_bits(),
+                "power of node {i} after killing node {d}: {} vs {}",
+                power[i],
+                full_power[i]
+            );
+        }
+        load = new_load;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_repair_matches_full_rebuild(
+        n in 5usize..60,
+        seed in 0u64..1_000,
+        range in 15.0f64..35.0,
+        deaths in proptest::collection::vec(0usize..60, 1..12),
+    ) {
+        let nodes = deploy::uniform(&Region::square(100.0), n, seed);
+        let net = Network::build(nodes, Point::new(50.0, 50.0), range);
+        check_death_sequence(&net, &deaths);
+    }
+}
+
+/// A zero-jitter grid is maximally tie-heavy: many equal distances exercise
+/// the Dijkstra tie-break (`(dist, id)` pop order) that the repair must
+/// reproduce exactly.
+#[test]
+fn repair_preserves_tie_breaks_on_exact_grid() {
+    let nodes = deploy::grid(&Region::square(60.0), 5, 5, 0.0, 0);
+    let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+    check_death_sequence(&net, &[12, 6, 18, 0, 24, 7, 11, 13, 17]);
+}

@@ -90,11 +90,25 @@ pub enum Counter {
     TwoOptMoves,
     /// 2-opt improvement passes over a CSA route.
     TwoOptPasses,
+    /// Incremental routing repairs after node deaths (vs. full rebuilds).
+    RoutingRepairs,
+    /// Nodes re-relaxed (settled) by incremental routing repairs — the
+    /// incremental analogue of a full Dijkstra's n settled pops.
+    RoutingRepairRelaxed,
+    /// Routing refreshes that fell back to a full shortest-path rebuild
+    /// because the invalidated subtree covered most of the alive network.
+    RoutingFullBuilds,
+    /// Power-draw entries left untouched by an incremental refresh because
+    /// their routing state and traffic load were bitwise unchanged.
+    PowerRecomputesSkipped,
+    /// Per-node charge-request scans skipped by drain dirty-tracking (nodes
+    /// whose battery level could not have changed during the segment).
+    RequestScansSkipped,
 }
 
 impl Counter {
     /// Number of counters (size for dense per-counter arrays).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 30;
 
     /// All counters, in declaration (= serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -123,6 +137,11 @@ impl Counter {
         Counter::Insertions,
         Counter::TwoOptMoves,
         Counter::TwoOptPasses,
+        Counter::RoutingRepairs,
+        Counter::RoutingRepairRelaxed,
+        Counter::RoutingFullBuilds,
+        Counter::PowerRecomputesSkipped,
+        Counter::RequestScansSkipped,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -153,6 +172,11 @@ impl Counter {
             Counter::Insertions => "insertions",
             Counter::TwoOptMoves => "two_opt_moves",
             Counter::TwoOptPasses => "two_opt_passes",
+            Counter::RoutingRepairs => "routing_repairs",
+            Counter::RoutingRepairRelaxed => "routing_repair_relaxed",
+            Counter::RoutingFullBuilds => "routing_full_builds",
+            Counter::PowerRecomputesSkipped => "power_recomputes_skipped",
+            Counter::RequestScansSkipped => "request_scans_skipped",
         }
     }
 }
@@ -337,7 +361,13 @@ pub struct StatsRecorder {
     counters: [u64; Counter::COUNT],
     gauges: [Option<f64>; Gauge::COUNT],
     spans: Vec<SpanStats>,
-    open: Vec<(&'static str, Instant)>,
+    /// Open span stack: `spans` index plus entry time.
+    open: Vec<(usize, Instant)>,
+    /// Interned `(parent, name) → spans index`, where `parent` is the
+    /// enclosing span's `spans` index plus one (0 at the root). Spans fire
+    /// hundreds of thousands of times per run, so the hot enter/exit pair
+    /// must resolve its stats slot without rebuilding dotted path strings.
+    span_ids: Vec<(usize, &'static str, usize)>,
     records: Vec<TraceRecord>,
 }
 
@@ -416,14 +446,6 @@ impl StatsRecorder {
             rec.emit(&record);
         }
     }
-
-    fn open_path(&self) -> String {
-        self.open
-            .iter()
-            .map(|(name, _)| *name)
-            .collect::<Vec<_>>()
-            .join(".")
-    }
 }
 
 impl Recorder for StatsRecorder {
@@ -436,28 +458,50 @@ impl Recorder for StatsRecorder {
     }
 
     fn span_enter(&mut self, name: &'static str) {
-        self.open.push((name, Instant::now()));
+        let parent = self.open.last().map_or(0, |&(idx, _)| idx + 1);
+        let idx = match self
+            .span_ids
+            .iter()
+            .find(|&&(p, n, _)| p == parent && n == name)
+        {
+            Some(&(_, _, idx)) => idx,
+            None => {
+                // First time this (parent, name) pair is seen: build the
+                // dotted path once and intern it.
+                let path = match parent {
+                    0 => name.to_string(),
+                    p => format!("{}.{}", self.spans[p - 1].path, name),
+                };
+                let idx = match self.spans.iter().position(|s| s.path == path) {
+                    Some(idx) => idx,
+                    None => {
+                        self.spans.push(SpanStats {
+                            path,
+                            total_s: 0.0,
+                            count: 0,
+                        });
+                        self.spans.len() - 1
+                    }
+                };
+                self.span_ids.push((parent, name, idx));
+                idx
+            }
+        };
+        self.open.push((idx, Instant::now()));
     }
 
     fn span_exit(&mut self, name: &'static str) {
-        let path = self.open_path();
-        let Some((top, started)) = self.open.pop() else {
+        let Some((idx, started)) = self.open.pop() else {
             debug_assert!(false, "span_exit(\"{name}\") with no open span");
             return;
         };
-        debug_assert_eq!(top, name, "span_exit out of order");
-        let elapsed = started.elapsed().as_secs_f64();
-        match self.spans.iter_mut().find(|s| s.path == path) {
-            Some(stats) => {
-                stats.total_s += elapsed;
-                stats.count += 1;
-            }
-            None => self.spans.push(SpanStats {
-                path,
-                total_s: elapsed,
-                count: 1,
-            }),
-        }
+        debug_assert!(
+            self.spans[idx].path.ends_with(name),
+            "span_exit(\"{name}\") out of order (innermost is \"{}\")",
+            self.spans[idx].path
+        );
+        self.spans[idx].total_s += started.elapsed().as_secs_f64();
+        self.spans[idx].count += 1;
     }
 
     fn emit(&mut self, record: &TraceRecord) {
@@ -566,7 +610,7 @@ mod tests {
             .iter()
             .map(|s| (s.path.as_str(), s.count))
             .collect();
-        assert_eq!(paths, vec![("run.decide", 2), ("run", 1)]);
+        assert_eq!(paths, vec![("run", 1), ("run.decide", 2)]);
         assert!(rec.spans().iter().all(|s| s.total_s >= 0.0));
     }
 

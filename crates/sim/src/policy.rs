@@ -4,6 +4,7 @@
 //! Spoofing Attack in `wrsn-core` — implements [`ChargerPolicy`]: the world
 //! repeatedly asks the policy for its next [`ChargerAction`] and executes it.
 
+use wrsn_net::energy::RadioEnergyModel;
 use wrsn_net::routing::RoutingTree;
 use wrsn_net::{Network, NodeId, Point};
 
@@ -55,6 +56,10 @@ pub struct WorldView<'a> {
     /// The depot where [`ChargerAction::Recharge`] swaps batteries, if the
     /// world has one.
     pub depot: Option<Point>,
+    /// The radio energy model behind `power_w`. Lets a policy that simulates
+    /// drain with the same model recognise that `power_w` is reusable as-is
+    /// instead of recomputing the draw from scratch.
+    pub radio: RadioEnergyModel,
 }
 
 impl WorldView<'_> {
@@ -141,6 +146,7 @@ mod tests {
             requests: &[],
             horizon_s: 100.0,
             depot: None,
+            radio: RadioEnergyModel::classical(),
         };
         let mut p = IdlePolicy;
         assert_eq!(p.next_action(&view), ChargerAction::Finish);
@@ -162,6 +168,7 @@ mod tests {
             requests: &[],
             horizon_s: 100.0,
             depot: None,
+            radio: RadioEnergyModel::classical(),
         };
         assert_eq!(view.time_left_s(), 70.0);
         assert!(view.is_alive(NodeId(0)));

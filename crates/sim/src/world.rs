@@ -9,8 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 use wrsn_net::energy::RadioEnergyModel;
+use wrsn_net::keynode;
 use wrsn_net::metrics::{self, HealthSnapshot};
-use wrsn_net::routing::RoutingTree;
+use wrsn_net::routing::{self, RoutingTree, TrafficLoad};
 use wrsn_net::{Network, NodeId};
 
 use crate::charger::MobileCharger;
@@ -89,7 +90,7 @@ pub struct SimReport {
 /// Policies are not part of the snapshot — they are reattached on `run`.
 ///
 /// See the crate-level example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct World {
     net: Network,
     charger: MobileCharger,
@@ -104,6 +105,106 @@ pub struct World {
     /// Charger energy consumed across all battery fills, including swapped-in
     /// depot batteries.
     energy_used_j: f64,
+    scratch: Scratch,
+}
+
+/// Reusable hot-loop buffers. Derived state only: everything here is a pure
+/// function of the serialized `World` fields and is rebuilt on deserialize,
+/// so snapshots stay byte-compatible with the pre-scratch format.
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Alive mask, kept current across deaths (replaces per-segment
+    /// `alive_mask()` allocations).
+    alive: Vec<bool>,
+    /// Indices of alive nodes, ascending.
+    alive_idx: Vec<usize>,
+    /// Net battery drain per node, watts, under the current topology and
+    /// injection; only entries listed in `alive_idx` are meaningful.
+    net_w: Vec<f64>,
+    /// Indices of alive nodes with strictly positive net drain, ascending —
+    /// the only candidates for the next death / warning-crossing event.
+    drain_idx: Vec<usize>,
+    /// Nodes that died in the current segment.
+    dead: Vec<NodeId>,
+    /// Nodes whose warning-threshold status flipped in the current segment
+    /// (ascending) — the only nodes whose request status can have changed.
+    crossed: Vec<usize>,
+    /// Output buffer for [`RoutingTree::repair_after_deaths`].
+    affected: Vec<bool>,
+    /// Traffic load matching `World::tree`, kept so incremental refreshes can
+    /// diff loads instead of recomputing every node's power.
+    load: TrafficLoad,
+    /// Event horizon carried over from the last `advance` exit, keyed by the
+    /// injection `(node, watts bits)` it was computed under. While no battery
+    /// or topology mutation intervenes, the drain buffers and this horizon
+    /// are still exact, so a same-injection `advance` skips its entry
+    /// rebuild/scan entirely. Cleared by every out-of-loop mutation
+    /// (`refresh_full`, `set_battery_level`).
+    horizon: Option<(Option<NodeId>, u64, f64)>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch {
+            alive: Vec::new(),
+            alive_idx: Vec::new(),
+            net_w: Vec::new(),
+            drain_idx: Vec::new(),
+            dead: Vec::new(),
+            crossed: Vec::new(),
+            affected: Vec::new(),
+            load: TrafficLoad {
+                rx_bps: Vec::new(),
+                tx_bps: Vec::new(),
+            },
+            horizon: None,
+        }
+    }
+}
+
+// Hand-written so the scratch buffers stay out of snapshots: the JSON shape
+// is identical to the previous derived form, and `Scratch` is rebuilt from
+// the deserialized fields.
+impl Serialize for World {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("net".to_string(), self.net.to_value()),
+            ("charger".to_string(), self.charger.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("time_s".to_string(), self.time_s.to_value()),
+            ("tree".to_string(), self.tree.to_value()),
+            ("power_w".to_string(), self.power_w.to_value()),
+            ("requests".to_string(), self.requests.to_value()),
+            ("trace".to_string(), self.trace.to_value()),
+            ("lifetime_s".to_string(), self.lifetime_s.to_value()),
+            ("depot_visits".to_string(), self.depot_visits.to_value()),
+            ("energy_used_j".to_string(), self.energy_used_j.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for World {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "World"))?;
+        let mut world = World {
+            net: Deserialize::from_value(serde::map_get(entries, "net")?)?,
+            charger: Deserialize::from_value(serde::map_get(entries, "charger")?)?,
+            config: Deserialize::from_value(serde::map_get(entries, "config")?)?,
+            time_s: Deserialize::from_value(serde::map_get(entries, "time_s")?)?,
+            tree: Deserialize::from_value(serde::map_get(entries, "tree")?)?,
+            power_w: Deserialize::from_value(serde::map_get(entries, "power_w")?)?,
+            requests: Deserialize::from_value(serde::map_get(entries, "requests")?)?,
+            trace: Deserialize::from_value(serde::map_get(entries, "trace")?)?,
+            lifetime_s: Deserialize::from_value(serde::map_get(entries, "lifetime_s")?)?,
+            depot_visits: Deserialize::from_value(serde::map_get(entries, "depot_visits")?)?,
+            energy_used_j: Deserialize::from_value(serde::map_get(entries, "energy_used_j")?)?,
+            scratch: Scratch::default(),
+        };
+        world.rebuild_scratch();
+        Ok(world)
+    }
 }
 
 /// Relative tolerance when matching a node's depletion instant.
@@ -125,8 +226,9 @@ impl World {
             lifetime_s: None,
             depot_visits: 0,
             energy_used_j: 0.0,
+            scratch: Scratch::default(),
         };
-        world.refresh();
+        world.refresh_full();
         world
     }
 
@@ -180,19 +282,117 @@ impl World {
             requests: self.requests.pending(),
             horizon_s: self.config.horizon_s,
             depot: self.config.depot,
+            radio: self.config.radio,
         }
     }
 
-    /// Recomputes routing/power after a topology change, updates the lifetime
-    /// marker and the request queue.
-    fn refresh(&mut self) {
-        let mask = self.net.alive_mask();
-        self.tree = RoutingTree::shortest_path(&self.net, &mask);
+    /// Rebuilds the alive mask/index and sizes the per-node scratch buffers.
+    fn rebuild_alive(&mut self) {
+        let n = self.net.node_count();
+        self.scratch.alive.clear();
+        self.scratch
+            .alive
+            .extend(self.net.nodes().iter().map(|node| node.is_alive()));
+        self.scratch.alive_idx.clear();
+        let alive = &self.scratch.alive;
+        self.scratch.alive_idx.extend((0..n).filter(|&i| alive[i]));
+        self.scratch.net_w.resize(n, 0.0);
+        self.scratch.affected.resize(n, false);
+    }
+
+    /// Rebuilds all derived scratch state from the serialized fields.
+    fn rebuild_scratch(&mut self) {
+        self.rebuild_alive();
+        self.scratch.load = routing::traffic_load(&self.net, &self.tree, &self.scratch.alive);
+    }
+
+    /// Recomputes routing/power from scratch after a topology change, updates
+    /// the lifetime marker and the request queue.
+    fn refresh_full(&mut self) {
+        self.scratch.horizon = None;
+        self.rebuild_alive();
+        self.tree = RoutingTree::shortest_path(&self.net, &self.scratch.alive);
+        self.scratch.load = routing::traffic_load(&self.net, &self.tree, &self.scratch.alive);
         // Includes the disconnected-drain floor: alive-but-disconnected nodes
         // keep listening and beaconing for a route — they are "exhausted in
         // vain", which is exactly the fate the attack inflicts.
-        self.power_w =
-            wrsn_net::keynode::effective_power_draw(&self.net, &mask, &self.config.radio);
+        self.power_w = keynode::effective_power_draw_with_tree(
+            &self.net,
+            &self.scratch.alive,
+            &self.config.radio,
+            &self.tree,
+            &self.scratch.load,
+        );
+        self.check_lifetime();
+        self.scan_requests();
+    }
+
+    /// Incremental [`World::refresh_full`] for the advance loop: the nodes in
+    /// `scratch.dead` just died, so only their routing subtrees and the nodes
+    /// whose traffic load changed need recomputation. Bit-identical to the
+    /// full refresh (asserted in debug builds).
+    fn refresh_after_deaths(&mut self, rec: &mut dyn Recorder) {
+        let Scratch {
+            alive,
+            alive_idx,
+            dead,
+            ..
+        } = &mut self.scratch;
+        for d in dead.iter() {
+            alive[d.0] = false;
+        }
+        alive_idx.retain(|&i| alive[i]);
+
+        let mut affected = std::mem::take(&mut self.scratch.affected);
+        let dead = std::mem::take(&mut self.scratch.dead);
+        let report =
+            self.tree
+                .repair_after_deaths(&self.net, &self.scratch.alive, &dead, &mut affected);
+        if report.full_rebuild {
+            rec.add(Counter::RoutingFullBuilds, 1);
+        } else {
+            rec.add(Counter::RoutingRepairs, 1);
+            rec.add(Counter::RoutingRepairRelaxed, report.relaxed as u64);
+        }
+        // Traffic must be recomputed in full — its farthest-first ordering and
+        // float accumulation depend on every node's distance — but it is cheap
+        // next to a Dijkstra, and diffing it below limits power recomputation.
+        let load = routing::traffic_load(&self.net, &self.tree, &self.scratch.alive);
+        // Whether repaired incrementally or rebuilt, the tree is bitwise
+        // identical to a from-scratch build, so nodes outside the affected set
+        // with unchanged load keep bitwise-identical power entries.
+        let recomputed = keynode::update_effective_power(
+            &self.net,
+            &self.scratch.alive,
+            &self.config.radio,
+            &self.tree,
+            &load,
+            &self.scratch.load,
+            &affected,
+            &mut self.power_w,
+        );
+        rec.add(
+            Counter::PowerRecomputesSkipped,
+            (self.net.node_count() - recomputed) as u64,
+        );
+        self.scratch.load = load;
+        affected.clear();
+        self.scratch.affected = affected;
+        let mut dead = dead;
+        dead.clear();
+        self.scratch.dead = dead;
+        #[cfg(debug_assertions)]
+        {
+            let full =
+                keynode::effective_power_draw(&self.net, &self.scratch.alive, &self.config.radio);
+            debug_assert!(
+                self.power_w
+                    .iter()
+                    .zip(&full)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "incremental power update diverged from the full recomputation"
+            );
+        }
         self.check_lifetime();
         self.scan_requests();
     }
@@ -210,11 +410,22 @@ impl World {
         node: NodeId,
         level_j: f64,
     ) -> Result<(), wrsn_net::NetError> {
+        let was_alive = self.net.node(node)?.is_alive();
         self.net.node_mut(node)?.battery_mut().set_level(level_j);
-        if !self.net.nodes()[node.0].is_alive() {
+        let alive_now = self.net.nodes()[node.0].is_alive();
+        if !alive_now {
             self.trace.record(self.time_s, SimEvent::NodeDied { node });
         }
-        self.refresh();
+        if alive_now == was_alive {
+            // Routing, power draw and the lifetime marker are functions of
+            // the (unchanged) alive set; only this node's request status can
+            // have moved — but the level change stales any carried-over
+            // event horizon.
+            self.scratch.horizon = None;
+            self.scan_request_one(node);
+        } else {
+            self.refresh_full();
+        }
         Ok(())
     }
 
@@ -222,7 +433,7 @@ impl World {
         if self.lifetime_s.is_some() {
             return;
         }
-        let alive = self.net.alive_mask().iter().filter(|&&a| a).count();
+        let alive = self.scratch.alive_idx.len();
         if alive == 0 {
             self.lifetime_s = Some(self.time_s);
             return;
@@ -235,25 +446,95 @@ impl World {
 
     fn scan_requests(&mut self) {
         for id in 0..self.net.node_count() {
-            let node = &self.net.nodes()[id];
-            let nid = NodeId(id);
-            if !node.is_alive() {
-                self.requests.withdraw(nid);
-                continue;
+            self.scan_request_one(NodeId(id));
+        }
+    }
+
+    /// Reconciles one node's charge-request status with its battery state.
+    /// Idempotent: rescanning a node whose battery did not change is a no-op
+    /// for both the queue and the trace.
+    fn scan_request_one(&mut self, nid: NodeId) {
+        let node = &self.net.nodes()[nid.0];
+        if !node.is_alive() {
+            self.requests.withdraw(nid);
+            return;
+        }
+        if node.battery().needs_charging() {
+            let issued = self.requests.issue(ChargeRequest {
+                node: nid,
+                issued_at_s: self.time_s,
+                deficit_j: node.battery().deficit_j(),
+                residual_j: node.battery().level_j(),
+            });
+            if issued {
+                self.trace
+                    .record(self.time_s, SimEvent::RequestIssued { node: nid });
             }
-            if node.battery().needs_charging() {
-                let issued = self.requests.issue(ChargeRequest {
-                    node: nid,
-                    issued_at_s: self.time_s,
-                    deficit_j: node.battery().deficit_j(),
-                    residual_j: node.battery().level_j(),
-                });
-                if issued {
-                    self.trace
-                        .record(self.time_s, SimEvent::RequestIssued { node: nid });
-                }
-            } else {
-                self.requests.withdraw(nid);
+        } else {
+            self.requests.withdraw(nid);
+        }
+    }
+
+    /// Per-segment request scan restricted to nodes whose warning-threshold
+    /// status actually flipped this segment (collected by the apply loop).
+    /// A live node holds a pending request iff it needs charging, and scans
+    /// are idempotent, so nodes that did not cross the threshold would have
+    /// been no-ops for both the queue and the trace.
+    fn scan_crossed(&mut self, rec: &mut dyn Recorder) {
+        let crossed = self.scratch.crossed.len();
+        rec.add(
+            Counter::RequestScansSkipped,
+            (self.net.node_count() - crossed) as u64,
+        );
+        for idx in 0..crossed {
+            let i = self.scratch.crossed[idx];
+            self.scan_request_one(NodeId(i));
+        }
+        self.scratch.crossed.clear();
+    }
+
+    /// Next interesting instant under the current drain rates: a node death
+    /// or a warning-threshold crossing (the latter so charging requests are
+    /// issued on time). Only positive-drain nodes can hit either, so the
+    /// scan walks `drain_idx` instead of every node. Used at advance entry
+    /// and after a topology refresh; steady-state segments fold the same
+    /// computation into the apply loop instead.
+    fn next_event_horizon(&self) -> f64 {
+        let mut t_event = f64::INFINITY;
+        for idx in 0..self.scratch.drain_idx.len() {
+            let i = self.scratch.drain_idx[idx];
+            let w = self.scratch.net_w[i];
+            let battery = self.net.nodes()[i].battery();
+            let level = battery.level_j();
+            let warning = battery.warning_j();
+            t_event = t_event.min(level / w);
+            if level > warning {
+                t_event = t_event.min((level - warning) / w);
+            }
+        }
+        t_event
+    }
+
+    /// Recomputes per-node net drain and the positive-drain index from the
+    /// current power draw and injection. Called whenever `power_w` or the
+    /// alive set changes mid-advance.
+    fn rebuild_drain(&mut self, inject_node: Option<NodeId>, inject_w: f64) {
+        let power_w = &self.power_w;
+        let Scratch {
+            alive_idx,
+            net_w,
+            drain_idx,
+            ..
+        } = &mut self.scratch;
+        drain_idx.clear();
+        for &i in alive_idx.iter() {
+            let mut w = power_w[i];
+            if inject_node == Some(NodeId(i)) {
+                w -= inject_w;
+            }
+            net_w[i] = w;
+            if w > 0.0 {
+                drain_idx.push(i);
             }
         }
     }
@@ -262,7 +543,9 @@ impl World {
     /// battery of `inject_node` (the node currently being charged). Handles
     /// node deaths exactly. Returns the energy actually stored in
     /// `inject_node`'s battery over the interval.
-    #[allow(clippy::needless_range_loop)] // several same-length vectors are co-indexed
+    ///
+    /// Allocation-free: drain rates, event-candidate indices and the death
+    /// list all live in reusable [`Scratch`] buffers.
     fn advance(
         &mut self,
         dt: f64,
@@ -273,87 +556,121 @@ impl World {
         debug_assert!(dt >= 0.0 && dt.is_finite());
         let mut remaining = dt;
         let mut stored = 0.0;
+        if remaining <= 0.0 {
+            return stored;
+        }
+        let mut t_event = match self.scratch.horizon {
+            // Nothing mutated batteries or drains since the last advance
+            // under the same injection: its exit horizon and drain buffers
+            // are still exact.
+            Some((node, w_bits, h)) if node == inject_node && w_bits == inject_w.to_bits() => h,
+            _ => {
+                self.rebuild_drain(inject_node, inject_w);
+                self.next_event_horizon()
+            }
+        };
         while remaining > 0.0 {
             rec.add(Counter::AdvanceSegments, 1);
-            // Net drain per node under current topology.
-            let n = self.net.node_count();
-            let mut net_w = vec![0.0f64; n];
-            let alive_before: Vec<bool> = self.net.alive_mask();
-            for i in 0..n {
-                if !alive_before[i] {
-                    continue;
-                }
-                net_w[i] = self.power_w[i];
-                if inject_node == Some(NodeId(i)) {
-                    net_w[i] -= inject_w;
-                }
-            }
-            // Next interesting instant: a node death or a warning-threshold
-            // crossing (the latter so charging requests are issued on time).
-            let mut t_event = f64::INFINITY;
-            for i in 0..n {
-                if !alive_before[i] || net_w[i] <= 0.0 {
-                    continue;
-                }
-                let level = self.net.nodes()[i].battery().level_j();
-                let warning = self.net.nodes()[i].battery().warning_j();
-                t_event = t_event.min(level / net_w[i]);
-                if level > warning {
-                    t_event = t_event.min((level - warning) / net_w[i]);
-                }
-            }
             let step = remaining.min(t_event);
-            // Apply drain / charge over `step`.
-            for i in 0..n {
-                if !alive_before[i] {
-                    continue;
-                }
-                let nid = NodeId(i);
-                let battery = self.net.node_mut(nid).expect("valid id").battery_mut();
-                if net_w[i] > 0.0 {
-                    battery.discharge(net_w[i] * step);
-                    // Snap float residue: if the remaining charge lasts under
-                    // a nanosecond at this drain, the node is dead now.
-                    if battery.level_j() <= net_w[i] * DEATH_EPS {
-                        battery.set_level(0.0);
+            // The horizon for the *next* segment reads exactly the post-step
+            // battery levels this loop writes, so it is folded in here: one
+            // pass applies the drain, detects deaths and warning crossings,
+            // and accumulates the next event time bit-identically to a fresh
+            // `next_event_horizon` scan (same nodes ascending, same values).
+            let mut t_next = f64::INFINITY;
+            {
+                let net = &mut self.net;
+                let power_w = &self.power_w;
+                let Scratch {
+                    alive_idx,
+                    net_w,
+                    dead,
+                    crossed,
+                    ..
+                } = &mut self.scratch;
+                for &i in alive_idx.iter() {
+                    let w = net_w[i];
+                    let nid = NodeId(i);
+                    if w == 0.0 && inject_node != Some(nid) {
+                        // Zero drain, no injection: the battery cannot move.
+                        continue;
                     }
-                    if inject_node == Some(nid) {
-                        // Net drain positive means no saturation: the battery
-                        // absorbed the full injected inflow.
-                        stored += inject_w * step;
-                    }
-                } else {
-                    let gained = battery.charge(-net_w[i] * step);
-                    if inject_node == Some(nid) {
-                        // Saturated batteries absorb less than injected.
-                        stored += gained + self.power_w[i] * step;
+                    let battery = net.node_mut(nid).expect("valid id").battery_mut();
+                    let was_low = battery.needs_charging();
+                    if w > 0.0 {
+                        battery.discharge(w * step);
+                        // Snap float residue: if the remaining charge lasts
+                        // under a nanosecond at this drain, the node is dead
+                        // now.
+                        if battery.level_j() <= w * DEATH_EPS {
+                            battery.set_level(0.0);
+                        }
+                        if battery.is_depleted() {
+                            // `alive_idx` ascends, so deaths come out sorted.
+                            // Dead nodes get a full request scan during the
+                            // topology refresh, so none is queued here.
+                            dead.push(nid);
+                        } else {
+                            let level = battery.level_j();
+                            let warning = battery.warning_j();
+                            t_next = t_next.min(level / w);
+                            if level > warning {
+                                t_next = t_next.min((level - warning) / w);
+                            }
+                            if battery.needs_charging() != was_low {
+                                crossed.push(i);
+                            }
+                        }
+                        if inject_node == Some(nid) {
+                            // Net drain positive means no saturation: the
+                            // battery absorbed the full injected inflow.
+                            stored += inject_w * step;
+                        }
+                    } else {
+                        let gained = battery.charge(-w * step);
+                        if battery.needs_charging() != was_low {
+                            crossed.push(i);
+                        }
+                        if inject_node == Some(nid) {
+                            // Saturated batteries absorb less than injected.
+                            stored += gained + power_w[i] * step;
+                        }
                     }
                 }
             }
             self.time_s += step;
             remaining -= step;
-            // Record deaths by comparing alive masks.
-            let mut any_death = false;
-            for i in 0..n {
-                if alive_before[i] && !self.net.nodes()[i].is_alive() {
-                    self.trace
-                        .record(self.time_s, SimEvent::NodeDied { node: NodeId(i) });
-                    any_death = true;
-                }
+            let any_death = !self.scratch.dead.is_empty();
+            for idx in 0..self.scratch.dead.len() {
+                let node = self.scratch.dead[idx];
+                self.trace.record(self.time_s, SimEvent::NodeDied { node });
             }
             if any_death {
+                // The refresh rescans every node and the new power vector
+                // invalidates the folded horizon: recompute both from scratch.
+                self.scratch.crossed.clear();
                 rec.add(Counter::TopologyRefreshes, 1);
-                self.refresh();
+                self.refresh_after_deaths(rec);
+                self.rebuild_drain(inject_node, inject_w);
+                t_event = self.next_event_horizon();
             } else {
-                self.scan_requests();
-            }
-            if step == 0.0 && !any_death {
-                // No drain anywhere: jump the whole interval.
-                self.time_s += remaining;
-                remaining = 0.0;
+                if step > 0.0 {
+                    self.scan_crossed(rec);
+                } else {
+                    // No drain anywhere: jump the whole interval. (Nothing
+                    // changed, so no request scan is due either — scans are
+                    // idempotent on unchanged batteries.)
+                    self.scratch.crossed.clear();
+                    self.time_s += remaining;
+                    remaining = 0.0;
+                }
+                t_event = t_next;
             }
         }
-        self.scan_requests();
+        // No trailing scan: every segment that moved a battery already
+        // reconciled requests (crossing scan or post-death refresh), so the
+        // old closing `scan_requests` only re-walked all nodes for nothing.
+        self.scratch.horizon = Some((inject_node, inject_w.to_bits(), t_event));
         stored
     }
 

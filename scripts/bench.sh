@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Timing baseline: release-build the experiment harness and record wall-clock
+# timings as BENCH_<label>.json (single-threaded) and BENCH_<label>_t<N>.json
+# (N worker threads, default: all cores).
+#
+# Usage: scripts/bench.sh [label] [threads]
+#   scripts/bench.sh            -> BENCH_local.json + BENCH_local_t<nproc>.json
+#   scripts/bench.sh pr3        -> BENCH_pr3.json + BENCH_pr3_t<nproc>.json
+#   scripts/bench.sh pr3 8      -> BENCH_pr3.json + BENCH_pr3_t8.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-local}"
+threads="${2:-$(nproc)}"
+
+echo "== cargo build --release -p wrsn-bench"
+cargo build --release -p wrsn-bench
+
+echo "== exp --id all --threads 1 -> BENCH_${label}.json"
+./target/release/exp --id all --threads 1 --json "BENCH_${label}.json" > /dev/null
+
+echo "== exp --id all --threads ${threads} -> BENCH_${label}_t${threads}.json"
+./target/release/exp --id all --threads "${threads}" \
+  --json "BENCH_${label}_t${threads}.json" > /dev/null
+
+echo "Wrote BENCH_${label}.json and BENCH_${label}_t${threads}.json"

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== release golden digest (fig9 + fig13 byte-identity)"
+cargo test --release -p wrsn-bench --test golden_exp_digest -q
+
 echo "== trace export smoke test"
 trace_file="$(mktemp)"
 trap 'rm -f "$trace_file"' EXIT
