@@ -260,16 +260,21 @@ fn main() -> ExitCode {
     // Observability is on only when something consumes it: traces need the
     // records, the JSON report the counters/spans. The plain path keeps the
     // allocation-free NullRecorder.
+    //
+    // The panic-safe harness keeps one poisoned experiment from sinking the
+    // campaign: a worker panic is retried once, a terminal failure lands in
+    // that experiment's slot, and every healthy experiment still prints,
+    // exports its CSVs, and contributes to the trace/JSON reports. Any
+    // failure makes the exit code nonzero.
     let observe = trace_path.is_some() || json_path.is_some();
-    let results = parallel::map_indexed(ids.len(), |k| run_experiment(ids[k], observe));
+    let results = parallel::try_map_indexed(ids.len(), 1, |k| run_experiment(ids[k], observe));
     let mut outputs = Vec::with_capacity(results.len());
-    for result in results {
+    let mut failures: Vec<String> = Vec::new();
+    for (k, result) in results.into_iter().enumerate() {
         match result {
-            Ok(output) => outputs.push(output),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Ok(Ok(output)) => outputs.push(output),
+            Ok(Err(e)) => failures.push(format!("{}: {e}", ids[k])),
+            Err(e) => failures.push(format!("{}: {e}", ids[k])),
         }
     }
     for output in &outputs {
@@ -313,6 +318,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "error: {} of {} experiment(s) failed:",
+            failures.len(),
+            ids.len()
+        );
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

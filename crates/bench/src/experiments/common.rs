@@ -23,7 +23,13 @@ pub fn run_csa_with(
 ) -> (World, CsaAttackPolicy, SimReport, AttackOutcome) {
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    let report = world.run_with(&mut policy, rec);
+    // A `SimError` here means the experiment itself is broken (there is no
+    // fault plan installed); panic and let the `exp` runner's panic-safe
+    // harness report it per-experiment instead of threading Result through
+    // every table builder.
+    let report = world
+        .run_with(&mut policy, rec)
+        .expect("CSA campaign run failed");
     let outcome = evaluate_attack(&world, &policy);
     (world, policy, report, outcome)
 }

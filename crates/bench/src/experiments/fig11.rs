@@ -33,7 +33,7 @@ fn csa_run(seed: u64, rec: &mut dyn Recorder) -> Run {
     let scenario = Scenario::paper_scale(NODES, seed);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run_with(&mut policy, rec);
+    world.run_with(&mut policy, rec).expect("run");
     let victims = policy.targets().iter().map(|&(n, _)| n).collect();
     Run { world, victims }
 }
@@ -42,7 +42,9 @@ fn honest_run(seed: u64, depot: bool, rec: &mut dyn Recorder) -> Run {
     let mut scenario = Scenario::paper_scale(NODES, seed);
     scenario.depot = depot;
     let mut world = scenario.build();
-    world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
+    world
+        .run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec)
+        .expect("run");
     Run {
         world,
         victims: Vec::new(),

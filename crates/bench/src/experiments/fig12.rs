@@ -39,19 +39,21 @@ fn run_behaviour(label: &str, seed: u64, rec: &mut dyn Recorder) -> Run {
     let mut world = scenario.build();
     match label {
         "honest-edf" => {
-            world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
+            world
+                .run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec)
+                .expect("run");
             let victims = world.trace().sessions().iter().map(|s| s.node).collect();
             Run { world, victims }
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             let victims = p.targets().iter().map(|&(n, _)| n).collect();
             Run { world, victims }
         }
         "eager-spoof" => {
             let mut p = EagerSpoofPolicy::new(3_000.0);
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             let victims = world
                 .trace()
                 .sessions()
@@ -63,7 +65,7 @@ fn run_behaviour(label: &str, seed: u64, rec: &mut dyn Recorder) -> Run {
         }
         "selective-neglect" => {
             let mut p = SelectiveNeglectPolicy::new();
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             let victims = p.census();
             Run { world, victims }
         }

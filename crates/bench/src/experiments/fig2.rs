@@ -67,9 +67,8 @@ mod tests {
     #[test]
     fn null_sits_at_pi_and_peak_at_zero() {
         let tables = run();
-        let rows = &tables[0].rows;
-        let first: f64 = rows[0][1].parse().unwrap();
-        let mid: f64 = rows[12][1].parse().unwrap(); // 25 samples → index 12 is π
+        let first = tables[0].cell_f64(0, 1);
+        let mid = tables[0].cell_f64(12, 1); // 25 samples → index 12 is π
         assert!((first - 1.0).abs() < 1e-9);
         assert!(mid < 1e-3, "ideal null = {mid}");
     }
@@ -77,11 +76,10 @@ mod tests {
     #[test]
     fn unequal_amplitudes_have_shallower_nulls() {
         let tables = run();
-        let rows = &tables[1].rows;
-        let mid = &rows[6]; // Δφ = π
-        let null_10: f64 = mid[1].parse().unwrap();
-        let null_08: f64 = mid[2].parse().unwrap();
-        let null_05: f64 = mid[3].parse().unwrap();
+        // Row 6 is Δφ = π.
+        let null_10 = tables[1].cell_f64(6, 1);
+        let null_08 = tables[1].cell_f64(6, 2);
+        let null_05 = tables[1].cell_f64(6, 3);
         assert!(null_10 < null_08 && null_08 < null_05);
     }
 }

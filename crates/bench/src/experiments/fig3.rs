@@ -49,20 +49,18 @@ mod tests {
     #[test]
     fn fit_is_close_to_truth() {
         let tables = run();
-        let rows = &tables[1].rows;
-        let alpha_true: f64 = rows[0][1].parse().unwrap();
-        let alpha_fit: f64 = rows[0][2].parse().unwrap();
+        let alpha_true = tables[1].cell_f64(0, 1);
+        let alpha_fit = tables[1].cell_f64(0, 2);
         assert!((alpha_true - alpha_fit).abs() < 0.1);
-        let r2: f64 = rows[2][2].parse().unwrap();
+        let r2 = tables[1].cell_f64(2, 2);
         assert!(r2 > 0.9);
     }
 
     #[test]
     fn power_decreases_with_distance() {
         let tables = run();
-        let rows = &tables[0].rows;
-        let first: f64 = rows[0][1].parse().unwrap();
-        let last: f64 = rows[rows.len() - 1][1].parse().unwrap();
+        let first = tables[0].cell_f64(0, 1);
+        let last = tables[0].cell_f64(tables[0].rows.len() - 1, 1);
         assert!(first > last);
     }
 }

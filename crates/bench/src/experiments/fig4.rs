@@ -61,10 +61,8 @@ mod tests {
     #[test]
     fn residual_grows_monotonically_with_phase_error() {
         let tables = run();
-        let col: Vec<f64> = tables[0]
-            .rows
-            .iter()
-            .map(|r| r[1].parse().unwrap())
+        let col: Vec<f64> = (0..tables[0].rows.len())
+            .map(|row| tables[0].cell_f64(row, 1))
             .collect();
         for w in col.windows(2) {
             assert!(w[0] <= w[1] + 1e-12, "{col:?}");

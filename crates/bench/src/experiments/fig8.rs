@@ -35,17 +35,19 @@ fn runs_for(policy_kind: &str, seed: u64, rec: &mut dyn Recorder) -> Run {
     let mut world = scenario.build();
     let victims = match policy_kind {
         "honest" => {
-            world.run_with(&mut wrsn::charge::Njnp::new(), rec);
+            world
+                .run_with(&mut wrsn::charge::Njnp::new(), rec)
+                .expect("run");
             world.trace().sessions().iter().map(|s| s.node).collect()
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             p.targets().iter().map(|&(n, _)| n).collect()
         }
         "eager" => {
             let mut p = EagerSpoofPolicy::new(3_000.0);
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             world.trace().sessions().iter().map(|s| s.node).collect()
         }
         other => unreachable!("unknown policy {other}"),

@@ -22,17 +22,21 @@ fn run_policy(label: &str, rec: &mut dyn Recorder) -> (String, World) {
     let mut world = scenario.build();
     match label {
         "absent" => {
-            world.run_with(&mut IdlePolicy, rec);
+            world.run_with(&mut IdlePolicy, rec).expect("run");
         }
         "njnp" => {
-            world.run_with(&mut wrsn::charge::Njnp::new(), rec);
+            world
+                .run_with(&mut wrsn::charge::Njnp::new(), rec)
+                .expect("run");
         }
         "edf" => {
-            world.run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec);
+            world
+                .run_with(&mut wrsn::charge::EarliestDeadlineFirst::new(), rec)
+                .expect("run");
         }
         "csa" => {
             let mut p = CsaAttackPolicy::new(scenario.tide_config());
-            world.run_with(&mut p, rec);
+            world.run_with(&mut p, rec).expect("run");
             return (p.name().to_string(), world);
         }
         other => unreachable!("unknown label {other}"),

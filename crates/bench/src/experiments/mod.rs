@@ -1,6 +1,7 @@
 //! One module per experiment; see `EXPERIMENTS.md` for the index.
 
 pub mod common;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -149,7 +149,7 @@ fn execution_ablation(rec: &mut dyn Recorder) -> Table {
             policy = policy.without_decoys();
         }
         let mut world = scenario.build();
-        world.run_with(&mut policy, sink);
+        world.run_with(&mut policy, sink).expect("run");
         let outcome = evaluate_attack(&world, &policy);
         let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
         (

@@ -28,8 +28,14 @@ use obs::{Recorder, TraceRecord, SCHEMA_VERSION};
 /// All experiment ids, in the order of `EXPERIMENTS.md`.
 pub const ALL_IDS: &[&str] = &[
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "tab1", "tab2", "tab3",
+    "fig13", "tab1", "tab2", "tab3", "faults",
 ];
+
+/// Environment variable naming an experiment id whose run should panic on
+/// entry. A test/CI hook for the `exp` runner's panic-safe harness: set
+/// `WRSN_FORCE_PANIC=fig2` and `exp --id all` must still deliver every other
+/// experiment's output plus a per-experiment failure report.
+pub const FORCE_PANIC_ENV: &str = "WRSN_FORCE_PANIC";
 
 /// Runs one experiment by id.
 ///
@@ -52,6 +58,9 @@ pub fn run(id: &str) -> Result<Vec<Table>, String> {
 ///
 /// Returns an error string for unknown ids.
 pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, String> {
+    if std::env::var(FORCE_PANIC_ENV).as_deref() == Ok(id) {
+        panic!("forced panic in `{id}` ({FORCE_PANIC_ENV} is set)");
+    }
     if rec.enabled() {
         rec.emit(&TraceRecord::Meta {
             schema: format!("wrsn-trace-v{SCHEMA_VERSION}"),
@@ -74,6 +83,7 @@ pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, String> 
         "tab1" => Ok(experiments::tab1::run()),
         "tab2" => Ok(experiments::tab2::run()),
         "tab3" => Ok(experiments::tab3::run_with(rec)),
+        "faults" => Ok(experiments::faults::run_with(rec)),
         other => Err(format!(
             "unknown experiment id `{other}`; known ids: {}",
             ALL_IDS.join(", ")
@@ -95,7 +105,7 @@ mod tests {
     #[test]
     fn fast_experiments_produce_tables() {
         for id in ["fig2", "fig3", "fig4", "fig10", "fig13"] {
-            let tables = run(id).unwrap();
+            let tables = run(id).unwrap_or_else(|e| panic!("experiment `{id}` failed: {e}"));
             assert!(!tables.is_empty(), "{id} produced no tables");
             for t in &tables {
                 assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);

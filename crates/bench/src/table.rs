@@ -68,6 +68,34 @@ impl Table {
         out
     }
 
+    /// Parses cell `(row, col)` as an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the table title, coordinates, and raw cell text when the
+    /// cell is missing or not a number — so a failed assertion in a test
+    /// names the offending cell instead of a bare `ParseFloatError`.
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        let cell = self
+            .rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .unwrap_or_else(|| {
+                panic!(
+                    "table `{}`: no cell at row {row}, col {col} ({} rows × {} cols)",
+                    self.title,
+                    self.rows.len(),
+                    self.columns.len()
+                )
+            });
+        cell.parse().unwrap_or_else(|e| {
+            panic!(
+                "table `{}`: cell at row {row}, col {col} is not a number: {cell:?} ({e})",
+                self.title
+            )
+        })
+    }
+
     /// Renders the table as CSV (header + rows).
     pub fn to_csv(&self) -> String {
         let esc = |cell: &str| {
@@ -143,6 +171,25 @@ mod tests {
     fn wrong_width_panics() {
         let mut t = Table::new("t", &["x", "y"]);
         t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_f64_parses_numbers() {
+        let t = sample();
+        assert_eq!(t.cell_f64(0, 0), 1.0);
+        assert_eq!(t.cell_f64(1, 0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1, col 1 is not a number: \"x\"")]
+    fn cell_f64_names_the_bad_cell() {
+        sample().cell_f64(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell at row 9")]
+    fn cell_f64_names_the_missing_cell() {
+        sample().cell_f64(9, 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn golden_stream() -> String {
         world.set_battery_level(NodeId(i), level).unwrap();
     }
     let mut rec = StatsRecorder::new();
-    world.run_with(&mut Njnp::new(), &mut rec);
+    world.run_with(&mut Njnp::new(), &mut rec).expect("run");
     rec.emit_counters("golden");
     let mut stream = String::new();
     for record in rec.records() {

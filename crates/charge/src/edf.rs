@@ -131,7 +131,7 @@ mod tests {
         let cap = w.network().nodes()[0].battery().capacity_j();
         w.set_battery_level(NodeId(0), cap * 0.15).unwrap();
         w.set_battery_level(NodeId(1), cap * 0.02).unwrap();
-        w.run(&mut EarliestDeadlineFirst::new());
+        w.run(&mut EarliestDeadlineFirst::new()).expect("run");
         let sessions = w.trace().sessions();
         assert!(!sessions.is_empty());
         assert_eq!(sessions[0].node, NodeId(1), "most urgent first");
@@ -154,8 +154,8 @@ mod tests {
                 },
             )
         };
-        let idle = build().run(&mut IdlePolicy);
-        let edf = build().run(&mut EarliestDeadlineFirst::new());
+        let idle = build().run(&mut IdlePolicy).expect("run");
+        let edf = build().run(&mut EarliestDeadlineFirst::new()).expect("run");
         assert!(
             edf.dead_nodes < idle.dead_nodes,
             "edf {} vs idle {}",

@@ -27,7 +27,7 @@
 //! let net = Network::build(nodes, Point::new(30.0, 30.0), 25.0);
 //! let mut world = World::new(net, MobileCharger::standard(Point::new(30.0, 30.0)),
 //!                            WorldConfig { horizon_s: 3600.0, ..WorldConfig::default() });
-//! let report = world.run(&mut Njnp::new());
+//! let report = world.run(&mut Njnp::new()).expect("run");
 //! assert_eq!(report.policy_name, "njnp");
 //! ```
 

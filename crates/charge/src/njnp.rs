@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn njnp_serves_outstanding_requests() {
         let mut w = drained_world(40_000.0);
-        let report = w.run(&mut Njnp::new());
+        let report = w.run(&mut Njnp::new()).expect("run");
         assert!(report.sessions >= 2, "sessions = {}", report.sessions);
         let served: std::collections::HashSet<NodeId> =
             w.trace().sessions().iter().map(|s| s.node).collect();
@@ -184,8 +184,8 @@ mod tests {
                 },
             )
         };
-        let idle_dead = build().run(&mut IdlePolicy).dead_nodes;
-        let njnp_dead = build().run(&mut Njnp::new()).dead_nodes;
+        let idle_dead = build().run(&mut IdlePolicy).expect("run").dead_nodes;
+        let njnp_dead = build().run(&mut Njnp::new()).expect("run").dead_nodes;
         assert!(
             njnp_dead < idle_dead,
             "njnp {njnp_dead} vs idle {idle_dead}"
@@ -211,7 +211,7 @@ mod tests {
         for i in 0..9 {
             w.set_battery_level(NodeId(i), cap * 0.15).unwrap();
         }
-        let report = w.run(&mut Njnp::new());
+        let report = w.run(&mut Njnp::new()).expect("run");
         assert!(report.depot_visits > 0, "NJNP never swapped batteries");
         assert!(
             report.charger_energy_used_j > 60_000.0,

@@ -203,7 +203,9 @@ mod tests {
         for i in 0..4 {
             w.set_battery_level(NodeId(i), 100.0).unwrap();
         }
-        let report = w.run(&mut PeriodicTsp::new(Point::new(20.0, 20.0), 10_000.0));
+        let report = w
+            .run(&mut PeriodicTsp::new(Point::new(20.0, 20.0), 10_000.0))
+            .expect("run");
         assert!(report.sessions >= 4, "sessions = {}", report.sessions);
         for i in 0..4 {
             assert!(
@@ -234,8 +236,12 @@ mod tests {
         };
         let mut w1 = build();
         let mut w2 = build();
-        let r1 = w1.run(&mut PeriodicTsp::new(Point::new(25.0, 25.0), 8_000.0));
-        let r2 = w2.run(&mut PeriodicTsp::new(Point::new(25.0, 25.0), 8_000.0));
+        let r1 = w1
+            .run(&mut PeriodicTsp::new(Point::new(25.0, 25.0), 8_000.0))
+            .expect("run");
+        let r2 = w2
+            .run(&mut PeriodicTsp::new(Point::new(25.0, 25.0), 8_000.0))
+            .expect("run");
         assert_eq!(r1.sessions, r2.sessions);
         assert_eq!(r1.total_delivered_j, r2.total_delivered_j);
     }

@@ -631,11 +631,19 @@ pub fn evaluate_attack(world: &World, policy: &CsaAttackPolicy) -> AttackOutcome
 
 /// Convenience: run a full CSA attack campaign on `world` and report both the
 /// simulation outcome and the attack accounting.
-pub fn run_attack(world: &mut World, config: TideConfig) -> (SimReport, AttackOutcome) {
+///
+/// # Errors
+///
+/// Propagates any [`wrsn_sim::SimError`] the engine surfaces (see
+/// [`World::run`]).
+pub fn run_attack(
+    world: &mut World,
+    config: TideConfig,
+) -> Result<(SimReport, AttackOutcome), wrsn_sim::SimError> {
     let mut policy = CsaAttackPolicy::new(config);
-    let report = world.run(&mut policy);
+    let report = world.run(&mut policy)?;
     let outcome = evaluate_attack(world, &policy);
-    (report, outcome)
+    Ok((report, outcome))
 }
 
 #[cfg(test)]
@@ -675,9 +683,43 @@ mod tests {
     }
 
     #[test]
+    fn csa_attack_survives_losing_a_victim_to_fault_injection() {
+        use wrsn_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        // Baseline campaign, to learn who gets attacked.
+        let mut world = attack_world(400_000.0);
+        let (_, baseline) = run_attack(&mut world, TideConfig::default()).expect("attack run");
+        let victim = world
+            .trace()
+            .sessions()
+            .first()
+            .expect("baseline campaign charges someone")
+            .node;
+
+        // Same campaign, but the first-served victim hard-fails early: the
+        // policy must keep executing against the degraded network instead of
+        // erroring out, and the dead victim can no longer be exhausted by the
+        // charger.
+        let mut faulted =
+            attack_world(400_000.0).with_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::NodeFailure { node: victim },
+            }]));
+        let (_, outcome) = run_attack(&mut faulted, TideConfig::default()).expect("attack run");
+        assert!(faulted.network().nodes()[victim.0].has_failed());
+        assert!(outcome.targeted > 0, "campaign still targets the others");
+        assert!(
+            outcome.exhausted <= baseline.exhausted,
+            "a crashed victim cannot add exhaustions: {} vs {}",
+            outcome.exhausted,
+            baseline.exhausted
+        );
+    }
+
+    #[test]
     fn csa_attack_exhausts_most_key_nodes() {
         let mut world = attack_world(400_000.0);
-        let (report, outcome) = run_attack(&mut world, TideConfig::default());
+        let (report, outcome) = run_attack(&mut world, TideConfig::default()).expect("attack run");
         assert!(outcome.targeted > 0, "attack must target someone");
         assert!(
             outcome.exhausted_ratio >= 0.8,
@@ -689,7 +731,7 @@ mod tests {
     #[test]
     fn spoofed_victims_receive_essentially_nothing() {
         let mut world = attack_world(400_000.0);
-        let (_, outcome) = run_attack(&mut world, TideConfig::default());
+        let (_, outcome) = run_attack(&mut world, TideConfig::default()).expect("attack run");
         assert!(outcome.targeted > 0);
         let mut spoofed = 0;
         for s in world.trace().sessions() {
@@ -738,7 +780,7 @@ mod tests {
     #[test]
     fn eager_spoof_also_kills_but_serves_requests_immediately() {
         let mut world = attack_world(400_000.0);
-        let report = world.run(&mut EagerSpoofPolicy::new(3_000.0));
+        let report = world.run(&mut EagerSpoofPolicy::new(3_000.0)).expect("run");
         assert_eq!(report.policy_name, "eager-spoof");
         assert!(report.sessions > 0);
         // Spoofed sessions delivered nothing, so served nodes still died.
@@ -759,7 +801,7 @@ mod tests {
     fn static_plan_ablation_still_runs() {
         let mut world = attack_world(400_000.0);
         let mut policy = CsaAttackPolicy::new(TideConfig::default()).with_static_plan();
-        world.run(&mut policy);
+        world.run(&mut policy).expect("run");
         let outcome = evaluate_attack(&world, &policy);
         // The static plan targets someone; adaptivity is about stealth and
         // yield, not about basic operation.

@@ -479,7 +479,7 @@ mod tests {
     #[test]
     fn absent_charger_trips_trajectory_audit() {
         let mut world = attack_world(400_000.0);
-        world.run(&mut IdlePolicy);
+        world.run(&mut IdlePolicy).expect("run");
         // Use a deadline short enough to be judged within this horizon.
         let report = TrajectoryAudit {
             max_response_s: 100_000.0,
@@ -491,7 +491,7 @@ mod tests {
     #[test]
     fn csa_passes_trajectory_and_rf_audits() {
         let mut world = attack_world(400_000.0);
-        let (_, outcome) = run_attack(&mut world, TideConfig::default());
+        let (_, outcome) = run_attack(&mut world, TideConfig::default()).expect("attack run");
         assert!(outcome.exhausted > 0);
         let victims: Vec<NodeId> = world.trace().sessions().iter().map(|s| s.node).collect();
         let rf = RadiatedPowerAudit::default().analyze(&world);
@@ -509,7 +509,7 @@ mod tests {
     fn csa_evades_energy_report_audit_but_eager_spoof_does_not() {
         // CSA: spoofs inside the window → victims die before reporting.
         let mut csa_world = attack_world(400_000.0);
-        let (_, outcome) = run_attack(&mut csa_world, TideConfig::default());
+        let (_, outcome) = run_attack(&mut csa_world, TideConfig::default()).expect("attack run");
         assert!(outcome.exhausted > 0);
         let csa_victims: Vec<NodeId> = csa_world
             .trace()
@@ -523,7 +523,9 @@ mod tests {
         // Eager spoof: fakes the charge immediately at the warning threshold;
         // the victim has ~20% battery left and survives many report periods.
         let mut eager_world = attack_world(400_000.0);
-        eager_world.run(&mut EagerSpoofPolicy::new(3_000.0));
+        eager_world
+            .run(&mut EagerSpoofPolicy::new(3_000.0))
+            .expect("run");
         let eager_victims: Vec<NodeId> = eager_world
             .trace()
             .sessions()
@@ -546,7 +548,7 @@ mod tests {
     #[test]
     fn honest_charging_raises_no_energy_alarms() {
         let mut world = attack_world(400_000.0);
-        world.run(&mut wrsn_charge::Njnp::new());
+        world.run(&mut wrsn_charge::Njnp::new()).expect("run");
         let served: Vec<NodeId> = world.trace().sessions().iter().map(|s| s.node).collect();
         assert!(!served.is_empty(), "premise: NJNP served someone");
         let audit = EnergyReportAudit::default().analyze(&world);
@@ -560,7 +562,7 @@ mod tests {
     #[test]
     fn suite_verdict_aggregates() {
         let mut world = attack_world(300_000.0);
-        world.run(&mut IdlePolicy);
+        world.run(&mut IdlePolicy).expect("run");
         let verdict = SuiteVerdict {
             reports: vec![
                 TrajectoryAudit {
@@ -582,7 +584,7 @@ mod tests {
     #[test]
     fn post_mortem_audit_catches_csa_after_the_fact() {
         let mut world = attack_world(400_000.0);
-        let (_, outcome) = run_attack(&mut world, TideConfig::default());
+        let (_, outcome) = run_attack(&mut world, TideConfig::default()).expect("attack run");
         assert!(outcome.exhausted > 0);
         let victims: Vec<NodeId> = world
             .trace()
@@ -609,7 +611,7 @@ mod tests {
     #[test]
     fn post_mortem_audit_ignores_pure_starvation() {
         let mut world = attack_world(400_000.0);
-        world.run(&mut IdlePolicy);
+        world.run(&mut IdlePolicy).expect("run");
         // Nodes died, but none was ever "charged": zero alarms.
         assert!(!world.trace().death_times().is_empty());
         let report = PostMortemAudit::default().analyze(&world);
@@ -622,7 +624,7 @@ mod tests {
 
         let mut neglect_world = attack_world(400_000.0);
         let mut neglect = SelectiveNeglectPolicy::new();
-        neglect_world.run(&mut neglect);
+        neglect_world.run(&mut neglect).expect("run");
         let neglect_victims = neglect.census();
         assert!(!neglect_victims.is_empty());
         let neglect_ratio = FairnessAudit::default()
@@ -630,7 +632,7 @@ mod tests {
             .detection_ratio(&neglect_victims);
 
         let mut csa_world = attack_world(400_000.0);
-        let (_, outcome) = run_attack(&mut csa_world, TideConfig::default());
+        let (_, outcome) = run_attack(&mut csa_world, TideConfig::default()).expect("attack run");
         assert!(outcome.exhausted > 0);
         let csa_victims: Vec<NodeId> = csa_world
             .trace()
@@ -655,7 +657,7 @@ mod tests {
         use crate::attack::SelectiveNeglectPolicy;
         let mut world = attack_world(400_000.0);
         let mut policy = SelectiveNeglectPolicy::new();
-        world.run(&mut policy);
+        world.run(&mut policy).expect("run");
         let census = policy.census();
         assert!(!census.is_empty());
         let dead = census
@@ -676,7 +678,7 @@ mod tests {
     #[test]
     fn fairness_audit_is_silent_without_any_service() {
         let mut world = attack_world(300_000.0);
-        world.run(&mut IdlePolicy);
+        world.run(&mut IdlePolicy).expect("run");
         let report = FairnessAudit::default().analyze(&world);
         assert_eq!(
             report.alarm_count(),

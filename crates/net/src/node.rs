@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::energy::Battery;
 use crate::geom::Point;
@@ -45,12 +45,57 @@ impl From<usize> for NodeId {
 /// assert!(n.is_alive());
 /// assert_eq!(n.battery().level_j(), n.battery().capacity_j());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorNode {
     position: Point,
     battery: Battery,
     /// Sensing data generation rate, bits per second.
     sensing_rate_bps: f64,
+    /// Hard failure (crash, tamper, enclosure damage): the node is dead even
+    /// though its battery may hold residual charge. Set by fault injection;
+    /// never cleared — a crashed node stays down, like a depleted one.
+    failed: bool,
+}
+
+// Hand-written so the `failed` flag stays out of snapshots of healthy nodes:
+// the JSON shape is identical to the pre-fault-injection derived form unless
+// a node actually hard-failed.
+impl Serialize for SensorNode {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("position".to_string(), self.position.to_value()),
+            ("battery".to_string(), self.battery.to_value()),
+            (
+                "sensing_rate_bps".to_string(),
+                self.sensing_rate_bps.to_value(),
+            ),
+        ];
+        if self.failed {
+            entries.push(("failed".to_string(), Value::Bool(true)));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for SensorNode {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "SensorNode"))?;
+        let failed = match entries.iter().find(|(k, _)| k == "failed") {
+            Some((_, v)) => bool::from_value(v)?,
+            None => false,
+        };
+        Ok(SensorNode {
+            position: Deserialize::from_value(serde::map_get(entries, "position")?)?,
+            battery: Deserialize::from_value(serde::map_get(entries, "battery")?)?,
+            sensing_rate_bps: Deserialize::from_value(serde::map_get(
+                entries,
+                "sensing_rate_bps",
+            )?)?,
+            failed,
+        })
+    }
 }
 
 /// Default sensing data rate: 1 kb/s.
@@ -63,6 +108,7 @@ impl SensorNode {
             position,
             battery: Battery::default(),
             sensing_rate_bps: DEFAULT_SENSING_RATE_BPS,
+            failed: false,
         }
     }
 
@@ -72,6 +118,7 @@ impl SensorNode {
             position,
             battery,
             sensing_rate_bps: DEFAULT_SENSING_RATE_BPS,
+            failed: false,
         }
     }
 
@@ -109,9 +156,23 @@ impl SensorNode {
         self.sensing_rate_bps
     }
 
-    /// Whether the node still has usable energy.
+    /// Whether the node still has usable energy and has not hard-failed.
     pub fn is_alive(&self) -> bool {
-        !self.battery.is_depleted()
+        !self.failed && !self.battery.is_depleted()
+    }
+
+    /// Whether the node hard-failed (as opposed to draining its battery).
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Marks the node hard-failed: it drops out of the network immediately,
+    /// keeping whatever battery charge it had. Irreversible, like depletion.
+    /// Used by fault injection (`wrsn_sim::fault`) to model crashes that a
+    /// detector must tell apart from attack-induced exhaustion — a crashed
+    /// node leaves residual energy behind, an exhausted one dies at zero.
+    pub fn mark_failed(&mut self) {
+        self.failed = true;
     }
 }
 
@@ -152,5 +213,37 @@ mod tests {
     #[should_panic(expected = "sensing rate")]
     fn negative_sensing_rate_panics() {
         let _ = SensorNode::new(Point::ORIGIN).with_sensing_rate(-1.0);
+    }
+
+    #[test]
+    fn hard_failure_kills_node_but_keeps_battery() {
+        let mut n = SensorNode::new(Point::ORIGIN);
+        n.mark_failed();
+        assert!(!n.is_alive());
+        assert!(n.has_failed());
+        assert_eq!(n.battery().level_j(), n.battery().capacity_j());
+    }
+
+    #[test]
+    fn serde_omits_failed_flag_on_healthy_nodes() {
+        use serde::{Deserialize, Serialize};
+        let healthy = SensorNode::new(Point::new(1.0, 2.0));
+        let v = healthy.to_value();
+        let keys: Vec<&str> = v
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["position", "battery", "sensing_rate_bps"]);
+        assert_eq!(SensorNode::from_value(&v).unwrap(), healthy);
+
+        let mut crashed = healthy.clone();
+        crashed.mark_failed();
+        let v = crashed.to_value();
+        assert!(v.as_map().unwrap().iter().any(|(k, _)| k == "failed"));
+        let back = SensorNode::from_value(&v).unwrap();
+        assert!(back.has_failed());
+        assert_eq!(back, crashed);
     }
 }

@@ -13,9 +13,15 @@
 //! * [`request`]: the charging-request queue nodes use to summon the charger,
 //! * [`trace`]: session/event recording consumed by detectors and experiments,
 //! * [`world`]: the simulation loop with exact piecewise-linear battery drain
-//!   (node deaths are hit exactly, not stepped over),
+//!   (node deaths are hit exactly, not stepped over), plus
+//!   [`world::Checkpoint`] snapshot/restore,
+//! * [`fault`]: seeded, fully reproducible fault injection — node crashes,
+//!   charging-efficiency degradation, charger stalls, request loss,
+//! * [`error`]: the typed [`error::SimError`] the run loop returns instead of
+//!   panicking,
 //! * [`parallel`]: order-preserving scoped-thread fan-out for independent
-//!   simulation trials (`WRSN_THREADS` controls the worker count),
+//!   simulation trials (`WRSN_THREADS` controls the worker count), with a
+//!   panic-catching, retrying [`parallel::try_map_indexed`] variant,
 //! * [`obs`]: structured observability — the [`obs::Recorder`] trait (typed
 //!   counters, gauges, nested timing spans) and the versioned JSONL trace
 //!   schema; the default [`obs::NullRecorder`] keeps uninstrumented runs
@@ -31,7 +37,7 @@
 //! let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
 //! let charger = MobileCharger::standard(Point::new(30.0, 30.0));
 //! let mut world = World::new(net, charger, WorldConfig::default());
-//! let report = world.run(&mut IdlePolicy);
+//! let report = world.run(&mut IdlePolicy).expect("run");
 //! assert!(report.final_time_s > 0.0);
 //! ```
 
@@ -40,6 +46,8 @@
 
 pub mod charger;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod obs;
 pub mod parallel;
 pub mod policy;
@@ -48,18 +56,22 @@ pub mod trace;
 pub mod world;
 
 pub use charger::{ChargeMode, ChargerRig, MobileCharger};
+pub use error::SimError;
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
 pub use policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
 pub use request::ChargeRequest;
 pub use trace::{ChargeSession, SimEvent, Trace};
-pub use world::{SimReport, World, WorldConfig};
+pub use world::{Checkpoint, SimReport, World, WorldConfig};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::charger::{ChargeMode, ChargerRig, MobileCharger};
+    pub use crate::error::SimError;
+    pub use crate::fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
     pub use crate::obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
     pub use crate::policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
     pub use crate::request::ChargeRequest;
     pub use crate::trace::{ChargeSession, SimEvent, Trace};
-    pub use crate::world::{SimReport, World, WorldConfig};
+    pub use crate::world::{Checkpoint, SimReport, World, WorldConfig};
 }

@@ -104,11 +104,21 @@ pub enum Counter {
     /// Per-node charge-request scans skipped by drain dirty-tracking (nodes
     /// whose battery level could not have changed during the segment).
     RequestScansSkipped,
+    /// Fault events injected (all kinds).
+    FaultsInjected,
+    /// Injected node hard-failures (crash/dropout).
+    FaultNodeFailures,
+    /// Injected charging-efficiency degradations.
+    FaultDegradations,
+    /// Injected charger travel stalls.
+    FaultChargerStalls,
+    /// Injected charging-request losses.
+    FaultRequestsLost,
 }
 
 impl Counter {
     /// Number of counters (size for dense per-counter arrays).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 35;
 
     /// All counters, in declaration (= serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -142,6 +152,11 @@ impl Counter {
         Counter::RoutingFullBuilds,
         Counter::PowerRecomputesSkipped,
         Counter::RequestScansSkipped,
+        Counter::FaultsInjected,
+        Counter::FaultNodeFailures,
+        Counter::FaultDegradations,
+        Counter::FaultChargerStalls,
+        Counter::FaultRequestsLost,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -177,6 +192,11 @@ impl Counter {
             Counter::RoutingFullBuilds => "routing_full_builds",
             Counter::PowerRecomputesSkipped => "power_recomputes_skipped",
             Counter::RequestScansSkipped => "request_scans_skipped",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultNodeFailures => "fault_node_failures",
+            Counter::FaultDegradations => "fault_degradations",
+            Counter::FaultChargerStalls => "fault_charger_stalls",
+            Counter::FaultRequestsLost => "fault_requests_lost",
         }
     }
 }
@@ -249,6 +269,15 @@ pub enum TraceRecord {
         t_s: f64,
         /// The snapshot.
         health: HealthSnapshot,
+    },
+    /// An injected fault (see [`crate::fault`]). Only present in traces of
+    /// runs with a non-empty fault plan, so fault-free streams keep the exact
+    /// pre-fault byte shape.
+    Fault {
+        /// Injection time, seconds.
+        t_s: f64,
+        /// What was injected.
+        fault: crate::fault::FaultKind,
     },
     /// Aggregated counters for a scope, emitted after its last event.
     Counters {
@@ -356,7 +385,7 @@ pub struct SpanStats {
 
 /// An in-memory recorder: dense counter/gauge arrays, aggregated span
 /// wall-times, and a buffered [`TraceRecord`] stream.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StatsRecorder {
     counters: [u64; Counter::COUNT],
     gauges: [Option<f64>; Gauge::COUNT],
@@ -369,6 +398,21 @@ pub struct StatsRecorder {
     /// must resolve its stats slot without rebuilding dotted path strings.
     span_ids: Vec<(usize, &'static str, usize)>,
     records: Vec<TraceRecord>,
+}
+
+// Hand-written: `Default` is not derivable once the counter array outgrows
+// the standard library's 32-element array impls.
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        StatsRecorder {
+            counters: [0; Counter::COUNT],
+            gauges: [None; Gauge::COUNT],
+            spans: Vec::new(),
+            open: Vec::new(),
+            span_ids: Vec::new(),
+            records: Vec::new(),
+        }
+    }
 }
 
 impl StatsRecorder {
@@ -524,6 +568,25 @@ pub fn export_trace(rec: &mut dyn Recorder, trace: &Trace) {
             SimEvent::MoveStarted { .. } => rec.add(Counter::Moves, 1),
             SimEvent::DepotSwap => rec.add(Counter::DepotSwaps, 1),
             SimEvent::ChargerExhausted => rec.add(Counter::ChargerExhaustions, 1),
+            SimEvent::Fault { fault } => {
+                rec.add(Counter::FaultsInjected, 1);
+                rec.add(
+                    match fault {
+                        crate::fault::FaultKind::NodeFailure { .. } => Counter::FaultNodeFailures,
+                        crate::fault::FaultKind::Degradation { .. } => Counter::FaultDegradations,
+                        crate::fault::FaultKind::ChargerStall { .. } => Counter::FaultChargerStalls,
+                        crate::fault::FaultKind::RequestLoss { .. } => Counter::FaultRequestsLost,
+                    },
+                    1,
+                );
+                // Faults get a dedicated record kind (in addition to the
+                // generic event below) so consumers can filter injections
+                // without pattern-matching the whole event enum.
+                rec.emit(&TraceRecord::Fault {
+                    t_s: *t_s,
+                    fault: *fault,
+                });
+            }
             _ => {}
         }
         rec.emit(&TraceRecord::Event {
@@ -641,6 +704,13 @@ mod tests {
                     charger_pos: Point::new(3.0, 4.0),
                 },
             },
+            TraceRecord::Fault {
+                t_s: 77.0,
+                fault: crate::fault::FaultKind::Degradation {
+                    node: NodeId(5),
+                    factor: 0.5,
+                },
+            },
             TraceRecord::Counters {
                 scope: "unit".into(),
                 counters: vec![("moves".into(), 4), ("candidate_probes".into(), 123)],
@@ -731,5 +801,37 @@ mod tests {
         assert_eq!(rec.records().len(), 4);
         let mut null = NullRecorder;
         export_trace(&mut null, &trace); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn export_trace_maps_faults_to_counters_and_records() {
+        use crate::fault::FaultKind;
+        let mut trace = Trace::new();
+        trace.record(
+            1.0,
+            SimEvent::Fault {
+                fault: FaultKind::NodeFailure { node: NodeId(2) },
+            },
+        );
+        trace.record(
+            2.0,
+            SimEvent::Fault {
+                fault: FaultKind::ChargerStall { delay_s: 30.0 },
+            },
+        );
+        let mut rec = StatsRecorder::new();
+        export_trace(&mut rec, &trace);
+        assert_eq!(rec.counter(Counter::FaultsInjected), 2);
+        assert_eq!(rec.counter(Counter::FaultNodeFailures), 1);
+        assert_eq!(rec.counter(Counter::FaultChargerStalls), 1);
+        assert_eq!(rec.counter(Counter::FaultDegradations), 0);
+        // Each fault yields a Fault record plus the generic Event record.
+        let fault_records = rec
+            .records()
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Fault { .. }))
+            .count();
+        assert_eq!(fault_records, 2);
+        assert_eq!(rec.records().len(), 4);
     }
 }

@@ -6,6 +6,12 @@
 //! returns results **in index order**, which keeps every downstream table
 //! byte-identical to a sequential run.
 //!
+//! [`try_map_indexed`] is the panic-safe variant the `exp` runner uses: a
+//! worker panic is caught ([`std::panic::catch_unwind`]), the failed index is
+//! retried with backoff, and a terminal failure comes back as a typed
+//! [`WorkerError`] in that index's slot instead of tearing down the whole
+//! campaign — every healthy index still returns its result.
+//!
 //! The worker count comes from the `WRSN_THREADS` environment variable when
 //! set (the `exp` runner's `--threads` flag sets it), otherwise from
 //! [`std::thread::available_parallelism`]. `WRSN_THREADS=1` is the
@@ -13,8 +19,11 @@
 //! the calling thread — though order-preserving collection means the output
 //! is the same either way.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "WRSN_THREADS";
@@ -33,23 +42,107 @@ pub fn threads() -> usize {
     }
 }
 
+/// A work item that kept panicking after every allowed attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerError {
+    /// The failed index in `0..count`.
+    pub index: usize,
+    /// Attempts made (1 initial + retries).
+    pub attempts: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "work item {} panicked after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(index)` with up to `retries` re-attempts after a panic, sleeping
+/// `10ms << attempt` between attempts (transient-failure backoff).
+fn attempt_with_retries<T, F>(index: usize, retries: usize, f: &F) -> Result<T, WorkerError>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let mut last = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1).min(6)));
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(index))) {
+            Ok(value) => return Ok(value),
+            Err(payload) => last = payload_message(payload.as_ref()),
+        }
+    }
+    Err(WorkerError {
+        index,
+        attempts: retries + 1,
+        message: last,
+    })
+}
+
 /// Maps `f` over `0..count` on up to [`threads`] scoped worker threads and
 /// returns the results in index order.
 ///
 /// Work is distributed dynamically (an atomic cursor), so uneven per-index
 /// cost does not idle workers. With one worker (or one item) this is a plain
-/// sequential loop. A panic in `f` is propagated to the caller.
+/// sequential loop. A panic in `f` is propagated to the caller; campaigns
+/// that must survive a poisoned work item use [`try_map_indexed`] instead.
 pub fn map_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_map_indexed(count, 0, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(value) => value,
+            Err(e) => panic!("{e}"),
+        })
+        .collect()
+}
+
+/// Panic-safe [`map_indexed`]: catches worker panics, retries each failed
+/// index up to `retries` more times with exponential backoff, and returns one
+/// `Result` per index — in index order — so one poisoned work item cannot
+/// take down the rest of the campaign.
+///
+/// The harness itself stays deterministic: results (and errors) land in index
+/// order regardless of worker count or retry timing.
+pub fn try_map_indexed<T, F>(count: usize, retries: usize, f: F) -> Vec<Result<T, WorkerError>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let workers = threads().min(count);
     if workers <= 1 {
-        return (0..count).map(f).collect();
+        return (0..count)
+            .map(|index| attempt_with_retries(index, retries, &f))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(count);
+    let mut indexed: Vec<(usize, Result<T, WorkerError>)> = Vec::with_capacity(count);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -60,7 +153,7 @@ where
                         if index >= count {
                             break;
                         }
-                        local.push((index, f(index)));
+                        local.push((index, attempt_with_retries(index, retries, &f)));
                     }
                     local
                 })
@@ -69,6 +162,8 @@ where
         for handle in handles {
             match handle.join() {
                 Ok(part) => indexed.extend(part),
+                // Workers catch panics in `f`; a join failure means the
+                // harness itself is broken, which is not survivable.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -102,5 +197,61 @@ mod tests {
             i
         });
         assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_survives_a_panicking_index() {
+        let out = try_map_indexed(8, 0, |i| {
+            if i == 3 {
+                panic!("index three is poisoned");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, result) in out.iter().enumerate() {
+            if i == 3 {
+                let e = result.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert_eq!(e.attempts, 1);
+                assert!(e.message.contains("poisoned"), "message: {}", e.message);
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_panics() {
+        use std::sync::atomic::AtomicUsize;
+        let attempts = AtomicUsize::new(0);
+        let out = try_map_indexed(1, 2, |_| {
+            // Fails twice, then succeeds: a transient fault survives retries.
+            if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            42
+        });
+        assert_eq!(out, vec![Ok(42)]);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn try_map_reports_attempt_count_on_terminal_failure() {
+        let out = try_map_indexed(1, 2, |_| -> usize { panic!("always") });
+        let e = out[0].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.message, "always");
+        assert!(e.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn map_indexed_still_propagates_panics() {
+        map_indexed(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

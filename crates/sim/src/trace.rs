@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use wrsn_net::{NodeId, Point};
 
 use crate::charger::ChargeMode;
+use crate::fault::FaultKind;
 
 /// One completed (or truncated) charging session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +80,11 @@ pub enum SimEvent {
     DepotSwap,
     /// The simulation horizon was reached.
     HorizonReached,
+    /// A fault was injected (see [`crate::fault`]).
+    Fault {
+        /// What was injected.
+        fault: FaultKind,
+    },
 }
 
 /// The full recorded trace of a simulation run.

@@ -15,6 +15,8 @@ use wrsn_net::routing::{self, RoutingTree, TrafficLoad};
 use wrsn_net::{Network, NodeId};
 
 use crate::charger::MobileCharger;
+use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::obs::{self, Counter, Gauge, Recorder, TraceRecord};
 use crate::policy::{ChargerAction, ChargerPolicy, WorldView};
 use crate::request::{ChargeRequest, RequestQueue};
@@ -105,6 +107,10 @@ pub struct World {
     /// Charger energy consumed across all battery fills, including swapped-in
     /// depot batteries.
     energy_used_j: f64,
+    /// Attached fault injection, if any. `None` (the default, and what
+    /// [`FaultPlan::none`] leaves) keeps the run loop byte-identical to a
+    /// world without fault machinery.
+    faults: Option<FaultInjector>,
     scratch: Scratch,
 }
 
@@ -167,7 +173,7 @@ impl Default for Scratch {
 // the deserialized fields.
 impl Serialize for World {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut entries = vec![
             ("net".to_string(), self.net.to_value()),
             ("charger".to_string(), self.charger.to_value()),
             ("config".to_string(), self.config.to_value()),
@@ -179,7 +185,13 @@ impl Serialize for World {
             ("lifetime_s".to_string(), self.lifetime_s.to_value()),
             ("depot_visits".to_string(), self.depot_visits.to_value()),
             ("energy_used_j".to_string(), self.energy_used_j.to_value()),
-        ])
+        ];
+        // Fault state only enters the snapshot when a plan is attached, so
+        // fault-free snapshots keep the exact pre-fault byte shape.
+        if let Some(faults) = &self.faults {
+            entries.push(("faults".to_string(), faults.to_value()));
+        }
+        serde::Value::Map(entries)
     }
 }
 
@@ -200,6 +212,10 @@ impl Deserialize for World {
             lifetime_s: Deserialize::from_value(serde::map_get(entries, "lifetime_s")?)?,
             depot_visits: Deserialize::from_value(serde::map_get(entries, "depot_visits")?)?,
             energy_used_j: Deserialize::from_value(serde::map_get(entries, "energy_used_j")?)?,
+            faults: match entries.iter().find(|(k, _)| k == "faults") {
+                Some((_, v)) => Some(FaultInjector::from_value(v)?),
+                None => None,
+            },
             scratch: Scratch::default(),
         };
         world.rebuild_scratch();
@@ -226,10 +242,38 @@ impl World {
             lifetime_s: None,
             depot_visits: 0,
             energy_used_j: 0.0,
+            faults: None,
             scratch: Scratch::default(),
         };
         world.refresh_full();
         world
+    }
+
+    /// Attaches a fault plan (builder form). See [`World::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Attaches a fault plan: its events fire as simulation time crosses them
+    /// during [`World::run`]/[`World::advance_by`]. An empty plan
+    /// ([`FaultPlan::none`]) detaches fault injection entirely, leaving the
+    /// run byte-identical to a world that never had a plan.
+    ///
+    /// Replaces any previously attached plan and resets its runtime state;
+    /// events scheduled before the current time fire on the next advance.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.scratch.horizon = None;
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Current simulation time, seconds.
@@ -460,6 +504,15 @@ impl World {
             return;
         }
         if node.battery().needs_charging() {
+            // A fault-armed request loss eats the node's next (re-)issue: the
+            // broadcast went out but the charger never heard it.
+            if !self.requests.contains(nid) {
+                if let Some(faults) = self.faults.as_mut() {
+                    if faults.consume_request_loss(nid) {
+                        return;
+                    }
+                }
+            }
             let issued = self.requests.issue(ChargeRequest {
                 node: nid,
                 issued_at_s: self.time_s,
@@ -539,39 +592,72 @@ impl World {
         }
     }
 
+    /// The injection power actually reaching `inject_node`'s battery once
+    /// fault-injected charging-efficiency degradation is applied.
+    fn effective_inject_w(&self, inject_node: Option<NodeId>, inject_w: f64) -> f64 {
+        match (inject_node, &self.faults) {
+            (Some(node), Some(faults)) => inject_w * faults.efficiency(node),
+            _ => inject_w,
+        }
+    }
+
     /// Advances time by `dt` seconds while `inject` watts flow *into* the
     /// battery of `inject_node` (the node currently being charged). Handles
-    /// node deaths exactly. Returns the energy actually stored in
-    /// `inject_node`'s battery over the interval.
+    /// node deaths exactly, and lands on (never steps over) scheduled fault
+    /// events. Returns the energy actually stored in `inject_node`'s battery
+    /// over the interval.
     ///
     /// Allocation-free: drain rates, event-candidate indices and the death
     /// list all live in reusable [`Scratch`] buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the network rejects a node id or a fault event
+    /// targets an unknown node.
     fn advance(
         &mut self,
         dt: f64,
         inject_node: Option<NodeId>,
         inject_w: f64,
         rec: &mut dyn Recorder,
-    ) -> f64 {
+    ) -> Result<f64, SimError> {
         debug_assert!(dt >= 0.0 && dt.is_finite());
         let mut remaining = dt;
         let mut stored = 0.0;
         if remaining <= 0.0 {
-            return stored;
+            return Ok(stored);
         }
+        let mut eff_w = self.effective_inject_w(inject_node, inject_w);
         let mut t_event = match self.scratch.horizon {
             // Nothing mutated batteries or drains since the last advance
             // under the same injection: its exit horizon and drain buffers
             // are still exact.
-            Some((node, w_bits, h)) if node == inject_node && w_bits == inject_w.to_bits() => h,
+            Some((node, w_bits, h)) if node == inject_node && w_bits == eff_w.to_bits() => h,
             _ => {
-                self.rebuild_drain(inject_node, inject_w);
+                self.rebuild_drain(inject_node, eff_w);
                 self.next_event_horizon()
             }
         };
         while remaining > 0.0 {
             rec.add(Counter::AdvanceSegments, 1);
-            let step = remaining.min(t_event);
+            let mut step = remaining.min(t_event);
+            // Land exactly on the next scheduled fault so it is injected at
+            // its nominal instant, never stepped over.
+            let mut fault_at = None;
+            if let Some(at) = self.faults.as_ref().and_then(|f| f.next_event_at()) {
+                let until = at - self.time_s;
+                if until <= step {
+                    step = until.max(0.0);
+                    fault_at = Some(at);
+                }
+            }
+            #[cfg(debug_assertions)]
+            let pre_total_j: f64 = self
+                .scratch
+                .alive_idx
+                .iter()
+                .map(|&i| self.net.nodes()[i].battery().level_j())
+                .sum();
             // The horizon for the *next* segment reads exactly the post-step
             // battery levels this loop writes, so it is folded in here: one
             // pass applies the drain, detects deaths and warning crossings,
@@ -595,7 +681,7 @@ impl World {
                         // Zero drain, no injection: the battery cannot move.
                         continue;
                     }
-                    let battery = net.node_mut(nid).expect("valid id").battery_mut();
+                    let battery = net.node_mut(nid)?.battery_mut();
                     let was_low = battery.needs_charging();
                     if w > 0.0 {
                         battery.discharge(w * step);
@@ -624,7 +710,7 @@ impl World {
                         if inject_node == Some(nid) {
                             // Net drain positive means no saturation: the
                             // battery absorbed the full injected inflow.
-                            stored += inject_w * step;
+                            stored += eff_w * step;
                         }
                     } else {
                         let gained = battery.charge(-w * step);
@@ -640,6 +726,14 @@ impl World {
             }
             self.time_s += step;
             remaining -= step;
+            if let Some(at) = fault_at {
+                // `step` was `at - time_s` in exact arithmetic; snap the float
+                // residue so the event fires at its nominal instant instead of
+                // spinning on a sub-ulp gap.
+                self.time_s = self.time_s.max(at);
+            }
+            #[cfg(debug_assertions)]
+            self.debug_check_energy(pre_total_j, eff_w, step);
             let any_death = !self.scratch.dead.is_empty();
             for idx in 0..self.scratch.dead.len() {
                 let node = self.scratch.dead[idx];
@@ -651,33 +745,121 @@ impl World {
                 self.scratch.crossed.clear();
                 rec.add(Counter::TopologyRefreshes, 1);
                 self.refresh_after_deaths(rec);
-                self.rebuild_drain(inject_node, inject_w);
+                self.rebuild_drain(inject_node, eff_w);
                 t_event = self.next_event_horizon();
-            } else {
-                if step > 0.0 {
-                    self.scan_crossed(rec);
-                } else {
-                    // No drain anywhere: jump the whole interval. (Nothing
-                    // changed, so no request scan is due either — scans are
-                    // idempotent on unchanged batteries.)
-                    self.scratch.crossed.clear();
-                    self.time_s += remaining;
-                    remaining = 0.0;
-                }
+            } else if step > 0.0 {
+                self.scan_crossed(rec);
                 t_event = t_next;
+            } else if fault_at.is_none() {
+                // No drain anywhere: jump the whole interval. (Nothing
+                // changed, so no request scan is due either — scans are
+                // idempotent on unchanged batteries.)
+                self.scratch.crossed.clear();
+                self.time_s += remaining;
+                remaining = 0.0;
+                t_event = t_next;
+            }
+            if fault_at.is_some() {
+                // Injections mutate the alive set, per-node efficiency, or
+                // armed state; drains and the horizon are stale either way.
+                self.apply_due_faults(rec)?;
+                eff_w = self.effective_inject_w(inject_node, inject_w);
+                self.rebuild_drain(inject_node, eff_w);
+                t_event = self.next_event_horizon();
             }
         }
         // No trailing scan: every segment that moved a battery already
         // reconciled requests (crossing scan or post-death refresh), so the
         // old closing `scan_requests` only re-walked all nodes for nothing.
-        self.scratch.horizon = Some((inject_node, inject_w.to_bits(), t_event));
-        stored
+        self.scratch.horizon = Some((inject_node, eff_w.to_bits(), t_event));
+        Ok(stored)
     }
 
-    /// Executes one policy action; returns `false` when the run should stop.
-    fn execute(&mut self, action: ChargerAction, rec: &mut dyn Recorder) -> bool {
+    /// Injects every fault event due at the current instant: crashes become
+    /// deaths (with routing repair), degradations/stalls/losses arm their
+    /// deferred state in the injector. Each injection is recorded as a
+    /// [`SimEvent::Fault`] in the trace.
+    fn apply_due_faults(&mut self, rec: &mut dyn Recorder) -> Result<(), SimError> {
+        while let Some(event) = self.faults.as_mut().and_then(|f| f.pop_due(self.time_s)) {
+            self.trace
+                .record(self.time_s, SimEvent::Fault { fault: event.kind });
+            match event.kind {
+                FaultKind::NodeFailure { node } => {
+                    if node.0 >= self.net.node_count() {
+                        return Err(SimError::FaultTarget(node));
+                    }
+                    // Crashing a node that already died (or crashed) is a
+                    // recorded no-op: the plan is generated blind to the run.
+                    if self.net.nodes()[node.0].is_alive() {
+                        self.net.node_mut(node)?.mark_failed();
+                        self.trace.record(self.time_s, SimEvent::NodeDied { node });
+                        self.scratch.dead.push(node);
+                        rec.add(Counter::TopologyRefreshes, 1);
+                        self.refresh_after_deaths(rec);
+                    }
+                }
+                FaultKind::Degradation { node, factor } => {
+                    if node.0 >= self.net.node_count() {
+                        return Err(SimError::FaultTarget(node));
+                    }
+                    let n = self.net.node_count();
+                    if let Some(faults) = self.faults.as_mut() {
+                        faults.degrade(node, factor, n);
+                    }
+                }
+                FaultKind::ChargerStall { delay_s } => {
+                    if let Some(faults) = self.faults.as_mut() {
+                        faults.arm_stall(delay_s);
+                    }
+                }
+                FaultKind::RequestLoss { node } => {
+                    if node.0 >= self.net.node_count() {
+                        return Err(SimError::FaultTarget(node));
+                    }
+                    // An in-flight request is dropped on the spot; otherwise
+                    // the loss arms and eats the node's next issue.
+                    if self.requests.contains(node) {
+                        self.requests.withdraw(node);
+                    } else if let Some(faults) = self.faults.as_mut() {
+                        faults.arm_request_loss(node);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-only energy-conservation watchdog, run after every integration
+    /// segment: no battery may leave `[0, capacity]`, and the network's total
+    /// stored energy may not grow by more than the charger injected.
+    #[cfg(debug_assertions)]
+    fn debug_check_energy(&self, pre_total_j: f64, inject_w: f64, step: f64) {
+        let mut post_total_j = 0.0;
+        for &i in &self.scratch.alive_idx {
+            let battery = self.net.nodes()[i].battery();
+            let level = battery.level_j();
+            debug_assert!(
+                level >= 0.0 && level <= battery.capacity_j() * (1.0 + 1e-9),
+                "node {i} battery out of range: {level} J of {} J",
+                battery.capacity_j()
+            );
+            post_total_j += level;
+        }
+        let budget = inject_w.max(0.0) * step;
+        let tol = 1e-6 + 1e-9 * (pre_total_j.abs() + budget);
+        debug_assert!(
+            post_total_j <= pre_total_j + budget + tol,
+            "energy conservation violated: total rose {} J over a segment that \
+             injected at most {budget} J",
+            post_total_j - pre_total_j
+        );
+    }
+
+    /// Executes one policy action; returns `Ok(false)` when the run should
+    /// stop.
+    fn execute(&mut self, action: ChargerAction, rec: &mut dyn Recorder) -> Result<bool, SimError> {
         match action {
-            ChargerAction::Finish => false,
+            ChargerAction::Finish => Ok(false),
             ChargerAction::Recharge => {
                 let Some(depot) = self.config.depot else {
                     // No depot: a recharge request degrades to a no-op wait so
@@ -685,45 +867,48 @@ impl World {
                     return self.execute(ChargerAction::Wait(1.0), rec);
                 };
                 if self.charger.position().distance(depot) > 1e-9
-                    && !self.execute(ChargerAction::MoveTo(depot), rec)
+                    && !self.execute(ChargerAction::MoveTo(depot), rec)?
                 {
-                    return false;
+                    return Ok(false);
                 }
                 let swap = self
                     .config
                     .depot_swap_time_s
                     .min(self.config.horizon_s - self.time_s);
                 if swap > 0.0 {
-                    self.advance(swap, None, 0.0, rec);
+                    self.advance(swap, None, 0.0, rec)?;
                 }
                 self.charger.refill();
                 self.depot_visits += 1;
                 self.trace.record(self.time_s, SimEvent::DepotSwap);
-                true
+                Ok(true)
             }
             ChargerAction::Wait(d) => {
                 let d = d.max(0.0).min(self.config.horizon_s - self.time_s);
                 if d <= 0.0 {
-                    return self.time_s < self.config.horizon_s;
+                    return Ok(self.time_s < self.config.horizon_s);
                 }
                 rec.add(Counter::Waits, 1);
-                self.advance(d, None, 0.0, rec);
-                true
+                self.advance(d, None, 0.0, rec)?;
+                Ok(true)
             }
             ChargerAction::MoveTo(dest) => {
                 if self.charger.is_exhausted() {
                     self.trace.record(self.time_s, SimEvent::ChargerExhausted);
-                    return false;
+                    return Ok(false);
                 }
                 self.trace
                     .record(self.time_s, SimEvent::MoveStarted { dest });
                 let e0 = self.charger.energy_j();
                 let travelled = self.charger.move_to(dest);
                 self.energy_used_j += e0 - self.charger.energy_j();
-                let dt =
-                    (travelled / self.charger.speed_mps()).min(self.config.horizon_s - self.time_s);
+                // An armed travel stall (fault injection) extends this move:
+                // the vehicle is stuck while the network keeps draining.
+                let stall = self.faults.as_mut().map_or(0.0, |f| f.take_stall());
+                let dt = (travelled / self.charger.speed_mps() + stall)
+                    .min(self.config.horizon_s - self.time_s);
                 if dt > 0.0 {
-                    self.advance(dt, None, 0.0, rec);
+                    self.advance(dt, None, 0.0, rec)?;
                 }
                 self.trace.record(
                     self.time_s,
@@ -731,7 +916,7 @@ impl World {
                         pos: self.charger.position(),
                     },
                 );
-                true
+                Ok(true)
             }
             ChargerAction::Charge {
                 node,
@@ -740,18 +925,18 @@ impl World {
             } => {
                 if self.charger.is_exhausted() {
                     self.trace.record(self.time_s, SimEvent::ChargerExhausted);
-                    return false;
+                    return Ok(false);
                 }
                 let Ok(target) = self.net.node(node) else {
-                    return true; // unknown node: skip the action
+                    return Ok(true); // unknown node: skip the action
                 };
                 let node_pos = target.position();
                 // Drive to the service point first.
                 let park = self.charger.service_point(node_pos);
                 if self.charger.position().distance(park) > 1e-9
-                    && !self.execute(ChargerAction::MoveTo(park), rec)
+                    && !self.execute(ChargerAction::MoveTo(park), rec)?
                 {
-                    return false;
+                    return Ok(false);
                 }
                 let pos = self.charger.position();
                 let delivered_w = self.charger.rig().delivered_power(pos, node_pos, mode);
@@ -762,7 +947,7 @@ impl World {
                     dur = dur.min(self.charger.energy_j() / radiated_w);
                 }
                 if dur <= 0.0 {
-                    return self.time_s < self.config.horizon_s;
+                    return Ok(self.time_s < self.config.horizon_s);
                 }
                 // Serve in chunks so the session ends the moment the served
                 // node dies — a charger cannot keep "charging" a corpse.
@@ -779,7 +964,7 @@ impl World {
                         remaining
                     };
                     rec.add(Counter::SessionChunks, 1);
-                    stored += self.advance(chunk, Some(node), delivered_w, rec);
+                    stored += self.advance(chunk, Some(node), delivered_w, rec)?;
                     remaining -= chunk;
                     guard += 1;
                     if guard > 10_000 {
@@ -800,15 +985,63 @@ impl World {
                 });
                 // A served node no longer needs charging (or is dead).
                 self.scan_requests();
-                true
+                Ok(true)
             }
         }
+    }
+
+    /// Advances the world by `dt` seconds with no charger activity: batteries
+    /// drain, deaths and scheduled faults fire, requests are issued. The
+    /// checkpoint/forensics companion to [`World::run`] — experiments use it
+    /// to play a world forward between snapshots without a policy attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDuration`] for negative or non-finite `dt`,
+    /// or any error the integrator surfaces.
+    pub fn advance_by(&mut self, dt: f64) -> Result<(), SimError> {
+        if !dt.is_finite() || dt < 0.0 {
+            return Err(SimError::InvalidDuration {
+                what: "advance_by",
+                value: dt,
+            });
+        }
+        self.advance(dt, None, 0.0, &mut obs::NullRecorder)?;
+        Ok(())
+    }
+
+    /// Captures the complete simulation state — batteries, clock, routing,
+    /// pending requests, trace, fault-injection state — as a [`Checkpoint`].
+    /// Restoring it with [`World::restore`] and re-advancing reproduces the
+    /// uninterrupted run bitwise.
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            state: self.clone(),
+        }
+    }
+
+    /// Restores the world to a [`Checkpoint`] taken earlier (or deserialized
+    /// from disk). All derived scratch state — including the carried-over
+    /// event horizon — is invalidated and rebuilt, so the restored world's
+    /// subsequent trajectory is bitwise identical to the uninterrupted one.
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        *self = checkpoint.state.clone();
+        self.scratch = Scratch::default();
+        self.rebuild_scratch();
     }
 
     /// Runs the world under `policy` until the policy finishes or the horizon
     /// is reached, then free-runs the network to the horizon. Returns the run
     /// report; the detailed trace stays available via [`World::trace`].
-    pub fn run<P: ChargerPolicy + ?Sized>(&mut self, policy: &mut P) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the engine hits an inconsistent state (stale
+    /// node id, fault event targeting an unknown node) instead of panicking.
+    pub fn run<P: ChargerPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+    ) -> Result<SimReport, SimError> {
         self.run_with(policy, &mut obs::NullRecorder)
     }
 
@@ -821,12 +1054,26 @@ impl World {
     /// [`World::set_battery_level`]) is exported as
     /// [`TraceRecord::Event`]/[`TraceRecord::Session`] records, followed by
     /// one [`TraceRecord::Snapshot`] of the final network health.
+    ///
+    /// # Errors
+    ///
+    /// See [`World::run`].
     pub fn run_with<P: ChargerPolicy + ?Sized>(
         &mut self,
         policy: &mut P,
         rec: &mut dyn Recorder,
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
         rec.span_enter("world_run");
+        let result = self.run_loop(policy, rec);
+        rec.span_exit("world_run");
+        result
+    }
+
+    fn run_loop<P: ChargerPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        rec: &mut dyn Recorder,
+    ) -> Result<SimReport, SimError> {
         let mut guard = 0usize;
         while self.time_s < self.config.horizon_s {
             rec.add(Counter::PolicyDecisions, 1);
@@ -837,7 +1084,7 @@ impl World {
             rec.span_enter("execute");
             let keep_going = self.execute(action, rec);
             rec.span_exit("execute");
-            if !keep_going {
+            if !keep_going? {
                 break;
             }
             if self.time_s == t_before {
@@ -854,7 +1101,7 @@ impl World {
         // Free-run the network (no charger activity) to the horizon.
         if self.time_s < self.config.horizon_s {
             let left = self.config.horizon_s - self.time_s;
-            self.advance(left, None, 0.0, rec);
+            self.advance(left, None, 0.0, rec)?;
         }
         self.trace.record(self.time_s, SimEvent::HorizonReached);
         let report = self.report(policy.name());
@@ -869,8 +1116,7 @@ impl World {
             rec.gauge(Gauge::AliveNodes, report.alive_nodes as f64);
             rec.gauge(Gauge::PendingRequests, self.requests.pending().len() as f64);
         }
-        rec.span_exit("world_run");
-        report
+        Ok(report)
     }
 
     /// Builds a report for the current state.
@@ -890,6 +1136,41 @@ impl World {
             depot_visits: self.depot_visits,
             final_health: metrics::snapshot(&self.net, self.config.sensing_radius_m, 20),
         }
+    }
+}
+
+/// A frozen copy of a [`World`]'s complete simulation state, taken with
+/// [`World::snapshot`] and re-applied with [`World::restore`].
+///
+/// Serializes to the exact same JSON shape as the world itself, so a
+/// checkpoint file is also a valid forensic snapshot for the `wrsn` CLI's
+/// `audit` command. Derived scratch state is never captured; restore rebuilds
+/// it, which is what makes restore + re-advance bitwise identical to an
+/// uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    state: World,
+}
+
+impl Checkpoint {
+    /// Read access to the frozen state (e.g. for inspecting the clock without
+    /// restoring).
+    pub fn world(&self) -> &World {
+        &self.state
+    }
+}
+
+impl Serialize for Checkpoint {
+    fn to_value(&self) -> serde::Value {
+        self.state.to_value()
+    }
+}
+
+impl Deserialize for Checkpoint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Checkpoint {
+            state: World::from_value(value)?,
+        })
     }
 }
 
@@ -927,7 +1208,7 @@ mod tests {
     #[test]
     fn idle_run_drains_nodes_to_death() {
         let mut w = tiny_world(1.0e6);
-        let report = w.run(&mut crate::policy::IdlePolicy);
+        let report = w.run(&mut crate::policy::IdlePolicy).expect("run");
         // 100 J at ≈1 mW idle+traffic drain: all dead long before 1e6 s.
         assert_eq!(report.dead_nodes, 3);
         assert_eq!(report.alive_nodes, 0);
@@ -938,7 +1219,7 @@ mod tests {
     #[test]
     fn death_order_follows_power_draw() {
         let mut w = tiny_world(1.0e6);
-        w.run(&mut crate::policy::IdlePolicy);
+        w.run(&mut crate::policy::IdlePolicy).expect("run");
         let deaths = w.trace().death_times();
         assert_eq!(deaths.len(), 3);
         // Node 0 relays everything → dies first.
@@ -949,7 +1230,7 @@ mod tests {
     #[test]
     fn requests_issued_when_threshold_crossed() {
         let mut w = tiny_world(1.0e6);
-        w.run(&mut crate::policy::IdlePolicy);
+        w.run(&mut crate::policy::IdlePolicy).expect("run");
         let issued = w
             .trace()
             .events()
@@ -983,7 +1264,7 @@ mod tests {
     fn honest_charge_delivers_energy_and_spends_budget() {
         let mut w = tiny_world(3600.0);
         w.set_battery_level(NodeId(2), 25.0).unwrap();
-        let report = w.run(&mut ChargeOnce(false));
+        let report = w.run(&mut ChargeOnce(false)).expect("run");
         assert_eq!(report.sessions, 1);
         let s = w.trace().sessions()[0];
         assert_eq!(s.mode, ChargeMode::Honest);
@@ -1019,12 +1300,12 @@ mod tests {
     fn spoofed_charge_radiates_but_delivers_almost_nothing() {
         let mut honest_w = tiny_world(3600.0);
         honest_w.set_battery_level(NodeId(2), 25.0).unwrap();
-        honest_w.run(&mut ChargeOnce(false));
+        honest_w.run(&mut ChargeOnce(false)).expect("run");
         let honest = honest_w.trace().sessions()[0];
 
         let mut spoof_w = tiny_world(3600.0);
         spoof_w.set_battery_level(NodeId(2), 25.0).unwrap();
-        spoof_w.run(&mut SpoofOnce(false));
+        spoof_w.run(&mut SpoofOnce(false)).expect("run");
         let spoof = spoof_w.trace().sessions()[0];
 
         assert!(spoof.radiated_j >= honest.radiated_j * 0.99);
@@ -1039,7 +1320,7 @@ mod tests {
     #[test]
     fn horizon_truncates_runs() {
         let mut w = tiny_world(50.0);
-        let report = w.run(&mut crate::policy::IdlePolicy);
+        let report = w.run(&mut crate::policy::IdlePolicy).expect("run");
         assert!((report.final_time_s - 50.0).abs() < 1e-9);
         assert_eq!(report.dead_nodes, 0, "nothing dies in 50 s");
     }
@@ -1049,7 +1330,7 @@ mod tests {
         // Node 2 is full at t=0; charging it stores almost nothing beyond its
         // ongoing drain.
         let mut w = tiny_world(3600.0);
-        let report = w.run(&mut ChargeOnce(false));
+        let report = w.run(&mut ChargeOnce(false)).expect("run");
         let s = w.trace().sessions()[0];
         let headroom_plus_drain = 0.0 + w.power_w()[2] * s.duration_s + 1.0;
         assert!(
@@ -1073,7 +1354,7 @@ mod tests {
                 ..WorldConfig::default()
             },
         );
-        let report = w.run(&mut ChargeOnce(false));
+        let report = w.run(&mut ChargeOnce(false)).expect("run");
         // The charge action is refused; world free-runs to the horizon.
         assert_eq!(report.sessions, 0);
         assert!((report.final_time_s - 100.0).abs() < 1e-9);
@@ -1093,7 +1374,7 @@ mod tests {
             }
         }
         let mut w = tiny_world(100.0);
-        let report = w.run(&mut RechargeOnce(false));
+        let report = w.run(&mut RechargeOnce(false)).expect("run");
         assert_eq!(report.depot_visits, 0);
     }
 
@@ -1135,7 +1416,7 @@ mod tests {
                 ..WorldConfig::default()
             },
         );
-        let report = w.run(&mut SpendThenRecharge(0));
+        let report = w.run(&mut SpendThenRecharge(0)).expect("run");
         assert_eq!(report.depot_visits, 1);
         // Energy used includes everything spent before the swap.
         assert!(report.charger_energy_used_j > 0.0);
@@ -1168,8 +1449,207 @@ mod tests {
             }
         }
         let mut w = tiny_world(1000.0);
-        let report = w.run(&mut Mixed(0));
+        let report = w.run(&mut Mixed(0)).expect("run");
         assert!((report.final_time_s - 1000.0).abs() < 1e-9);
         assert_eq!(report.sessions, 1);
+    }
+
+    use crate::fault::{FaultConfig, FaultEvent, FaultPlan};
+
+    #[test]
+    fn empty_fault_plan_leaves_run_byte_identical() {
+        let mut plain = tiny_world(1.0e6);
+        let mut planned = tiny_world(1.0e6);
+        planned.set_fault_plan(FaultPlan::none());
+        assert!(planned.fault_injector().is_none());
+        plain.run(&mut crate::policy::IdlePolicy).expect("run");
+        planned.run(&mut crate::policy::IdlePolicy).expect("run");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&planned).unwrap(),
+            "FaultPlan::none() must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn node_failure_fault_kills_node_with_residual_charge() {
+        let mut w = tiny_world(1.0e6);
+        w.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            at_s: 50.0,
+            kind: FaultKind::NodeFailure { node: NodeId(1) },
+        }]));
+        w.run(&mut crate::policy::IdlePolicy).expect("run");
+        let node = &w.network().nodes()[1];
+        assert!(node.has_failed());
+        assert!(
+            node.battery().level_j() > 0.0,
+            "a crashed node keeps residual charge"
+        );
+        let death = w.trace().death_time_of(NodeId(1)).expect("death recorded");
+        assert!((death - 50.0).abs() < 1e-9, "died at {death}, not 50 s");
+        assert!(w.trace().events().iter().any(|(t, e)| *t == death
+            && matches!(
+                e,
+                SimEvent::Fault {
+                    fault: FaultKind::NodeFailure { node }
+                } if *node == NodeId(1)
+            )));
+    }
+
+    #[test]
+    fn degradation_fault_reduces_delivered_energy() {
+        let mut healthy = tiny_world(3600.0);
+        healthy.set_battery_level(NodeId(2), 25.0).unwrap();
+        healthy.run(&mut ChargeOnce(false)).expect("run");
+        let full = healthy.trace().sessions()[0].delivered_j;
+
+        let mut degraded = tiny_world(3600.0);
+        degraded.set_battery_level(NodeId(2), 25.0).unwrap();
+        degraded.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::Degradation {
+                node: NodeId(2),
+                factor: 1e-6,
+            },
+        }]));
+        degraded.run(&mut ChargeOnce(false)).expect("run");
+        let crippled = degraded.trace().sessions()[0].delivered_j;
+        assert!(
+            crippled < 0.05 * full,
+            "degraded node stored {crippled} J vs healthy {full} J"
+        );
+    }
+
+    #[test]
+    fn charger_stall_fault_delays_the_next_move() {
+        struct WaitThenMove(u32);
+        impl ChargerPolicy for WaitThenMove {
+            fn next_action(&mut self, _view: &WorldView<'_>) -> ChargerAction {
+                self.0 += 1;
+                match self.0 {
+                    1 => ChargerAction::Wait(10.0),
+                    2 => ChargerAction::MoveTo(Point::new(20.0, 20.0)),
+                    _ => ChargerAction::Finish,
+                }
+            }
+        }
+        let move_end = |w: &World| {
+            w.trace()
+                .events()
+                .iter()
+                .find_map(|(t, e)| matches!(e, SimEvent::MoveEnded { .. }).then_some(*t))
+                .expect("move ended")
+        };
+        let mut plain = tiny_world(10_000.0);
+        plain.run(&mut WaitThenMove(0)).expect("run");
+        let mut stalled = tiny_world(10_000.0);
+        // The stall fires during the initial wait, so it is armed by the time
+        // the move starts (a stall only delays moves started after it fires).
+        stalled.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            at_s: 5.0,
+            kind: FaultKind::ChargerStall { delay_s: 123.0 },
+        }]));
+        stalled.run(&mut WaitThenMove(0)).expect("run");
+        assert!(
+            (move_end(&stalled) - move_end(&plain) - 123.0).abs() < 1e-9,
+            "stall must add exactly its delay to the move"
+        );
+    }
+
+    #[test]
+    fn request_loss_fault_delays_the_nodes_request() {
+        let issue_time = |w: &World| {
+            w.trace()
+                .events()
+                .iter()
+                .find_map(|(t, e)| {
+                    matches!(e, SimEvent::RequestIssued { node } if *node == NodeId(2))
+                        .then_some(*t)
+                })
+                .expect("node 2 requests eventually")
+        };
+        let mut plain = tiny_world(1.0e6);
+        plain.run(&mut crate::policy::IdlePolicy).expect("run");
+        let mut lossy = tiny_world(1.0e6);
+        lossy.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            at_s: 1.0,
+            kind: FaultKind::RequestLoss { node: NodeId(2) },
+        }]));
+        lossy.run(&mut crate::policy::IdlePolicy).expect("run");
+        // The threshold-crossing broadcast is lost; the charger only hears
+        // node 2 when the request is re-issued at a later network event.
+        assert!(
+            issue_time(&lossy) > issue_time(&plain),
+            "lost request must delay the charger hearing node 2 ({} vs {})",
+            issue_time(&lossy),
+            issue_time(&plain)
+        );
+    }
+
+    #[test]
+    fn fault_targeting_unknown_node_is_a_typed_error() {
+        let mut w = tiny_world(1.0e6);
+        w.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            at_s: 10.0,
+            kind: FaultKind::NodeFailure { node: NodeId(99) },
+        }]));
+        let err = w.advance_by(100.0).unwrap_err();
+        assert_eq!(err, crate::error::SimError::FaultTarget(NodeId(99)));
+    }
+
+    #[test]
+    fn advance_by_rejects_invalid_durations() {
+        let mut w = tiny_world(1.0e6);
+        assert!(w.advance_by(-1.0).is_err());
+        assert!(w.advance_by(f64::NAN).is_err());
+        assert!(w.advance_by(f64::INFINITY).is_err());
+        w.advance_by(10.0).expect("valid duration");
+        assert!((w.time_s() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restore_readvance_is_bitwise_identical() {
+        let cfg = FaultConfig {
+            node_failures: 1,
+            degradations: 1,
+            request_losses: 1,
+            ..FaultConfig::default()
+        };
+        let mut uninterrupted = tiny_world(1.0e6);
+        uninterrupted.set_fault_plan(FaultPlan::generate(9, 3, 5.0e5, &cfg));
+        uninterrupted.advance_by(40_000.0).expect("advance");
+        let checkpoint = uninterrupted.snapshot();
+        uninterrupted.advance_by(60_000.0).expect("advance");
+
+        let mut resumed = tiny_world(1.0);
+        resumed.restore(&checkpoint);
+        assert_eq!(resumed.time_s(), checkpoint.world().time_s());
+        resumed.advance_by(60_000.0).expect("advance");
+        assert_eq!(
+            serde_json::to_string(&uninterrupted).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "restore + re-advance must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trips_through_world_shape() {
+        let mut w = tiny_world(1.0e6);
+        w.set_fault_plan(FaultPlan::generate(3, 3, 1.0e5, &FaultConfig::uniform(1)));
+        w.advance_by(5_000.0).expect("advance");
+        let checkpoint = w.snapshot();
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        // The checkpoint's JSON *is* a world snapshot.
+        let as_world: World = serde_json::from_str(&json).unwrap();
+        assert_eq!(as_world.time_s(), w.time_s());
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        let mut restored = tiny_world(1.0);
+        restored.restore(&back);
+        restored.advance_by(20_000.0).expect("advance");
+        w.advance_by(20_000.0).expect("advance");
+        assert_eq!(
+            serde_json::to_string(&w).unwrap(),
+            serde_json::to_string(&restored).unwrap()
+        );
     }
 }

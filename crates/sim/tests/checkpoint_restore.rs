@@ -1,0 +1,121 @@
+//! Checkpoint/restore correctness under random fault plans.
+//!
+//! The contract is bitwise: restoring a [`Checkpoint`] into *any* world and
+//! re-advancing must reproduce the donor world's continued trajectory
+//! exactly — same battery bit patterns, same event trace, same fault
+//! bookkeeping. The property test drives randomly sized worlds with randomly
+//! generated fault plans to a random snapshot instant, then compares the
+//! continued run against the restored run through full state serialization
+//! (which covers clocks, batteries, traces, pending requests, and the
+//! injector cursor in one shot).
+
+use proptest::prelude::*;
+use wrsn_net::energy::Battery;
+use wrsn_net::node::SensorNode;
+use wrsn_net::{Network, Point, Region};
+use wrsn_sim::fault::{FaultConfig, FaultPlan};
+use wrsn_sim::{MobileCharger, World, WorldConfig};
+
+fn build_world(nodes: usize, seed: u64, horizon_s: f64) -> World {
+    // Small batteries so deaths (and the fault plan) land inside the window.
+    let deployed = wrsn_net::deploy::uniform(&Region::square(60.0), nodes, seed);
+    let nodes: Vec<SensorNode> = deployed
+        .iter()
+        .map(|n| SensorNode::with_battery(n.position(), Battery::new(150.0, 30.0)))
+        .collect();
+    let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+    let charger = MobileCharger::standard(Point::new(30.0, 30.0));
+    World::new(
+        net,
+        charger,
+        WorldConfig {
+            horizon_s,
+            ..WorldConfig::default()
+        },
+    )
+}
+
+fn state_json(world: &World) -> String {
+    serde_json::to_string(world).expect("serialize world")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// snapshot → restore → advance is bitwise identical to the run that
+    /// never stopped, for arbitrary fault plans and snapshot instants.
+    #[test]
+    fn restore_and_readvance_matches_uninterrupted_run(
+        nodes in 3usize..10,
+        seed in 0u64..1_000_000,
+        intensity in 0usize..4,
+        t1 in 1.0e3f64..6.0e4,
+        t2 in 1.0e3f64..6.0e4,
+    ) {
+        let horizon = 2.0e5;
+        let plan = FaultPlan::generate(seed, nodes, horizon, &FaultConfig::uniform(intensity));
+
+        let mut donor = build_world(nodes, seed, horizon).with_fault_plan(plan.clone());
+        donor.advance_by(t1).expect("advance to snapshot");
+        let checkpoint = donor.snapshot();
+        donor.advance_by(t2).expect("advance past snapshot");
+
+        // Restore into an unrelated world: every field must come from the
+        // checkpoint, nothing from the host.
+        let mut restored = build_world(3, seed ^ 1, 1.0);
+        restored.restore(&checkpoint);
+        prop_assert_eq!(restored.time_s(), checkpoint.world().time_s());
+        restored.advance_by(t2).expect("re-advance");
+
+        prop_assert_eq!(state_json(&donor), state_json(&restored));
+    }
+
+    /// Fault plans are a pure function of their inputs, sorted, and bounded
+    /// by the horizon.
+    #[test]
+    fn fault_plans_are_deterministic_sorted_and_bounded(
+        seed in 0u64..1_000_000,
+        nodes in 1usize..50,
+        intensity in 0usize..6,
+        horizon in 1.0e3f64..1.0e6,
+    ) {
+        let config = FaultConfig::uniform(intensity);
+        let a = FaultPlan::generate(seed, nodes, horizon, &config);
+        let b = FaultPlan::generate(seed, nodes, horizon, &config);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), config.total());
+        for pair in a.events().windows(2) {
+            prop_assert!(pair[0].at_s <= pair[1].at_s);
+        }
+        for event in a.events() {
+            prop_assert!(event.at_s >= 0.0 && event.at_s <= horizon);
+        }
+    }
+
+    /// A checkpoint survives serialization: JSON round-trip, restore, and
+    /// re-advance still matches the donor bitwise.
+    #[test]
+    fn serialized_checkpoint_restores_bitwise(
+        nodes in 3usize..8,
+        seed in 0u64..1_000_000,
+        intensity in 0usize..3,
+        t1 in 1.0e3f64..4.0e4,
+        t2 in 1.0e3f64..4.0e4,
+    ) {
+        let horizon = 2.0e5;
+        let plan = FaultPlan::generate(seed, nodes, horizon, &FaultConfig::uniform(intensity));
+
+        let mut donor = build_world(nodes, seed, horizon).with_fault_plan(plan);
+        donor.advance_by(t1).expect("advance to snapshot");
+        let checkpoint = donor.snapshot();
+        donor.advance_by(t2).expect("advance past snapshot");
+
+        let wire = serde_json::to_string(&checkpoint).expect("serialize checkpoint");
+        let thawed: wrsn_sim::Checkpoint = serde_json::from_str(&wire).expect("parse checkpoint");
+        let mut restored = build_world(3, seed ^ 1, 1.0);
+        restored.restore(&thawed);
+        restored.advance_by(t2).expect("re-advance");
+
+        prop_assert_eq!(state_json(&donor), state_json(&restored));
+    }
+}

@@ -106,21 +106,23 @@ pub fn run_bench_experiment(params: &TestbedParams, horizon_s: f64) -> BenchOutc
     let run_honest = || {
         // Condition 1: honest NJNP.
         let mut world = bench_world(params, horizon_s);
-        let report = world.run(&mut wrsn_charge::Njnp::new());
+        let report = world
+            .run(&mut wrsn_charge::Njnp::new())
+            .expect("honest run");
         (world, report)
     };
     let run_attack = || {
         // Condition 2: the attack.
         let mut world = bench_world(params, horizon_s);
         let mut policy = CsaAttackPolicy::new(bench_tide_config(params));
-        let report = world.run(&mut policy);
+        let report = world.run(&mut policy).expect("attack run");
         let outcome = evaluate_attack(&world, &policy);
         (world, policy, report, outcome)
     };
     let run_absent = || {
         // Condition 3: no charger.
         let mut world = bench_world(params, horizon_s);
-        let report = world.run(&mut IdlePolicy);
+        let report = world.run(&mut IdlePolicy).expect("charger-absent run");
         (world, report)
     };
 

@@ -44,7 +44,7 @@ fn main() {
 
     // Execute adaptively (replanning after each kill).
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    let report = world.run(&mut policy);
+    let report = world.run(&mut policy).expect("run");
     let outcome = evaluate_attack(&world, &policy);
 
     println!(

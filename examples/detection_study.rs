@@ -40,19 +40,19 @@ fn main() {
 
     // Honest charging.
     let mut honest = scenario.build();
-    honest.run(&mut wrsn::charge::Njnp::new());
+    honest.run(&mut wrsn::charge::Njnp::new()).expect("run");
     let honest_served: Vec<NodeId> = honest.trace().sessions().iter().map(|s| s.node).collect();
 
     // The window-aware attack.
     let mut csa_world = scenario.build();
     let mut csa_policy = CsaAttackPolicy::new(scenario.tide_config());
-    csa_world.run(&mut csa_policy);
+    csa_world.run(&mut csa_policy).expect("run");
     let csa_victims: Vec<NodeId> = csa_policy.targets().iter().map(|&(n, _)| n).collect();
 
     // The naive spoofer: fakes a charge the moment anyone asks.
     let mut eager_world = scenario.build();
     let mut eager = EagerSpoofPolicy::new(3_000.0);
-    eager_world.run(&mut eager);
+    eager_world.run(&mut eager).expect("run");
     let eager_victims: Vec<NodeId> = eager_world
         .trace()
         .sessions()
@@ -63,12 +63,12 @@ fn main() {
     // The no-hardware attacker: just never visits its victims.
     let mut neglect_world = scenario.build();
     let mut neglect = SelectiveNeglectPolicy::new();
-    neglect_world.run(&mut neglect);
+    neglect_world.run(&mut neglect).expect("run");
     let neglect_victims = neglect.census();
 
     // No charger at all.
     let mut absent = scenario.build();
-    absent.run(&mut IdlePolicy);
+    absent.run(&mut IdlePolicy).expect("run");
     let everyone: Vec<NodeId> = absent.network().ids().collect();
 
     print!("{:<18}", "behaviour");

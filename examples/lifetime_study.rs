@@ -47,7 +47,7 @@ fn main() {
 
     for policy in policies.iter_mut() {
         let mut world = scenario.build();
-        let report = world.run(policy.as_mut());
+        let report = world.run(policy.as_mut()).expect("run");
         show(&report);
     }
 

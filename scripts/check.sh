@@ -26,4 +26,28 @@ head -n 1 "$trace_file" | grep -q '^{"v":1,"record":{"Meta":' \
 tail -n 1 "$trace_file" | grep -q '"Counters"' \
   || { echo "trace does not end with a Counters record" >&2; exit 1; }
 
+echo "== fault-injection smoke test (seeded, byte-identical)"
+faults_a="$(mktemp)"
+faults_b="$(mktemp)"
+trap 'rm -f "$trace_file" "$faults_a" "$faults_b"' EXIT
+cargo run -p wrsn-bench --release --bin exp -- --id faults > "$faults_a"
+cargo run -p wrsn-bench --release --bin exp -- --id faults > "$faults_b"
+cmp -s "$faults_a" "$faults_b" \
+  || { echo "exp --id faults is not byte-identical across runs" >&2; exit 1; }
+
+echo "== forced-worker-panic graceful degradation"
+# One poisoned experiment must not sink the campaign: healthy experiments
+# still print, the failure is reported per-experiment, and the exit is != 0.
+panic_out="$(mktemp)"
+panic_err="$(mktemp)"
+trap 'rm -f "$trace_file" "$faults_a" "$faults_b" "$panic_out" "$panic_err"' EXIT
+if WRSN_FORCE_PANIC=fig2 cargo run -p wrsn-bench --release --bin exp -- \
+    --id all > "$panic_out" 2> "$panic_err"; then
+  echo "exp --id all must fail when an experiment panics" >&2; exit 1
+fi
+grep -q "fig2.*panicked" "$panic_err" \
+  || { echo "missing per-experiment failure report" >&2; exit 1; }
+grep -q "## fig3" "$panic_out" \
+  || { echo "healthy experiments must still produce output" >&2; exit 1; }
+
 echo "All checks passed."

@@ -115,7 +115,9 @@ fn simulate(args: &Args) -> Result<(), String> {
     let scenario = scenario_from(args);
     let mut world = scenario.build();
     let mut policy = make_policy(&args.policy, &scenario)?;
-    let report = world.run(policy.as_mut());
+    let report = world
+        .run(policy.as_mut())
+        .map_err(|e| format!("simulation failed: {e}"))?;
     println!(
         "policy {:<18} nodes {:>4}  seed {:<4} horizon {:.1} h{}",
         report.policy_name,

@@ -31,7 +31,8 @@
 //! let (report, outcome) = wrsn::core::attack::run_attack(
 //!     &mut world,
 //!     Scenario::paper_scale(60, 42).tide_config(),
-//! );
+//! )
+//! .expect("attack run");
 //! assert!(outcome.targeted > 0);
 //! # let _ = report;
 //! ```

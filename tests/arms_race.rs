@@ -18,7 +18,7 @@ fn neglect_kills_but_fairness_audit_sees_it() {
     let scenario = Scenario::paper_scale(80, 6);
     let mut world = scenario.build();
     let mut policy = SelectiveNeglectPolicy::new();
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let victims = policy.census();
     assert!(!victims.is_empty());
 
@@ -43,7 +43,7 @@ fn csa_defeats_the_fairness_audit() {
     let scenario = Scenario::paper_scale(80, 6);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
     assert!(!victims.is_empty());
     let ratio = FairnessAudit::default()
@@ -57,7 +57,7 @@ fn post_mortem_forensics_see_csa_but_only_after_each_death() {
     let scenario = Scenario::paper_scale(80, 6);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
 
     let report = PostMortemAudit::default().analyze(&world);
@@ -78,7 +78,9 @@ fn depot_provisioned_honest_charging_is_clean_on_every_audit() {
     let mut scenario = Scenario::paper_scale(60, 12);
     scenario.depot = true;
     let mut world = scenario.build();
-    let report = world.run(&mut wrsn::charge::EarliestDeadlineFirst::new());
+    let report = world
+        .run(&mut wrsn::charge::EarliestDeadlineFirst::new())
+        .expect("run");
     assert!(
         report.depot_visits > 0,
         "saturated EDF must visit the depot"

@@ -12,9 +12,11 @@ use wrsn::sim::IdlePolicy;
 fn benign_charging_outlives_no_charging() {
     let scenario = Scenario::paper_scale(60, 2);
     let mut idle_world = scenario.build();
-    idle_world.run(&mut IdlePolicy);
+    idle_world.run(&mut IdlePolicy).expect("run");
     let mut edf_world = scenario.build();
-    edf_world.run(&mut EarliestDeadlineFirst::new());
+    edf_world
+        .run(&mut EarliestDeadlineFirst::new())
+        .expect("run");
 
     let idle_life = idle_world.network_lifetime_s().unwrap_or(f64::INFINITY);
     let edf_life = edf_world.network_lifetime_s().unwrap_or(f64::INFINITY);
@@ -30,7 +32,7 @@ fn attack_kills_key_nodes_that_benign_charging_saves() {
 
     let mut attack_world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    attack_world.run(&mut policy);
+    attack_world.run(&mut policy).expect("run");
     let census: Vec<_> = policy
         .initial_instance()
         .unwrap()
@@ -49,7 +51,9 @@ fn attack_kills_key_nodes_that_benign_charging_saves() {
         .map(|s| s.start_s + s.duration_s)
         .fold(0.0f64, f64::max);
     let mut benign_world = scenario.build();
-    benign_world.run(&mut EarliestDeadlineFirst::new());
+    benign_world
+        .run(&mut EarliestDeadlineFirst::new())
+        .expect("run");
 
     let dead_at = |world: &wrsn::sim::World, t: f64| {
         census
@@ -106,7 +110,7 @@ fn attack_charger_spends_less_energy_per_dead_key_node_than_benign_saves() {
     let scenario = Scenario::paper_scale(60, 8);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    let report = world.run(&mut policy);
+    let report = world.run(&mut policy).expect("run");
     let outcome = wrsn::core::attack::evaluate_attack(&world, &policy);
     assert!(outcome.exhausted > 0);
     let cost_per_kill = report.charger_energy_used_j / outcome.exhausted as f64;
@@ -127,7 +131,7 @@ fn njnp_and_edf_both_serve_requesters() {
         ("edf", Box::new(EarliestDeadlineFirst::new())),
     ] {
         let mut world = scenario.build();
-        world.run(policy.as_mut());
+        world.run(policy.as_mut()).expect("run");
         assert!(
             !world.trace().sessions().is_empty(),
             "{name} never charged anyone"

@@ -13,7 +13,7 @@ fn attacked_world() -> World {
     let scenario = Scenario::paper_scale(60, 14);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     world
 }
 

@@ -13,7 +13,7 @@ fn headline_at_least_80_percent_of_key_nodes_exhausted() {
         let scenario = Scenario::paper_scale(100, seed);
         let mut world = scenario.build();
         let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-        world.run(&mut policy);
+        world.run(&mut policy).expect("run");
         let outcome = evaluate_attack(&world, &policy);
         assert!(
             outcome.covered_exhausted_ratio >= 0.8,
@@ -32,7 +32,7 @@ fn headline_without_being_detected() {
     let scenario = Scenario::paper_scale(100, 3);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
     assert!(!victims.is_empty());
 
@@ -51,11 +51,13 @@ fn the_naive_spoofer_is_caught_where_csa_is_not() {
 
     let mut csa_world = scenario.build();
     let mut csa = CsaAttackPolicy::new(scenario.tide_config());
-    csa_world.run(&mut csa);
+    csa_world.run(&mut csa).expect("run");
     let csa_victims: Vec<NodeId> = csa.targets().iter().map(|&(n, _)| n).collect();
 
     let mut eager_world = scenario.build();
-    eager_world.run(&mut EagerSpoofPolicy::new(3_000.0));
+    eager_world
+        .run(&mut EagerSpoofPolicy::new(3_000.0))
+        .expect("run");
     let eager_victims: Vec<NodeId> = eager_world
         .trace()
         .sessions()
@@ -79,7 +81,7 @@ fn spoofed_sessions_deliver_nothing_honest_decoys_deliver_plenty() {
     let scenario = Scenario::paper_scale(60, 9);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let mut spoofed = 0usize;
     let mut honest = 0usize;
     for s in world.trace().sessions() {
@@ -112,7 +114,7 @@ fn full_campaign_is_deterministic() {
         let scenario = Scenario::paper_scale(60, 11);
         let mut world = scenario.build();
         let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-        let report = world.run(&mut policy);
+        let report = world.run(&mut policy).expect("run");
         let deaths: Vec<_> = world.trace().death_times().to_vec();
         (report.sessions, report.charger_energy_used_j, deaths)
     };
@@ -128,7 +130,7 @@ fn key_nodes_die_earlier_under_attack_than_ordinary_nodes() {
     let scenario = Scenario::paper_scale(100, 13);
     let mut world = scenario.build();
     let mut policy = CsaAttackPolicy::new(scenario.tide_config());
-    world.run(&mut policy);
+    world.run(&mut policy).expect("run");
     let census: Vec<NodeId> = policy
         .initial_instance()
         .unwrap()

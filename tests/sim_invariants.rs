@@ -18,7 +18,7 @@ fn policies(scenario: &Scenario) -> Vec<Box<dyn ChargerPolicy>> {
 
 fn run(scenario: &Scenario, policy: &mut dyn ChargerPolicy) -> World {
     let mut world = scenario.build();
-    world.run(policy);
+    world.run(policy).expect("run");
     world
 }
 
@@ -122,7 +122,7 @@ fn failure_injection_mid_run_is_survivable() {
         for i in (0..40).step_by(5) {
             world.set_battery_level(NodeId(i), 0.0).unwrap();
         }
-        world.run(policy.as_mut());
+        world.run(policy.as_mut()).expect("run");
         for i in (0..40).step_by(5) {
             assert!(!world.network().nodes()[i].is_alive());
         }
@@ -150,7 +150,7 @@ fn total_delivered_energy_is_bounded_by_radiated() {
 fn world_snapshot_round_trips_through_json() {
     let scenario = Scenario::paper_scale(30, 43);
     let mut world = scenario.build();
-    world.run(&mut Njnp::new());
+    world.run(&mut Njnp::new()).expect("run");
     let json = serde_json::to_string(&world).expect("serialize");
     let back: World = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back.time_s(), world.time_s());
