@@ -14,13 +14,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
+pub mod manifest;
 pub mod stats;
 pub mod table;
 
 pub use wrsn::sim::obs;
 pub use wrsn::sim::parallel;
 
+pub use error::BenchError;
 pub use table::Table;
 
 use obs::{Recorder, TraceRecord, SCHEMA_VERSION};
@@ -37,12 +40,20 @@ pub const ALL_IDS: &[&str] = &[
 /// experiment's output plus a per-experiment failure report.
 pub const FORCE_PANIC_ENV: &str = "WRSN_FORCE_PANIC";
 
+/// Environment variable naming an experiment id whose run should hang
+/// forever (cooperatively: it spins polling its cancellation token, exactly
+/// like a world between integration segments). A test/CI hook for the `exp`
+/// runner's watchdog: set `WRSN_FORCE_HANG=fig5` with `--timeout-s 2` and
+/// the campaign must cancel `fig5` as a typed timeout while every other
+/// experiment completes.
+pub const FORCE_HANG_ENV: &str = "WRSN_FORCE_HANG";
+
 /// Runs one experiment by id.
 ///
 /// # Errors
 ///
-/// Returns an error string for unknown ids.
-pub fn run(id: &str) -> Result<Vec<Table>, String> {
+/// [`BenchError::UnknownId`] for unknown ids.
+pub fn run(id: &str) -> Result<Vec<Table>, BenchError> {
     run_with(id, &mut obs::NullRecorder)
 }
 
@@ -56,10 +67,22 @@ pub fn run(id: &str) -> Result<Vec<Table>, String> {
 ///
 /// # Errors
 ///
-/// Returns an error string for unknown ids.
-pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, String> {
+/// [`BenchError::UnknownId`] for unknown ids.
+pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, BenchError> {
     if std::env::var(FORCE_PANIC_ENV).as_deref() == Ok(id) {
         panic!("forced panic in `{id}` ({FORCE_PANIC_ENV} is set)");
+    }
+    if std::env::var(FORCE_HANG_ENV).as_deref() == Ok(id) {
+        // A cooperative hang: spin on the thread's cancellation token the
+        // way the run loop does between segments. Under the watchdog this
+        // unwinds as a timeout; without one it hangs forever (that is the
+        // point — CI kills the process here to exercise `--resume`).
+        loop {
+            if wrsn::sim::cancel::cancelled() {
+                panic!("forced hang in `{id}` cancelled ({FORCE_HANG_ENV} is set)");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
     }
     if rec.enabled() {
         rec.emit(&TraceRecord::Meta {
@@ -84,10 +107,7 @@ pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, String> 
         "tab2" => Ok(experiments::tab2::run()),
         "tab3" => Ok(experiments::tab3::run_with(rec)),
         "faults" => Ok(experiments::faults::run_with(rec)),
-        other => Err(format!(
-            "unknown experiment id `{other}`; known ids: {}",
-            ALL_IDS.join(", ")
-        )),
+        other => Err(BenchError::unknown_id(other)),
     }
 }
 
@@ -98,8 +118,10 @@ mod tests {
     #[test]
     fn unknown_id_is_an_error() {
         let err = run("fig99").unwrap_err();
-        assert!(err.contains("fig99"));
-        assert!(err.contains("fig2"));
+        assert!(matches!(err, BenchError::UnknownId { .. }), "{err}");
+        let text = err.to_string();
+        assert!(text.contains("fig99"));
+        assert!(text.contains("fig2"));
     }
 
     #[test]

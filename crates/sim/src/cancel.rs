@@ -1,0 +1,126 @@
+//! Cooperative cancellation for supervised runs.
+//!
+//! A [`CancelToken`] is a shared atomic flag. The watchdog in
+//! [`crate::parallel`] cancels a work item's token when it blows its
+//! wall-clock deadline; [`crate::World::advance_by`] and the run loop poll the
+//! thread's *current* token between integration segments and return
+//! [`crate::SimError::Cancelled`], so a hung experiment unwinds at the next
+//! segment boundary instead of blocking the whole campaign forever.
+//!
+//! The current token is thread-local, installed with a [`ScopedCancel`] RAII
+//! guard. [`crate::parallel`] propagates the spawning thread's token into its
+//! workers, so nested fan-outs (an experiment that itself calls
+//! [`crate::parallel::map_indexed`] for its inner trials) inherit their
+//! ancestor's deadline.
+//!
+//! Cancellation is *cooperative*: code that never reaches a poll point (a
+//! tight loop outside the simulation engine, blocking I/O) cannot be
+//! interrupted. The simulation hot loop polls once per piecewise-linear
+//! segment, which bounds the reaction latency to one segment of work.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning yields another handle to the *same*
+/// flag; once cancelled, a token stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// The token currently installed on this thread, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Whether this thread's current token (if any) has been cancelled. With no
+/// token installed this is always `false`.
+pub fn cancelled() -> bool {
+    CURRENT.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    })
+}
+
+/// RAII guard that installs a token as this thread's current one and restores
+/// the previous token (if any) on drop, so supervision scopes nest.
+#[derive(Debug)]
+pub struct ScopedCancel {
+    prev: Option<CancelToken>,
+}
+
+impl ScopedCancel {
+    /// Installs `token` as the thread's current token until the guard drops.
+    pub fn install(token: CancelToken) -> Self {
+        let prev = CURRENT.with(|cell| cell.borrow_mut().replace(token));
+        ScopedCancel { prev }
+    }
+}
+
+impl Drop for ScopedCancel {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|cell| *cell.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_share_their_flag_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn no_token_means_never_cancelled() {
+        assert!(current().is_none());
+        assert!(!cancelled());
+    }
+
+    #[test]
+    fn scoped_install_nests_and_restores() {
+        let outer = CancelToken::new();
+        let guard = ScopedCancel::install(outer.clone());
+        assert!(!cancelled());
+        {
+            let inner = CancelToken::new();
+            inner.cancel();
+            let _inner_guard = ScopedCancel::install(inner);
+            assert!(cancelled(), "inner token is current and cancelled");
+        }
+        assert!(!cancelled(), "outer token restored on drop");
+        outer.cancel();
+        assert!(cancelled());
+        drop(guard);
+        assert!(current().is_none());
+    }
+}

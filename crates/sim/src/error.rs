@@ -11,6 +11,8 @@ use std::fmt;
 
 use wrsn_net::{NetError, NodeId};
 
+use crate::store::StoreError;
+
 /// Errors produced by the simulation run loop.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -27,6 +29,13 @@ pub enum SimError {
         /// The offending value, seconds.
         value: f64,
     },
+    /// The run was cancelled through the thread's [`crate::cancel`] token —
+    /// typically the watchdog in [`crate::parallel`] firing a wall-clock
+    /// deadline on a hung experiment.
+    Cancelled,
+    /// An attached [`crate::store::Checkpointer`] could not persist the
+    /// world.
+    Store(StoreError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +48,10 @@ impl fmt::Display for SimError {
             SimError::InvalidDuration { what, value } => {
                 write!(f, "{what}: invalid duration {value} s")
             }
+            SimError::Cancelled => {
+                write!(f, "run cancelled by its supervisor (deadline or shutdown)")
+            }
+            SimError::Store(e) => write!(f, "checkpoint store error: {e}"),
         }
     }
 }
@@ -47,6 +60,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Net(e) => Some(e),
+            SimError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +69,12 @@ impl Error for SimError {
 impl From<NetError> for SimError {
     fn from(e: NetError) -> Self {
         SimError::Net(e)
+    }
+}
+
+impl From<StoreError> for SimError {
+    fn from(e: StoreError) -> Self {
+        SimError::Store(e)
     }
 }
 
@@ -78,6 +98,17 @@ mod tests {
     #[test]
     fn net_errors_convert_and_chain() {
         let e: SimError = NetError::Disconnected.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn cancelled_and_store_errors_display_and_chain() {
+        assert!(SimError::Cancelled.to_string().contains("cancelled"));
+        let e: SimError = StoreError::ChecksumMismatch {
+            path: std::path::PathBuf::from("x.ckpt"),
+        }
+        .into();
+        assert!(e.to_string().contains("checksum"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -21,7 +21,14 @@
 //!   panicking,
 //! * [`parallel`]: order-preserving scoped-thread fan-out for independent
 //!   simulation trials (`WRSN_THREADS` controls the worker count), with a
-//!   panic-catching, retrying [`parallel::try_map_indexed`] variant,
+//!   panic-catching, retrying [`parallel::try_map_indexed`] variant and a
+//!   watchdog-supervised [`parallel::try_map_indexed_watched`] that cancels
+//!   hung items at a wall-clock deadline,
+//! * [`cancel`]: the cooperative cancellation protocol — a thread-local
+//!   [`cancel::CancelToken`] the run loop polls between integration
+//!   segments,
+//! * [`store`]: crash-safe disk persistence — atomic checksummed checkpoint
+//!   files and the periodic [`store::Checkpointer`] a world carries,
 //! * [`obs`]: structured observability — the [`obs::Recorder`] trait (typed
 //!   counters, gauges, nested timing spans) and the versioned JSONL trace
 //!   schema; the default [`obs::NullRecorder`] keeps uninstrumented runs
@@ -44,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod charger;
 pub mod engine;
 pub mod error;
@@ -52,26 +60,31 @@ pub mod obs;
 pub mod parallel;
 pub mod policy;
 pub mod request;
+pub mod store;
 pub mod trace;
 pub mod world;
 
+pub use cancel::CancelToken;
 pub use charger::{ChargeMode, ChargerRig, MobileCharger};
 pub use error::SimError;
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
 pub use policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
 pub use request::ChargeRequest;
+pub use store::{CheckpointPolicy, Checkpointer, StoreError};
 pub use trace::{ChargeSession, SimEvent, Trace};
 pub use world::{Checkpoint, SimReport, World, WorldConfig};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::cancel::CancelToken;
     pub use crate::charger::{ChargeMode, ChargerRig, MobileCharger};
     pub use crate::error::SimError;
     pub use crate::fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
     pub use crate::obs::{Counter, Gauge, NullRecorder, Recorder, StatsRecorder, TraceRecord};
     pub use crate::policy::{ChargerAction, ChargerPolicy, IdlePolicy, WorldView};
     pub use crate::request::ChargeRequest;
+    pub use crate::store::{CheckpointPolicy, Checkpointer, StoreError};
     pub use crate::trace::{ChargeSession, SimEvent, Trace};
     pub use crate::world::{Checkpoint, SimReport, World, WorldConfig};
 }

@@ -114,11 +114,19 @@ pub enum Counter {
     FaultChargerStalls,
     /// Injected charging-request losses.
     FaultRequestsLost,
+    /// World checkpoints persisted to disk by an attached
+    /// [`crate::store::Checkpointer`].
+    CheckpointsWritten,
+    /// Completed experiments restored from a durable run manifest instead of
+    /// re-executed (`exp --resume`).
+    Resumes,
+    /// Work items cancelled by the watchdog at their wall-clock deadline.
+    Timeouts,
 }
 
 impl Counter {
     /// Number of counters (size for dense per-counter arrays).
-    pub const COUNT: usize = 35;
+    pub const COUNT: usize = 38;
 
     /// All counters, in declaration (= serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -157,6 +165,9 @@ impl Counter {
         Counter::FaultDegradations,
         Counter::FaultChargerStalls,
         Counter::FaultRequestsLost,
+        Counter::CheckpointsWritten,
+        Counter::Resumes,
+        Counter::Timeouts,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -197,6 +208,9 @@ impl Counter {
             Counter::FaultDegradations => "fault_degradations",
             Counter::FaultChargerStalls => "fault_charger_stalls",
             Counter::FaultRequestsLost => "fault_requests_lost",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::Resumes => "resumes",
+            Counter::Timeouts => "timeouts",
         }
     }
 }

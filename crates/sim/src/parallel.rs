@@ -12,6 +12,19 @@
 //! [`WorkerError`] in that index's slot instead of tearing down the whole
 //! campaign — every healthy index still returns its result.
 //!
+//! [`try_map_indexed_watched`] adds a **watchdog**: each work item gets a
+//! fresh [`crate::cancel::CancelToken`] installed as its thread's current
+//! token, and a monitor thread cancels any item that outlives its wall-clock
+//! deadline. The simulation engine polls the token between integration
+//! segments ([`crate::SimError::Cancelled`]), so a hung experiment unwinds
+//! cooperatively and is reported as a typed [`FailureKind::Timeout`] — the
+//! rest of the campaign completes. Timeouts are never retried (they would
+//! only burn the deadline again).
+//!
+//! Workers inherit the spawning thread's current cancellation token, so
+//! nested fan-outs (an experiment calling [`map_indexed`] for its inner
+//! trials) stay cancellable under their ancestor's deadline.
+//!
 //! The worker count comes from the `WRSN_THREADS` environment variable when
 //! set (the `exp` runner's `--threads` flag sets it), otherwise from
 //! [`std::thread::available_parallelism`]. `WRSN_THREADS=1` is the
@@ -22,11 +35,19 @@
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cancel::{self, CancelToken, ScopedCancel};
 
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "WRSN_THREADS";
+
+/// Environment variable carrying a default per-work-item wall-clock deadline,
+/// seconds (the `exp` runner's `--timeout-s` flag overrides it). Read by the
+/// harness binaries, not by this module.
+pub const TIMEOUT_ENV: &str = "WRSN_TIMEOUT_S";
 
 /// The worker thread count: `WRSN_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -42,28 +63,46 @@ pub fn threads() -> usize {
     }
 }
 
-/// A work item that kept panicking after every allowed attempt.
+/// Why a work item terminally failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The item panicked on every allowed attempt.
+    Panic,
+    /// The watchdog cancelled the item at its wall-clock deadline.
+    Timeout,
+}
+
+/// A work item that failed terminally: it kept panicking after every allowed
+/// attempt, or the watchdog cancelled it at its deadline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerError {
     /// The failed index in `0..count`.
     pub index: usize,
     /// Attempts made (1 initial + retries).
     pub attempts: usize,
-    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
-    /// anything else as a placeholder).
+    /// What killed it.
+    pub kind: FailureKind,
+    /// For [`FailureKind::Panic`]: the panic payload, stringified
+    /// (`&str`/`String` payloads verbatim, anything else as a placeholder).
+    /// For [`FailureKind::Timeout`]: the exceeded deadline.
     pub message: String,
 }
 
 impl fmt::Display for WorkerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "work item {} panicked after {} attempt{}: {}",
-            self.index,
-            self.attempts,
-            if self.attempts == 1 { "" } else { "s" },
-            self.message
-        )
+        match self.kind {
+            FailureKind::Panic => write!(
+                f,
+                "work item {} panicked after {} attempt{}: {}",
+                self.index,
+                self.attempts,
+                if self.attempts == 1 { "" } else { "s" },
+                self.message
+            ),
+            FailureKind::Timeout => {
+                write!(f, "work item {} timed out: {}", self.index, self.message)
+            }
+        }
     }
 }
 
@@ -79,9 +118,22 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One work item's supervision slot: the watchdog reads the start instant and
+/// cancels the token of any in-flight attempt past its deadline.
+type Slot = Mutex<Option<(Instant, CancelToken)>>;
+
 /// Runs `f(index)` with up to `retries` re-attempts after a panic, sleeping
-/// `10ms << attempt` between attempts (transient-failure backoff).
-fn attempt_with_retries<T, F>(index: usize, retries: usize, f: &F) -> Result<T, WorkerError>
+/// `10ms << attempt` between attempts (transient-failure backoff). With a
+/// supervision `slot`, each attempt runs under a fresh cancellation token
+/// registered for the watchdog; a cancelled attempt is a terminal
+/// [`FailureKind::Timeout`] (no retry).
+fn attempt_with_retries<T, F>(
+    index: usize,
+    retries: usize,
+    slot: Option<&Slot>,
+    inherited: &Option<CancelToken>,
+    f: &F,
+) -> Result<T, WorkerError>
 where
     F: Fn(usize) -> T + Sync,
 {
@@ -90,14 +142,44 @@ where
         if attempt > 0 {
             std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1).min(6)));
         }
-        match catch_unwind(AssertUnwindSafe(|| f(index))) {
+        let token = match slot {
+            Some(slot) => {
+                let token = CancelToken::new();
+                *slot.lock().unwrap() = Some((Instant::now(), token.clone()));
+                Some(token)
+            }
+            None => None,
+        };
+        // Install the per-attempt token (supervised) or the spawning thread's
+        // token (inherited) so nested fan-outs and the sim engine see it.
+        let guard = token
+            .clone()
+            .or_else(|| inherited.clone())
+            .map(ScopedCancel::install);
+        let result = catch_unwind(AssertUnwindSafe(|| f(index)));
+        drop(guard);
+        if let Some(slot) = slot {
+            *slot.lock().unwrap() = None;
+        }
+        let timed_out = token.as_ref().is_some_and(CancelToken::is_cancelled);
+        match result {
+            // A result that beat the watchdog by a hair still counts.
             Ok(value) => return Ok(value),
+            Err(_) if timed_out => {
+                return Err(WorkerError {
+                    index,
+                    attempts: attempt + 1,
+                    kind: FailureKind::Timeout,
+                    message: "cancelled at its wall-clock deadline".to_string(),
+                });
+            }
             Err(payload) => last = payload_message(payload.as_ref()),
         }
     }
     Err(WorkerError {
         index,
         attempts: retries + 1,
+        kind: FailureKind::Panic,
         message: last,
     })
 }
@@ -135,25 +217,80 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    try_map_indexed_watched(count, retries, None, f)
+}
+
+/// [`try_map_indexed`] under watchdog supervision: with `deadline` set, any
+/// work item whose in-flight attempt outlives the deadline has its
+/// cancellation token fired by a monitor thread and comes back as a typed
+/// [`FailureKind::Timeout`] failure — the remaining items run to completion.
+///
+/// Cancellation is cooperative (see [`crate::cancel`]): the simulation engine
+/// polls between integration segments, so a cancelled experiment unwinds at
+/// the next segment boundary. Code that never polls cannot be interrupted.
+pub fn try_map_indexed_watched<T, F>(
+    count: usize,
+    retries: usize,
+    deadline: Option<Duration>,
+    f: F,
+) -> Vec<Result<T, WorkerError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let inherited = cancel::current();
     let workers = threads().min(count);
-    if workers <= 1 {
+    if deadline.is_none() && workers <= 1 {
         return (0..count)
-            .map(|index| attempt_with_retries(index, retries, &f))
+            .map(|index| attempt_with_retries(index, retries, None, &inherited, &f))
             .collect();
     }
+    let slots: Vec<Slot> = match deadline {
+        Some(_) => (0..count).map(|_| Mutex::new(None)).collect(),
+        None => Vec::new(),
+    };
     let cursor = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
     let mut indexed: Vec<(usize, Result<T, WorkerError>)> = Vec::with_capacity(count);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
+        let watchdog = deadline.map(|deadline| {
+            let slots = &slots;
+            let done = &done;
+            // Poll an order of magnitude below the deadline (clamped to
+            // [1ms, 25ms]) so overshoot stays small without busy-waiting.
+            let poll = (deadline / 10).clamp(Duration::from_millis(1), Duration::from_millis(25));
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    for slot in slots {
+                        let running = slot.lock().unwrap();
+                        if let Some((started, token)) = running.as_ref() {
+                            if started.elapsed() >= deadline {
+                                token.cancel();
+                            }
+                        }
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+        });
+        let handles: Vec<_> = (0..workers.max(1))
             .map(|_| {
-                scope.spawn(|| {
+                let inherited = &inherited;
+                let slots = &slots;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         if index >= count {
                             break;
                         }
-                        local.push((index, attempt_with_retries(index, retries, &f)));
+                        let slot = slots.get(index);
+                        local.push((
+                            index,
+                            attempt_with_retries(index, retries, slot, inherited, f),
+                        ));
                     }
                     local
                 })
@@ -165,6 +302,12 @@ where
                 // Workers catch panics in `f`; a join failure means the
                 // harness itself is broken, which is not survivable.
                 Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        done.store(true, Ordering::Release);
+        if let Some(watchdog) = watchdog {
+            if let Err(payload) = watchdog.join() {
+                std::panic::resume_unwind(payload);
             }
         }
     });
@@ -213,6 +356,7 @@ mod tests {
                 let e = result.as_ref().unwrap_err();
                 assert_eq!(e.index, 3);
                 assert_eq!(e.attempts, 1);
+                assert_eq!(e.kind, FailureKind::Panic);
                 assert!(e.message.contains("poisoned"), "message: {}", e.message);
             } else {
                 assert_eq!(*result.as_ref().unwrap(), i * 10);
@@ -240,6 +384,7 @@ mod tests {
         let out = try_map_indexed(1, 2, |_| -> usize { panic!("always") });
         let e = out[0].as_ref().unwrap_err();
         assert_eq!(e.attempts, 3);
+        assert_eq!(e.kind, FailureKind::Panic);
         assert_eq!(e.message, "always");
         assert!(e.to_string().contains("3 attempts"));
     }
@@ -253,5 +398,58 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn watchdog_cancels_a_cooperative_hang_and_spares_the_rest() {
+        let out = try_map_indexed_watched(4, 3, Some(Duration::from_millis(80)), |i| {
+            if i == 1 {
+                // A cooperative hang: spins until its token fires, exactly
+                // like a world polling between segments.
+                while !cancel::cancelled() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                panic!("unwound after cancellation");
+            }
+            i * 10
+        });
+        let e = out[1].as_ref().unwrap_err();
+        assert_eq!(e.kind, FailureKind::Timeout);
+        assert_eq!(e.attempts, 1, "timeouts are terminal, never retried");
+        assert!(e.to_string().contains("timed out"), "display: {e}");
+        for (i, result) in out.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(*result.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_leaves_fast_items_untouched() {
+        let out = try_map_indexed_watched(6, 0, Some(Duration::from_secs(30)), |i| i + 1);
+        for (i, result) in out.iter().enumerate() {
+            assert_eq!(*result.as_ref().unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_spawning_threads_cancel_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let _guard = ScopedCancel::install(token);
+        // Every worker (including nested spawns) must observe the ancestor's
+        // cancelled token.
+        let seen = try_map_indexed(4, 0, |_| cancel::cancelled());
+        assert!(seen.into_iter().all(|r| r.unwrap()));
+    }
+
+    #[test]
+    fn a_panic_without_cancellation_is_still_a_panic_under_supervision() {
+        let out = try_map_indexed_watched(1, 0, Some(Duration::from_secs(30)), |_| -> usize {
+            panic!("genuine bug")
+        });
+        let e = out[0].as_ref().unwrap_err();
+        assert_eq!(e.kind, FailureKind::Panic);
+        assert!(e.message.contains("genuine bug"));
     }
 }

@@ -1,0 +1,511 @@
+//! Disk-backed checkpoint store: crash-safe persistence for [`Checkpoint`]s.
+//!
+//! A checkpoint file is a one-line versioned header followed by the JSON
+//! world snapshot:
+//!
+//! ```text
+//! WRSNCKPT v1 len=<payload bytes> fnv=<16 hex digits>\n
+//! {"net":{...},"charger":{...},...}
+//! ```
+//!
+//! Writes are atomic — the bytes go to a temp file in the target directory
+//! which is fsynced and then renamed over the destination — so a reader (or a
+//! resumed run) only ever sees the previous complete checkpoint or the new
+//! complete checkpoint, never a torn one. Loads verify the magic, format
+//! version, payload length, and FNV-1a checksum before parsing, and reject
+//! anything that does not match with a typed [`StoreError`] (never a panic,
+//! never silently wrong state).
+//!
+//! [`CheckpointPolicy`] + [`Checkpointer`] turn the store into a training-job
+//! style periodic snapshotter: attach one to a [`World`] with
+//! [`World::set_checkpointer`] and the run loop persists the world every N
+//! *simulated* seconds, rolling a single "latest" file. Restoring that file
+//! and re-advancing reproduces the uninterrupted trajectory bitwise (see
+//! `crates/sim/tests/checkpoint_restore.rs`).
+//!
+//! The payload after the header line is exactly the world's forensic JSON
+//! snapshot, so `tail -n +2 file.ckpt` yields a document the `wrsn audit`
+//! command understands.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::obs::{Counter, Recorder};
+use crate::world::{Checkpoint, World};
+
+/// Magic string opening every checkpoint header.
+pub const MAGIC: &str = "WRSNCKPT";
+
+/// On-disk format version. Bump when the header or payload shape changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Errors from the checkpoint store.
+///
+/// Carries the offending path and a machine-checkable reason; I/O details are
+/// captured as strings so the error stays `Clone + PartialEq` (and therefore
+/// composable into [`crate::SimError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An OS-level read/write/rename failed.
+    Io {
+        /// What was being attempted.
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// Stringified [`std::io::Error`].
+        detail: String,
+    },
+    /// The file does not open with [`MAGIC`] — not a checkpoint at all.
+    BadMagic {
+        /// The rejected file.
+        path: PathBuf,
+    },
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The rejected file.
+        path: PathBuf,
+        /// The declared version.
+        version: u64,
+    },
+    /// The header line is present but malformed (missing or unparsable
+    /// fields).
+    MalformedHeader {
+        /// The rejected file.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The payload is shorter or longer than the header declares — a torn or
+    /// tampered write.
+    Truncated {
+        /// The rejected file.
+        path: PathBuf,
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The payload's FNV-1a checksum does not match the header.
+    ChecksumMismatch {
+        /// The rejected file.
+        path: PathBuf,
+    },
+    /// The checksummed payload is not a parsable world snapshot.
+    Payload {
+        /// The rejected file.
+        path: PathBuf,
+        /// The deserializer's complaint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, detail } => {
+                write!(f, "cannot {op} {}: {detail}", path.display())
+            }
+            StoreError::BadMagic { path } => {
+                write!(f, "{}: not a {MAGIC} checkpoint file", path.display())
+            }
+            StoreError::UnsupportedVersion { path, version } => write!(
+                f,
+                "{}: checkpoint format v{version} not supported (this build reads v{FORMAT_VERSION})",
+                path.display()
+            ),
+            StoreError::MalformedHeader { path, detail } => {
+                write!(f, "{}: malformed checkpoint header: {detail}", path.display())
+            }
+            StoreError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{}: checkpoint payload truncated or padded ({actual} bytes, header declares {expected})",
+                path.display()
+            ),
+            StoreError::ChecksumMismatch { path } => write!(
+                f,
+                "{}: checkpoint payload corrupted (checksum mismatch)",
+                path.display()
+            ),
+            StoreError::Payload { path, detail } => write!(
+                f,
+                "{}: checkpoint payload is not a world snapshot: {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Streaming FNV-1a (64-bit) hasher — the store's dependency-free checksum,
+/// also used by the bench harness to digest experiment outputs.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a of one byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. A crash mid-write leaves the previous file (or nothing)
+/// intact, never a torn one.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] when any filesystem step fails; the temp file
+/// is cleaned up on a failed rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir).map_err(|e| io_err("create directory for", path, &e))?;
+    }
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err("write", &tmp, &e))?;
+        file.sync_all().map_err(|e| io_err("sync", &tmp, &e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err("rename into place", path, &e))
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serializes `checkpoint` and writes it to `path` atomically under the
+/// versioned, checksummed header.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Payload`] if the snapshot cannot be serialized
+/// (non-finite floats) or [`StoreError::Io`] on filesystem failure.
+pub fn save(path: &Path, checkpoint: &Checkpoint) -> Result<(), StoreError> {
+    let payload = serde_json::to_string(checkpoint).map_err(|e| StoreError::Payload {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let mut bytes = format!(
+        "{MAGIC} v{FORMAT_VERSION} len={} fnv={:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    );
+    bytes.push_str(&payload);
+    write_atomic(path, bytes.as_bytes())
+}
+
+fn header_field<'a>(field: &'a str, key: &str, path: &Path) -> Result<&'a str, StoreError> {
+    field
+        .strip_prefix(key)
+        .and_then(|f| f.strip_prefix('='))
+        .ok_or_else(|| StoreError::MalformedHeader {
+            path: path.to_path_buf(),
+            detail: format!("expected `{key}=<value>`, found `{field}`"),
+        })
+}
+
+/// Loads and fully validates a checkpoint written by [`save`].
+///
+/// # Errors
+///
+/// Every way a file can be wrong has a dedicated [`StoreError`] variant:
+/// missing file ([`StoreError::Io`]), foreign content
+/// ([`StoreError::BadMagic`]), future format
+/// ([`StoreError::UnsupportedVersion`]), malformed header, torn write
+/// ([`StoreError::Truncated`]), bit rot ([`StoreError::ChecksumMismatch`]),
+/// or an unparsable payload ([`StoreError::Payload`]).
+pub fn load(path: &Path) -> Result<Checkpoint, StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
+    let (header, payload) = match text.split_once('\n') {
+        Some(split) => split,
+        None => {
+            // No newline at all: either foreign content or a header torn
+            // before its terminator.
+            if text.starts_with(MAGIC) {
+                return Err(StoreError::MalformedHeader {
+                    path: path.to_path_buf(),
+                    detail: "header line is not newline-terminated".to_string(),
+                });
+            }
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+    };
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = fields
+        .next()
+        .and_then(|f| f.strip_prefix('v'))
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| StoreError::MalformedHeader {
+            path: path.to_path_buf(),
+            detail: "missing `v<version>` field".to_string(),
+        })?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    let len_field = fields.next().ok_or_else(|| StoreError::MalformedHeader {
+        path: path.to_path_buf(),
+        detail: "missing `len=` field".to_string(),
+    })?;
+    let expected: usize =
+        header_field(len_field, "len", path)?
+            .parse()
+            .map_err(|_| StoreError::MalformedHeader {
+                path: path.to_path_buf(),
+                detail: format!("unparsable `{len_field}`"),
+            })?;
+    let fnv_field = fields.next().ok_or_else(|| StoreError::MalformedHeader {
+        path: path.to_path_buf(),
+        detail: "missing `fnv=` field".to_string(),
+    })?;
+    let checksum =
+        u64::from_str_radix(header_field(fnv_field, "fnv", path)?, 16).map_err(|_| {
+            StoreError::MalformedHeader {
+                path: path.to_path_buf(),
+                detail: format!("unparsable `{fnv_field}`"),
+            }
+        })?;
+    if payload.len() != expected {
+        return Err(StoreError::Truncated {
+            path: path.to_path_buf(),
+            expected,
+            actual: payload.len(),
+        });
+    }
+    if fnv1a64(payload.as_bytes()) != checksum {
+        return Err(StoreError::ChecksumMismatch {
+            path: path.to_path_buf(),
+        });
+    }
+    serde_json::from_str(payload).map_err(|e| StoreError::Payload {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
+}
+
+/// How often an attached [`Checkpointer`] persists the world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Interval between checkpoints, *simulated* seconds.
+    pub every_sim_s: f64,
+}
+
+impl CheckpointPolicy {
+    /// A policy snapshotting every `every_sim_s` simulated seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive interval (callers validating
+    /// user input should check before constructing).
+    pub fn every(every_sim_s: f64) -> Self {
+        assert!(
+            every_sim_s.is_finite() && every_sim_s > 0.0,
+            "checkpoint interval must be finite and positive, got {every_sim_s}"
+        );
+        CheckpointPolicy { every_sim_s }
+    }
+}
+
+/// Periodic on-disk snapshotter attached to a [`World`] via
+/// [`World::set_checkpointer`].
+///
+/// The run loop calls into it at segment boundaries; whenever the simulation
+/// clock crosses the next due instant the world is serialized and atomically
+/// rolled into the single target file (the "latest valid checkpoint"). Pure
+/// observation: attaching a checkpointer never perturbs the trajectory, and
+/// the checkpointer itself is never part of a snapshot.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    policy: CheckpointPolicy,
+    path: PathBuf,
+    next_due_s: f64,
+    written: u64,
+}
+
+impl Checkpointer {
+    /// A checkpointer rolling its snapshots into `path` under `policy`.
+    pub fn new(path: impl Into<PathBuf>, policy: CheckpointPolicy) -> Self {
+        Checkpointer {
+            policy,
+            path: path.into(),
+            next_due_s: policy.every_sim_s,
+            written: 0,
+        }
+    }
+
+    /// The file snapshots roll into.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    /// Checkpoints written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Re-arms the first due instant relative to `now_s` (called when the
+    /// checkpointer is attached to a world mid-run).
+    pub(crate) fn armed_at(mut self, now_s: f64) -> Self {
+        self.next_due_s = now_s + self.policy.every_sim_s;
+        self
+    }
+
+    /// Whether the clock has crossed the next due instant.
+    pub(crate) fn due(&self, now_s: f64) -> bool {
+        now_s >= self.next_due_s
+    }
+
+    /// Persists `world` if due and advances the schedule past its clock.
+    pub(crate) fn write_due(
+        &mut self,
+        world: &World,
+        rec: &mut dyn Recorder,
+    ) -> Result<(), StoreError> {
+        let now_s = world.time_s();
+        if !self.due(now_s) {
+            return Ok(());
+        }
+        save(&self.path, &world.snapshot())?;
+        self.written += 1;
+        rec.add(Counter::CheckpointsWritten, 1);
+        while self.next_due_s <= now_s {
+            self.next_due_s += self.policy.every_sim_s;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "wrsn_store_{tag}_{}_{}.ckpt",
+            std::process::id(),
+            seq
+        ))
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn write_atomic_replaces_previous_content() {
+        let path = temp_path("atomic");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_missing_foreign_and_future_files() {
+        let path = temp_path("reject");
+        assert!(matches!(
+            load(&path),
+            Err(StoreError::Io { op: "read", .. })
+        ));
+        fs::write(&path, "not a checkpoint\n{}").unwrap();
+        assert!(matches!(load(&path), Err(StoreError::BadMagic { .. })));
+        fs::write(
+            &path,
+            format!("{MAGIC} v999 len=2 fnv={:016x}\n{{}}", fnv1a64(b"{}")),
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(StoreError::UnsupportedVersion { version: 999, .. })
+        ));
+        fs::write(&path, format!("{MAGIC} v1 len=abc fnv=0\n{{}}")).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(StoreError::MalformedHeader { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_policy_rejects_bad_intervals() {
+        assert!(std::panic::catch_unwind(|| CheckpointPolicy::every(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| CheckpointPolicy::every(-5.0)).is_err());
+        assert!(std::panic::catch_unwind(|| CheckpointPolicy::every(f64::NAN)).is_err());
+        assert_eq!(CheckpointPolicy::every(10.0).every_sim_s, 10.0);
+    }
+}

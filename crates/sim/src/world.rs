@@ -20,6 +20,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::obs::{self, Counter, Gauge, Recorder, TraceRecord};
 use crate::policy::{ChargerAction, ChargerPolicy, WorldView};
 use crate::request::{ChargeRequest, RequestQueue};
+use crate::store::Checkpointer;
 use crate::trace::{ChargeSession, SimEvent, Trace};
 
 /// Static configuration of a simulation run.
@@ -111,6 +112,10 @@ pub struct World {
     /// [`FaultPlan::none`] leaves) keeps the run loop byte-identical to a
     /// world without fault machinery.
     faults: Option<FaultInjector>,
+    /// Attached periodic on-disk snapshotter, if any. Pure observation: never
+    /// serialized, never part of a [`Checkpoint`], never perturbs the
+    /// trajectory.
+    ckpt: Option<Checkpointer>,
     scratch: Scratch,
 }
 
@@ -216,6 +221,7 @@ impl Deserialize for World {
                 Some((_, v)) => Some(FaultInjector::from_value(v)?),
                 None => None,
             },
+            ckpt: None,
             scratch: Scratch::default(),
         };
         world.rebuild_scratch();
@@ -243,6 +249,7 @@ impl World {
             depot_visits: 0,
             energy_used_j: 0.0,
             faults: None,
+            ckpt: None,
             scratch: Scratch::default(),
         };
         world.refresh_full();
@@ -274,6 +281,24 @@ impl World {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_ref()
+    }
+
+    /// Attaches (or detaches, with `None`) a periodic on-disk
+    /// [`Checkpointer`]: during [`World::run_with`]/[`World::advance_by`] the
+    /// world is persisted to the checkpointer's file every
+    /// [`crate::store::CheckpointPolicy::every_sim_s`] simulated seconds,
+    /// rolling atomically so the file always holds the latest complete
+    /// snapshot. The first checkpoint falls one interval after the current
+    /// clock. Checkpointing is pure observation — the trajectory, trace, and
+    /// snapshots stay byte-identical to an unobserved run.
+    pub fn set_checkpointer(&mut self, ckpt: Option<Checkpointer>) {
+        let now_s = self.time_s;
+        self.ckpt = ckpt.map(|c| c.armed_at(now_s));
+    }
+
+    /// The attached checkpointer, if any.
+    pub fn checkpointer(&self) -> Option<&Checkpointer> {
+        self.ckpt.as_ref()
     }
 
     /// Current simulation time, seconds.
@@ -627,6 +652,11 @@ impl World {
         if remaining <= 0.0 {
             return Ok(stored);
         }
+        // Supervision hooks resolved once per advance: the thread's
+        // cooperative cancellation token (polled every segment) and whether a
+        // checkpointer is attached. Both are `None` in unsupervised runs, so
+        // the hot loop pays one branch per segment for them.
+        let cancel = crate::cancel::current();
         let mut eff_w = self.effective_inject_w(inject_node, inject_w);
         let mut t_event = match self.scratch.horizon {
             // Nothing mutated batteries or drains since the last advance
@@ -639,6 +669,11 @@ impl World {
             }
         };
         while remaining > 0.0 {
+            if let Some(token) = &cancel {
+                if token.is_cancelled() {
+                    return Err(SimError::Cancelled);
+                }
+            }
             rec.add(Counter::AdvanceSegments, 1);
             let mut step = remaining.min(t_event);
             // Land exactly on the next scheduled fault so it is injected at
@@ -767,12 +802,29 @@ impl World {
                 self.rebuild_drain(inject_node, eff_w);
                 t_event = self.next_event_horizon();
             }
+            // Segment boundary: persistent state is consistent, so a due
+            // checkpoint can be rolled to disk here without perturbing
+            // anything the simulation computes.
+            if self.ckpt.is_some() {
+                self.write_due_checkpoints(rec)?;
+            }
         }
         // No trailing scan: every segment that moved a battery already
         // reconciled requests (crossing scan or post-death refresh), so the
         // old closing `scan_requests` only re-walked all nodes for nothing.
         self.scratch.horizon = Some((inject_node, eff_w.to_bits(), t_event));
         Ok(stored)
+    }
+
+    /// Rolls a due periodic checkpoint to disk. The checkpointer is detached
+    /// while the snapshot is taken so it never captures itself.
+    fn write_due_checkpoints(&mut self, rec: &mut dyn Recorder) -> Result<(), SimError> {
+        let Some(mut ckpt) = self.ckpt.take() else {
+            return Ok(());
+        };
+        let result = ckpt.write_due(self, rec);
+        self.ckpt = Some(ckpt);
+        result.map_err(SimError::Store)
     }
 
     /// Injects every fault event due at the current instant: crashes become
@@ -1000,13 +1052,24 @@ impl World {
     /// Returns [`SimError::InvalidDuration`] for negative or non-finite `dt`,
     /// or any error the integrator surfaces.
     pub fn advance_by(&mut self, dt: f64) -> Result<(), SimError> {
+        self.advance_by_with(dt, &mut obs::NullRecorder)
+    }
+
+    /// [`World::advance_by`] with an observing recorder (engine counters,
+    /// including [`Counter::CheckpointsWritten`] from an attached
+    /// checkpointer, land in `rec`).
+    ///
+    /// # Errors
+    ///
+    /// See [`World::advance_by`].
+    pub fn advance_by_with(&mut self, dt: f64, rec: &mut dyn Recorder) -> Result<(), SimError> {
         if !dt.is_finite() || dt < 0.0 {
             return Err(SimError::InvalidDuration {
                 what: "advance_by",
                 value: dt,
             });
         }
-        self.advance(dt, None, 0.0, &mut obs::NullRecorder)?;
+        self.advance(dt, None, 0.0, rec)?;
         Ok(())
     }
 
@@ -1015,9 +1078,11 @@ impl World {
     /// Restoring it with [`World::restore`] and re-advancing reproduces the
     /// uninterrupted run bitwise.
     pub fn snapshot(&self) -> Checkpoint {
-        Checkpoint {
-            state: self.clone(),
-        }
+        let mut state = self.clone();
+        // The snapshotter itself is runtime supervision, not simulation
+        // state: a restored world keeps (or re-attaches) its own.
+        state.ckpt = None;
+        Checkpoint { state }
     }
 
     /// Restores the world to a [`Checkpoint`] taken earlier (or deserialized
@@ -1025,7 +1090,11 @@ impl World {
     /// event horizon — is invalidated and rebuilt, so the restored world's
     /// subsequent trajectory is bitwise identical to the uninterrupted one.
     pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        // Supervision attachments survive a restore: a world resuming from
+        // disk keeps writing its periodic checkpoints.
+        let ckpt = self.ckpt.take();
         *self = checkpoint.state.clone();
+        self.ckpt = ckpt.map(|c| c.armed_at(self.time_s));
         self.scratch = Scratch::default();
         self.rebuild_scratch();
     }

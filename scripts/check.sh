@@ -50,4 +50,65 @@ grep -q "fig2.*panicked" "$panic_err" \
 grep -q "## fig3" "$panic_out" \
   || { echo "healthy experiments must still produce output" >&2; exit 1; }
 
+echo "== durable runs: kill-and-resume byte-identity"
+# SIGKILL the campaign mid-run (a forced hang keeps the process alive until
+# we kill it), resume from the manifest, and require the resumed transcript,
+# CSVs, and JSONL trace to be byte-identical to an uninterrupted golden run.
+# tab1 is excluded from the byte comparison: it reports measured wall-clock
+# timings, which differ between any two runs, interrupted or not.
+cargo build --release -p wrsn-bench -q
+exp=target/release/exp
+gold_dir="$(mktemp -d)"
+run_dir="$(mktemp -d)"
+hang_out="$(mktemp)"
+hang_err="$(mktemp)"
+trap 'rm -f "$trace_file" "$faults_a" "$faults_b" "$panic_out" "$panic_err" \
+  "$hang_out" "$hang_err"; rm -rf "$gold_dir" "$run_dir"' EXIT
+"$exp" --id all --out-dir "$gold_dir" --trace "$gold_dir/trace.jsonl" \
+  > "$gold_dir/out.txt" 2>/dev/null
+WRSN_FORCE_HANG=tab1 "$exp" --id all --out-dir "$run_dir" \
+  --trace "$run_dir/trace.jsonl" > "$run_dir/out1.txt" 2>/dev/null &
+victim=$!
+done_count=0
+for _ in $(seq 1 600); do
+  done_count=$(grep -o '"status":"Done"' "$run_dir/manifest.json" 2>/dev/null | wc -l || true)
+  if [ "$done_count" -ge 4 ]; then break; fi
+  sleep 0.1
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+[ "$done_count" -ge 1 ] \
+  || { echo "no experiment completed before the SIGKILL" >&2; exit 1; }
+"$exp" --resume "$run_dir" --trace "$run_dir/trace.jsonl" \
+  > "$run_dir/out2.txt" 2>/dev/null
+filter_tab1() { awk '/^## tab1/{skip=1} /^## /{if ($0 !~ /^## tab1/) skip=0} !skip' "$1"; }
+cmp <(filter_tab1 "$gold_dir/out.txt") <(filter_tab1 "$run_dir/out2.txt") \
+  || { echo "resumed transcript differs from the uninterrupted run" >&2; exit 1; }
+cmp "$gold_dir/trace.jsonl" "$run_dir/trace.jsonl" \
+  || { echo "resumed trace differs from the uninterrupted run" >&2; exit 1; }
+for csv in "$gold_dir"/*.csv; do
+  base="$(basename "$csv")"
+  case "$base" in tab1_*) continue ;; esac
+  cmp "$csv" "$run_dir/$base" \
+    || { echo "resumed CSV $base differs from the uninterrupted run" >&2; exit 1; }
+done
+grep -q '"resumes":1' "$run_dir/manifest.json" \
+  || { echo "manifest does not record the resume" >&2; exit 1; }
+
+echo "== durable runs: forced-hang watchdog timeout"
+# A hung experiment must be cancelled at its wall-clock deadline and reported
+# as a typed timeout while every other experiment still completes.
+hang_dir="$run_dir/hang"
+if WRSN_FORCE_HANG=fig5 "$exp" --id all --timeout-s 10 --out-dir "$hang_dir" \
+    > "$hang_out" 2> "$hang_err"; then
+  echo "exp --id all must fail when an experiment hangs past its deadline" >&2
+  exit 1
+fi
+grep -q "fig5.*timed out" "$hang_err" \
+  || { echo "missing typed timeout failure report" >&2; exit 1; }
+grep -q "## fig3" "$hang_out" \
+  || { echo "healthy experiments must still produce output" >&2; exit 1; }
+grep -q '"failure":"Timeout"' "$hang_dir/manifest.json" \
+  || { echo "manifest does not record the timeout" >&2; exit 1; }
+
 echo "All checks passed."
