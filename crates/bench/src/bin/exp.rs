@@ -216,6 +216,8 @@ fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)], campaign: &Campa
             "threads".to_string(),
             Value::U64(parallel::threads() as u64),
         ),
+        ("shards".to_string(), Value::U64(parallel::shards() as u64)),
+        ("git_rev".to_string(), Value::Str(git_rev())),
         (
             "campaign".to_string(),
             Value::Map(vec![
@@ -237,12 +239,28 @@ fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)], campaign: &Campa
 
 fn usage() -> String {
     format!(
-        "usage: exp --id <id>|all [--threads <n>] [--out-dir <dir>] [--json <path>] [--trace <path>] [--timeout-s <s>]\n\
+        "usage: exp --id <id>[,<id>...]|all [--threads <n>] [--out-dir <dir>] [--json <path>] [--trace <path>] [--timeout-s <s>]\n\
          \x20      exp --resume <dir> [--threads <n>] [--json <path>] [--trace <path>] [--timeout-s <s>]\n\
          \x20      exp --list\n\
-         known ids: {}",
-        wrsn_bench::ALL_IDS.join(", ")
+         known ids: {}\n\
+         extra ids (not in `all`): {}",
+        wrsn_bench::ALL_IDS.join(", "),
+        wrsn_bench::EXTRA_IDS.join(", ")
     )
+}
+
+/// Short git revision of the working tree, for bench provenance; `unknown`
+/// outside a git checkout or without git on the path.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Parsed and validated command line.
@@ -298,7 +316,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
     while i < args.len() {
         match args[i].as_str() {
             "--list" => {
-                for known in wrsn_bench::ALL_IDS {
+                for known in wrsn_bench::ALL_IDS.iter().chain(wrsn_bench::EXTRA_IDS) {
                     println!("{known}");
                 }
                 return Ok(None);
@@ -451,6 +469,7 @@ fn run_campaign(cli: &Cli) -> Result<ExitCode, BenchError> {
             .map(|e| {
                 wrsn_bench::ALL_IDS
                     .iter()
+                    .chain(wrsn_bench::EXTRA_IDS)
                     .copied()
                     .find(|known| *known == e.id)
                     .expect("manifest ids validated on load")
@@ -459,14 +478,28 @@ fn run_campaign(cli: &Cli) -> Result<ExitCode, BenchError> {
         (m, ids)
     } else {
         let id = cli.id.as_deref().expect("either --id or --resume");
-        let ids: Vec<&'static str> = if id == "all" {
-            wrsn_bench::ALL_IDS.to_vec()
-        } else {
-            match wrsn_bench::ALL_IDS.iter().find(|known| **known == id) {
-                Some(&known) => vec![known],
-                None => return Err(BenchError::unknown_id(id)),
+        // `--id` takes a comma-separated list; `all` expands to the paper
+        // suite (extra ids like `scale` must be named explicitly).
+        let mut ids: Vec<&'static str> = Vec::new();
+        for token in id.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if token == "all" {
+                ids.extend(wrsn_bench::ALL_IDS);
+                continue;
             }
-        };
+            match wrsn_bench::ALL_IDS
+                .iter()
+                .chain(wrsn_bench::EXTRA_IDS)
+                .find(|known| **known == token)
+            {
+                Some(&known) => ids.push(known),
+                None => return Err(BenchError::unknown_id(token)),
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        ids.retain(|id| seen.insert(*id));
+        if ids.is_empty() {
+            return Err(BenchError::unknown_id(id));
+        }
         let observe = cli.trace_path.is_some() || cli.json_path.is_some();
         (
             Manifest::new(

@@ -5,7 +5,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use wrsn::core::attack::{evaluate_attack, AttackOutcome, CsaAttackPolicy};
-use wrsn::core::tide::{TideInstance, TimeWindow, Victim};
+use wrsn::core::tide::{TideConfig, TideInstance, TimeWindow, Victim};
 use wrsn::net::{NodeId, Point};
 use wrsn::scenario::Scenario;
 use wrsn::sim::obs::{NullRecorder, Recorder};
@@ -32,6 +32,23 @@ pub fn run_csa_with(
         .expect("CSA campaign run failed");
     let outcome = evaluate_attack(&world, &policy);
     (world, policy, report, outcome)
+}
+
+/// Runs a CSA campaign on an already-built `world` with an explicit
+/// `config` — the `scale` experiment's entry point, which needs to time
+/// world construction separately and swap in an approximate key-node
+/// census that stays tractable at 10⁶ nodes.
+pub fn run_csa_scaled_with(
+    world: &mut World,
+    config: TideConfig,
+    rec: &mut dyn Recorder,
+) -> (SimReport, AttackOutcome) {
+    let mut policy = CsaAttackPolicy::new(config);
+    let report = world
+        .run_with(&mut policy, rec)
+        .expect("CSA campaign run failed");
+    let outcome = evaluate_attack(world, &policy);
+    (report, outcome)
 }
 
 /// A synthetic TIDE instance with `n` victims scattered around a 200 m disc,

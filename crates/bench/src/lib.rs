@@ -34,6 +34,16 @@ pub const ALL_IDS: &[&str] = &[
     "fig13", "tab1", "tab2", "tab3", "faults",
 ];
 
+/// Extra experiment ids runnable with an explicit `--id` but excluded from
+/// `--id all` (and therefore from the paper-suite timing baselines): these
+/// are scaling/engineering studies, not paper figures.
+pub const EXTRA_IDS: &[&str] = &["scale"];
+
+/// Whether `id` names a runnable experiment ([`ALL_IDS`] or [`EXTRA_IDS`]).
+pub fn is_known_id(id: &str) -> bool {
+    ALL_IDS.contains(&id) || EXTRA_IDS.contains(&id)
+}
+
 /// Environment variable naming an experiment id whose run should panic on
 /// entry. A test/CI hook for the `exp` runner's panic-safe harness: set
 /// `WRSN_FORCE_PANIC=fig2` and `exp --id all` must still deliver every other
@@ -107,6 +117,7 @@ pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, BenchErr
         "tab2" => Ok(experiments::tab2::run()),
         "tab3" => Ok(experiments::tab3::run_with(rec)),
         "faults" => Ok(experiments::faults::run_with(rec)),
+        "scale" => Ok(experiments::scale::run_with(rec)),
         other => Err(BenchError::unknown_id(other)),
     }
 }

@@ -184,7 +184,7 @@ impl Manifest {
             });
         }
         for entry in &manifest.entries {
-            if !crate::ALL_IDS.contains(&entry.id.as_str()) {
+            if !crate::is_known_id(&entry.id) {
                 return Err(BenchError::unknown_id(&entry.id));
             }
         }

@@ -1,0 +1,62 @@
+//! Release-mode golden digest for the `scale` experiment at its smallest
+//! size (10 000 nodes).
+//!
+//! `scale` is excluded from `--id all` (it exists to measure wall clock,
+//! not paper figures), so the main `golden_exp_digest` never covers the
+//! code path that builds paper-density worlds with the approximate
+//! key-node census. This test pins an FNV-1a digest of the full JSONL
+//! trace of one 10k campaign, driven through
+//! [`wrsn_bench::experiments::scale::run_at_size_with`] directly so it
+//! cannot race other tests over the `WRSN_SCALE_SIZES` override.
+//! Regenerate after an *intentional* trace change with:
+//!
+//! ```text
+//! WRSN_BLESS=1 cargo test --release -p wrsn-bench --test golden_scale_digest
+//! ```
+
+use wrsn_bench::experiments::scale;
+use wrsn_bench::obs::{self, StatsRecorder};
+
+const DIGEST_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/golden_scale_digest.txt"
+);
+
+const NODES: usize = 10_000;
+
+/// FNV-1a over the 10k campaign's full JSONL trace.
+fn digest() -> u64 {
+    let mut rec = StatsRecorder::new();
+    let row = scale::run_at_size_with(NODES, &mut rec);
+    assert_eq!(row.nodes, NODES);
+    assert!(row.dead > 0, "scaled horizon should exhaust the sink ring");
+    rec.emit_counters("scale");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for record in rec.records() {
+        let line = obs::to_jsonl_line(record).unwrap();
+        for byte in line.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn scale_10k_trace_matches_golden_digest() {
+    let current = format!("scale-10k:{:016x}\n", digest());
+    if std::env::var_os("WRSN_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data")).unwrap();
+        std::fs::write(DIGEST_PATH, &current).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(DIGEST_PATH)
+        .expect("golden digest missing; regenerate with WRSN_BLESS=1 (see module docs)");
+    assert_eq!(
+        current, golden,
+        "scale trace drifted from the golden digest; if the change is \
+         intentional, regenerate with WRSN_BLESS=1 (see module docs)"
+    );
+}

@@ -128,7 +128,7 @@ mod tests {
                 ..WorldConfig::default()
             },
         );
-        let cap = w.network().nodes()[0].battery().capacity_j();
+        let cap = w.network().capacities_j()[0];
         w.set_battery_level(NodeId(0), cap * 0.15).unwrap();
         w.set_battery_level(NodeId(1), cap * 0.02).unwrap();
         w.run(&mut EarliestDeadlineFirst::new()).expect("run");

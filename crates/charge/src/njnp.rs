@@ -141,7 +141,7 @@ mod tests {
             },
         );
         // Put two nodes below their warning threshold so requests exist.
-        let cap = w.network().nodes()[0].battery().capacity_j();
+        let cap = w.network().capacities_j()[0];
         w.set_battery_level(NodeId(0), cap * 0.1).unwrap();
         w.set_battery_level(NodeId(8), cap * 0.05).unwrap();
         w
@@ -157,10 +157,7 @@ mod tests {
         assert!(served.contains(&NodeId(0)));
         assert!(served.contains(&NodeId(8)));
         // Requests were satisfied: both nodes alive and above warning.
-        assert!(
-            w.network().nodes()[0].battery().level_j()
-                > w.network().nodes()[0].battery().warning_j()
-        );
+        assert!(w.network().levels_j()[0] > w.network().warnings_j()[0]);
     }
 
     #[test]
@@ -207,7 +204,7 @@ mod tests {
                 ..WorldConfig::default()
             },
         );
-        let cap = w.network().nodes()[0].battery().capacity_j();
+        let cap = w.network().capacities_j()[0];
         for i in 0..9 {
             w.set_battery_level(NodeId(i), cap * 0.15).unwrap();
         }

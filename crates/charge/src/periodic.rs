@@ -69,17 +69,16 @@ impl PeriodicTsp {
 
     fn plan_round(&self, view: &WorldView<'_>, rec: &mut dyn Recorder) -> Vec<NodeId> {
         rec.add(Counter::TourRebuilds, 1);
+        let levels = view.net.levels_j();
+        let caps = view.net.capacities_j();
         let candidates: Vec<NodeId> = view
             .net
             .ids()
-            .filter(|&id| {
-                view.is_alive(id)
-                    && view.net.nodes()[id.0].battery().fraction() < self.topup_threshold
-            })
+            .filter(|&id| view.is_alive(id) && levels[id.0] / caps[id.0] < self.topup_threshold)
             .collect();
         let points: Vec<Point> = candidates
             .iter()
-            .map(|id| view.net.nodes()[id.0].position())
+            .map(|id| view.net.positions()[id.0])
             .collect();
         let (order, _) = plan_tour_with(view.charger.position(), &points, rec);
         order.into_iter().map(|i| candidates[i]).collect()
@@ -209,7 +208,7 @@ mod tests {
         assert!(report.sessions >= 4, "sessions = {}", report.sessions);
         for i in 0..4 {
             assert!(
-                w.network().nodes()[i].battery().fraction() > 0.5,
+                w.network().levels_j()[i] / w.network().capacities_j()[i] > 0.5,
                 "node {i} not topped up"
             );
         }
@@ -228,7 +227,7 @@ mod tests {
                     ..WorldConfig::default()
                 },
             );
-            let cap = w.network().nodes()[0].battery().capacity_j();
+            let cap = w.network().capacities_j()[0];
             for i in 0..8 {
                 w.set_battery_level(NodeId(i), cap * 0.4).unwrap();
             }

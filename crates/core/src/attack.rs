@@ -706,7 +706,7 @@ mod tests {
                 kind: FaultKind::NodeFailure { node: victim },
             }]));
         let (_, outcome) = run_attack(&mut faulted, TideConfig::default()).expect("attack run");
-        assert!(faulted.network().nodes()[victim.0].has_failed());
+        assert!(faulted.network().node(victim).unwrap().has_failed());
         assert!(outcome.targeted > 0, "campaign still targets the others");
         assert!(
             outcome.exhausted <= baseline.exhausted,

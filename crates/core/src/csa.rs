@@ -88,8 +88,8 @@ impl Default for CsaOptions {
 /// let (_, nodes) = deploy::corridor(8, 3, 1);
 /// let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
 /// for i in 0..net.node_count() {
-///     let cap = net.nodes()[i].battery().capacity_j();
-///     net.node_mut(NodeId(i)).unwrap().battery_mut().set_level(cap * 0.3);
+///     let cap = net.capacities_j()[i];
+///     net.energy_mut().set_level(i, cap * 0.3);
 /// }
 /// let inst = TideInstance::from_network(&net, &TideConfig::default());
 /// let plan = csa::plan(&inst);
@@ -446,11 +446,8 @@ mod tests {
         let (_, nodes) = deploy::corridor(10, 4, 3);
         let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
         for i in 0..net.node_count() {
-            let cap = net.nodes()[i].battery().capacity_j();
-            net.node_mut(NodeId(i))
-                .unwrap()
-                .battery_mut()
-                .set_level(cap * 0.3);
+            let cap = net.capacities_j()[i];
+            net.energy_mut().set_level(i, cap * 0.3);
         }
         TideInstance::from_network(&net, &TideConfig::default())
     }

@@ -662,7 +662,7 @@ mod tests {
         assert!(!census.is_empty());
         let dead = census
             .iter()
-            .filter(|n| !world.network().nodes()[n.0].is_alive())
+            .filter(|n| !world.network().alive(n.0))
             .count();
         assert!(
             dead as f64 >= 0.8 * census.len() as f64,

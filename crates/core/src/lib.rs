@@ -35,8 +35,8 @@
 //! let (_, nodes) = deploy::corridor(10, 4, 3);
 //! let mut net = Network::build(nodes, Point::new(10.0, 50.0), 30.0);
 //! for id in 0..net.node_count() {
-//!     let cap = net.nodes()[id].battery().capacity_j();
-//!     net.node_mut(NodeId(id)).unwrap().battery_mut().set_level(cap * 0.3);
+//!     let cap = net.capacities_j()[id];
+//!     net.energy_mut().set_level(id, cap * 0.3);
 //! }
 //! let instance = TideInstance::from_network(&net, &TideConfig::default());
 //! let schedule = csa::plan(&instance);

@@ -149,6 +149,23 @@ impl Battery {
     pub fn deficit_j(&self) -> f64 {
         self.capacity_j - self.level_j
     }
+
+    /// Reassembles a battery from raw state columns. The parts are trusted
+    /// (no clamping): they come from a battery that was previously
+    /// decomposed, so re-validating would only mask column-update bugs.
+    pub(crate) fn from_parts(
+        capacity_j: f64,
+        level_j: f64,
+        warning_j: f64,
+        depleted: bool,
+    ) -> Self {
+        Battery {
+            capacity_j,
+            level_j,
+            warning_j,
+            depleted,
+        }
+    }
 }
 
 impl Default for Battery {

@@ -12,13 +12,22 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
+use crate::energy::Battery;
 use crate::error::NetError;
 use crate::geom::Point;
 use crate::node::{NodeId, SensorNode};
 
 /// A WRSN communication graph: nodes, a sink and range-derived adjacency.
+///
+/// Per-node state lives in struct-of-arrays columns (positions, sensing
+/// rates, battery levels, status flags) rather than a `Vec<SensorNode>`:
+/// the simulation engine's fused segment loop iterates dense parallel
+/// slices, and spatial shards advance disjoint column ranges.
+/// [`SensorNode`] remains the construction/config view — [`Network::build`]
+/// columnises a node list, and [`Network::node`] materialises a node back
+/// from the columns on demand.
 ///
 /// # Example
 ///
@@ -29,13 +38,112 @@ use crate::node::{NodeId, SensorNode};
 /// let net = Network::build(nodes, Point::new(50.0, 50.0), 20.0);
 /// assert_eq!(net.node_count(), 40);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
-    nodes: Vec<SensorNode>,
+    positions: Vec<Point>,
+    sensing_rate_bps: Vec<f64>,
+    capacity_j: Vec<f64>,
+    level_j: Vec<f64>,
+    warning_j: Vec<f64>,
+    depleted: Vec<bool>,
+    failed: Vec<bool>,
     sink: Point,
     comm_range_m: f64,
     adj: Vec<Vec<NodeId>>,
     sink_neighbors: Vec<NodeId>,
+}
+
+// Hand-written to keep the wire shape of the former array-of-structs layout
+// (`nodes` as a list of SensorNode maps): checkpoints written before the
+// column refactor stay loadable, and snapshots stay byte-identical.
+impl Serialize for Network {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "nodes".to_string(),
+                Value::Seq(
+                    (0..self.node_count())
+                        .map(|i| self.materialize(i).to_value())
+                        .collect(),
+                ),
+            ),
+            ("sink".to_string(), self.sink.to_value()),
+            ("comm_range_m".to_string(), self.comm_range_m.to_value()),
+            ("adj".to_string(), self.adj.to_value()),
+            ("sink_neighbors".to_string(), self.sink_neighbors.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Network {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "Network"))?;
+        let nodes: Vec<SensorNode> = Deserialize::from_value(serde::map_get(entries, "nodes")?)?;
+        Ok(Network::from_parts(
+            nodes,
+            Deserialize::from_value(serde::map_get(entries, "sink")?)?,
+            Deserialize::from_value(serde::map_get(entries, "comm_range_m")?)?,
+            Deserialize::from_value(serde::map_get(entries, "adj")?)?,
+            Deserialize::from_value(serde::map_get(entries, "sink_neighbors")?)?,
+        ))
+    }
+}
+
+/// Mutable struct-of-arrays view of every node's battery state, borrowed
+/// from [`Network::energy_mut`]. The ops mirror [`Battery`] exactly — same
+/// f64 sequences, same saturation and depletion latch — so a column update
+/// is bitwise identical to the equivalent per-node battery call.
+pub struct EnergyColumnsMut<'a> {
+    /// Battery capacities, joules (read-only: capacity never changes).
+    pub capacity_j: &'a [f64],
+    /// Warning thresholds, joules (read-only).
+    pub warning_j: &'a [f64],
+    /// Current levels, joules.
+    pub level_j: &'a mut [f64],
+    /// Depletion latches.
+    pub depleted: &'a mut [bool],
+}
+
+impl EnergyColumnsMut<'_> {
+    /// Column form of [`Battery::discharge`].
+    #[inline]
+    pub fn discharge(&mut self, i: usize, energy_j: f64) -> f64 {
+        let e = energy_j.max(0.0).min(self.level_j[i]);
+        self.level_j[i] -= e;
+        if self.level_j[i] <= 0.0 {
+            self.level_j[i] = 0.0;
+            self.depleted[i] = true;
+        }
+        e
+    }
+
+    /// Column form of [`Battery::charge`].
+    #[inline]
+    pub fn charge(&mut self, i: usize, energy_j: f64) -> f64 {
+        if self.depleted[i] {
+            return 0.0;
+        }
+        let e = energy_j.max(0.0).min(self.capacity_j[i] - self.level_j[i]);
+        self.level_j[i] += e;
+        e
+    }
+
+    /// Column form of [`Battery::set_level`].
+    #[inline]
+    pub fn set_level(&mut self, i: usize, level_j: f64) {
+        self.level_j[i] = level_j.clamp(0.0, self.capacity_j[i]);
+        if self.level_j[i] <= 0.0 {
+            self.depleted[i] = true;
+        }
+    }
+
+    /// Column form of [`Battery::needs_charging`].
+    #[inline]
+    pub fn needs_charging(&self, i: usize) -> bool {
+        !self.depleted[i] && self.level_j[i] <= self.warning_j[i]
+    }
 }
 
 impl Network {
@@ -59,36 +167,26 @@ impl Network {
         );
         let n = nodes.len();
         let r2 = comm_range_m * comm_range_m;
+        let positions: Vec<Point> = nodes.iter().map(SensorNode::position).collect();
         let mut adj = vec![Vec::new(); n];
         if n > 0 {
             let inv_cell = 1.0 / comm_range_m;
-            let mut min_x = f64::INFINITY;
-            let mut min_y = f64::INFINITY;
-            for node in &nodes {
-                let p = node.position();
-                min_x = min_x.min(p.x);
-                min_y = min_y.min(p.y);
-            }
-            let cell_of = |p: Point| -> (i64, i64) {
-                (
-                    ((p.x - min_x) * inv_cell).floor() as i64,
-                    ((p.y - min_y) * inv_cell).floor() as i64,
-                )
-            };
+            let (min_x, min_y) = grid_origin(&positions);
+            let cell_of = |p: Point| grid_cell(p, min_x, min_y, inv_cell);
             let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
                 std::collections::HashMap::new();
-            for (i, node) in nodes.iter().enumerate() {
-                buckets.entry(cell_of(node.position())).or_default().push(i);
+            for (i, &p) in positions.iter().enumerate() {
+                buckets.entry(cell_of(p)).or_default().push(i);
             }
             let mut candidates: Vec<usize> = Vec::new();
             for i in 0..n {
-                let (cx, cy) = cell_of(nodes[i].position());
+                let (cx, cy) = cell_of(positions[i]);
                 candidates.clear();
                 for dx in -1..=1 {
                     for dy in -1..=1 {
                         if let Some(bucket) = buckets.get(&(cx + dx, cy + dy)) {
                             candidates.extend(bucket.iter().copied().filter(|&j| {
-                                j > i && nodes[i].position().distance_sq(nodes[j].position()) <= r2
+                                j > i && positions[i].distance_sq(positions[j]) <= r2
                             }));
                         }
                     }
@@ -102,44 +200,149 @@ impl Network {
             }
         }
         let sink_neighbors = (0..n)
-            .filter(|&i| nodes[i].position().distance_sq(sink) <= r2)
+            .filter(|&i| positions[i].distance_sq(sink) <= r2)
             .map(NodeId)
             .collect();
-        Network {
-            nodes,
+        Network::from_parts(nodes, sink, comm_range_m, adj, sink_neighbors)
+    }
+
+    /// Columnises a node list with precomputed adjacency.
+    fn from_parts(
+        nodes: Vec<SensorNode>,
+        sink: Point,
+        comm_range_m: f64,
+        adj: Vec<Vec<NodeId>>,
+        sink_neighbors: Vec<NodeId>,
+    ) -> Self {
+        let n = nodes.len();
+        let mut net = Network {
+            positions: Vec::with_capacity(n),
+            sensing_rate_bps: Vec::with_capacity(n),
+            capacity_j: Vec::with_capacity(n),
+            level_j: Vec::with_capacity(n),
+            warning_j: Vec::with_capacity(n),
+            depleted: Vec::with_capacity(n),
+            failed: Vec::with_capacity(n),
             sink,
             comm_range_m,
             adj,
             sink_neighbors,
+        };
+        for node in nodes {
+            let (position, battery, sensing_rate_bps, failed) = node.into_parts();
+            net.positions.push(position);
+            net.sensing_rate_bps.push(sensing_rate_bps);
+            net.capacity_j.push(battery.capacity_j());
+            net.level_j.push(battery.level_j());
+            net.warning_j.push(battery.warning_j());
+            net.depleted.push(battery.is_depleted());
+            net.failed.push(failed);
         }
+        net
+    }
+
+    /// Reassembles node `i` from the columns (trusted index).
+    fn materialize(&self, i: usize) -> SensorNode {
+        SensorNode::from_parts(
+            self.positions[i],
+            Battery::from_parts(
+                self.capacity_j[i],
+                self.level_j[i],
+                self.warning_j[i],
+                self.depleted[i],
+            ),
+            self.sensing_rate_bps[i],
+            self.failed[i],
+        )
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.positions.len()
     }
 
-    /// All nodes, indexed by [`NodeId`].
-    pub fn nodes(&self) -> &[SensorNode] {
-        &self.nodes
-    }
-
-    /// The node with id `id`.
+    /// The node with id `id`, materialised by value from the state columns.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::UnknownNode`] for out-of-range ids.
-    pub fn node(&self, id: NodeId) -> Result<&SensorNode, NetError> {
-        self.nodes.get(id.0).ok_or(NetError::UnknownNode(id))
+    pub fn node(&self, id: NodeId) -> Result<SensorNode, NetError> {
+        if id.0 < self.node_count() {
+            Ok(self.materialize(id.0))
+        } else {
+            Err(NetError::UnknownNode(id))
+        }
     }
 
-    /// Mutable access to the node with id `id`.
+    /// All node positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// All sensing data rates (bits per second), indexed by [`NodeId`].
+    pub fn sensing_rates_bps(&self) -> &[f64] {
+        &self.sensing_rate_bps
+    }
+
+    /// All battery levels (joules), indexed by [`NodeId`].
+    pub fn levels_j(&self) -> &[f64] {
+        &self.level_j
+    }
+
+    /// All battery capacities (joules), indexed by [`NodeId`].
+    pub fn capacities_j(&self) -> &[f64] {
+        &self.capacity_j
+    }
+
+    /// All battery warning thresholds (joules), indexed by [`NodeId`].
+    pub fn warnings_j(&self) -> &[f64] {
+        &self.warning_j
+    }
+
+    /// Whether node `i` is alive: neither hard-failed nor depleted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn alive(&self, i: usize) -> bool {
+        !self.failed[i] && !self.depleted[i]
+    }
+
+    /// Whether node `i` should request charging (at or below its warning
+    /// threshold, but not yet depleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn needs_charging(&self, i: usize) -> bool {
+        !self.depleted[i] && self.level_j[i] <= self.warning_j[i]
+    }
+
+    /// Mutable view of the battery-state columns.
+    pub fn energy_mut(&mut self) -> EnergyColumnsMut<'_> {
+        EnergyColumnsMut {
+            capacity_j: &self.capacity_j,
+            warning_j: &self.warning_j,
+            level_j: &mut self.level_j,
+            depleted: &mut self.depleted,
+        }
+    }
+
+    /// Marks a node hard-failed (see [`SensorNode::mark_failed`]).
     ///
     /// # Errors
     ///
     /// Returns [`NetError::UnknownNode`] for out-of-range ids.
-    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut SensorNode, NetError> {
-        self.nodes.get_mut(id.0).ok_or(NetError::UnknownNode(id))
+    pub fn mark_failed(&mut self, id: NodeId) -> Result<(), NetError> {
+        match self.failed.get_mut(id.0) {
+            Some(f) => {
+                *f = true;
+                Ok(())
+            }
+            None => Err(NetError::UnknownNode(id)),
+        }
     }
 
     /// The sink (base station) position.
@@ -169,7 +372,7 @@ impl Network {
 
     /// Iterator over all node ids.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId)
+        (0..self.node_count()).map(NodeId)
     }
 
     /// Euclidean distance between two nodes.
@@ -178,19 +381,21 @@ impl Network {
     ///
     /// Returns [`NetError::UnknownNode`] if either id is out of range.
     pub fn distance(&self, a: NodeId, b: NodeId) -> Result<f64, NetError> {
-        Ok(self.node(a)?.position().distance(self.node(b)?.position()))
+        let pa = *self.positions.get(a.0).ok_or(NetError::UnknownNode(a))?;
+        let pb = *self.positions.get(b.0).ok_or(NetError::UnknownNode(b))?;
+        Ok(pa.distance(pb))
     }
 
     /// A mask of currently alive nodes.
     pub fn alive_mask(&self) -> Vec<bool> {
-        self.nodes.iter().map(SensorNode::is_alive).collect()
+        (0..self.node_count()).map(|i| self.alive(i)).collect()
     }
 
     /// Connected components among nodes where `mask[i]` is true; each
     /// component is a sorted list of node ids. Masked-out nodes appear in no
     /// component.
     pub fn components(&self, mask: &[bool]) -> Vec<Vec<NodeId>> {
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut seen = vec![false; n];
         let mut out = Vec::new();
         for s in 0..n {
@@ -228,7 +433,7 @@ impl Network {
         if alive == 0 {
             return 1.0;
         }
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut reach = vec![false; n];
         let mut stack: Vec<usize> = self
             .sink_neighbors
@@ -253,7 +458,7 @@ impl Network {
     /// Articulation points (cut vertices) of the subgraph induced by `mask`,
     /// via Tarjan's low-link algorithm. Sorted by id.
     pub fn articulation_points(&self, mask: &[bool]) -> Vec<NodeId> {
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut disc = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
         let mut is_art = vec![false; n];
@@ -308,7 +513,7 @@ impl Network {
     /// Unweighted betweenness centrality (Brandes) of the subgraph induced by
     /// `mask`; masked-out nodes score `0`.
     pub fn betweenness(&self, mask: &[bool]) -> Vec<f64> {
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut cb = vec![0.0f64; n];
         for s in 0..n {
             if !mask.get(s).copied().unwrap_or(false) {
@@ -362,7 +567,7 @@ impl Network {
     /// over the subgraph induced by `mask`. Unreachable nodes get `f64::INFINITY`.
     /// Also returns the predecessor of each node on its shortest path.
     pub fn dijkstra(&self, source: NodeId, mask: &[bool]) -> (Vec<f64>, Vec<Option<NodeId>>) {
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut pred: Vec<Option<NodeId>> = vec![None; n];
         if source.0 >= n || !mask.get(source.0).copied().unwrap_or(false) {
@@ -383,7 +588,7 @@ impl Network {
                 if !mask[v] {
                     continue;
                 }
-                let w = self.nodes[u].position().distance(self.nodes[v].position());
+                let w = self.positions[u].distance(self.positions[v]);
                 let nd = d + w;
                 if nd < dist[v] {
                     dist[v] = nd;
@@ -394,6 +599,34 @@ impl Network {
         }
         (dist, pred)
     }
+}
+
+/// Origin (minimum x/y) of the uniform grid over `positions` — the anchor
+/// both the adjacency build and the simulator's spatial shard map use, so
+/// shards partition nodes by exactly the cells adjacency was bucketed by.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+pub fn grid_origin(positions: &[Point]) -> (f64, f64) {
+    if positions.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    for p in positions {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+    }
+    (min_x, min_y)
+}
+
+/// Cell coordinates of `p` in a uniform grid anchored at `(min_x, min_y)`
+/// with cell side `1 / inv_cell`.
+#[inline]
+pub fn grid_cell(p: Point, min_x: f64, min_y: f64, inv_cell: f64) -> (i64, i64) {
+    (
+        ((p.x - min_x) * inv_cell).floor() as i64,
+        ((p.y - min_y) * inv_cell).floor() as i64,
+    )
 }
 
 /// Min-heap item for Dijkstra.

@@ -44,6 +44,12 @@ pub struct KeyNodeConfig {
     pub hub_fraction: f64,
     /// Include cut vertices regardless of rank.
     pub include_cut_vertices: bool,
+    /// Largest network for which the exact pipeline (Brandes betweenness,
+    /// Tarjan articulation points, per-candidate stranded counts) runs.
+    /// Beyond this, [`identify_with_mask`] switches to the near-linear
+    /// approximation: hubs ranked by relayed traffic on the routing tree,
+    /// cut vertices skipped. The default never approximates.
+    pub max_exact_nodes: usize,
 }
 
 impl Default for KeyNodeConfig {
@@ -51,6 +57,7 @@ impl Default for KeyNodeConfig {
         KeyNodeConfig {
             hub_fraction: 0.1,
             include_cut_vertices: true,
+            max_exact_nodes: usize::MAX,
         }
     }
 }
@@ -97,6 +104,9 @@ pub fn identify_with_mask(net: &Network, mask: &[bool], config: &KeyNodeConfig) 
     if n == 0 {
         return Vec::new();
     }
+    if n > config.max_exact_nodes {
+        return identify_approx(net, mask, config);
+    }
     let cuts: std::collections::HashSet<NodeId> = if config.include_cut_vertices {
         net.articulation_points(mask).into_iter().collect()
     } else {
@@ -142,6 +152,49 @@ pub fn identify_with_mask(net: &Network, mask: &[bool], config: &KeyNodeConfig) 
             weight: 1.0 + stranded + cb_norm,
         });
     }
+    out.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    out
+}
+
+/// Near-linear key-node identification for networks past
+/// [`KeyNodeConfig::max_exact_nodes`]: one routing-tree build ranks alive
+/// nodes by relayed inbound traffic — the quantity betweenness is a proxy
+/// for in a sink-rooted WRSN — and the top `hub_fraction` become hubs with
+/// `weight = 1 + rx / max_rx`. Cut vertices and stranded counts are skipped
+/// (each would cost further full graph traversals per candidate).
+fn identify_approx(net: &Network, mask: &[bool], config: &KeyNodeConfig) -> Vec<KeyNode> {
+    let n = net.node_count();
+    let tree = RoutingTree::shortest_path(net, mask);
+    let load = routing::traffic_load(net, &tree, mask);
+    let mut ranked: Vec<usize> = (0..n)
+        .filter(|&i| mask.get(i).copied().unwrap_or(false) && load.rx_bps[i] > 0.0)
+        .collect();
+    ranked.sort_by(|&a, &b| {
+        load.rx_bps[b]
+            .partial_cmp(&load.rx_bps[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    let hub_count = ((n as f64 * config.hub_fraction).ceil() as usize).min(ranked.len());
+    let max_rx = ranked.first().map(|&i| load.rx_bps[i]).unwrap_or(0.0);
+    let mut out: Vec<KeyNode> = ranked[..hub_count]
+        .iter()
+        .map(|&i| KeyNode {
+            id: NodeId(i),
+            reason: KeyReason::TrafficHub,
+            weight: 1.0
+                + if max_rx > 0.0 {
+                    load.rx_bps[i] / max_rx
+                } else {
+                    0.0
+                },
+        })
+        .collect();
     out.sort_by(|a, b| {
         b.weight
             .partial_cmp(&a.weight)
@@ -205,14 +258,12 @@ pub fn effective_node_power(
     let id = NodeId(i);
     if masked_in && tree.is_reachable(id) {
         let hop = match tree.parent(id) {
-            Some(p) => net.nodes()[i]
-                .position()
-                .distance(net.nodes()[p.0].position()),
-            None => net.nodes()[i].position().distance(net.sink()),
+            Some(p) => net.positions()[i].distance(net.positions()[p.0]),
+            None => net.positions()[i].distance(net.sink()),
         };
         radio.relay_power(load.rx_bps[i], load.tx_bps[i], hop)
-    } else if masked_in && net.nodes()[i].is_alive() {
-        radio.idle_w + radio.tx_energy(net.nodes()[i].sensing_rate_bps(), net.comm_range())
+    } else if masked_in && net.alive(i) {
+        radio.idle_w + radio.tx_energy(net.sensing_rates_bps()[i], net.comm_range())
     } else {
         0.0
     }
@@ -317,6 +368,7 @@ mod tests {
         let cfg = KeyNodeConfig {
             hub_fraction: 0.0,
             include_cut_vertices: true,
+            ..KeyNodeConfig::default()
         };
         let keys = identify(&net, &cfg);
         assert!(keys
@@ -335,6 +387,33 @@ mod tests {
                 assert!(power[id.0] > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn approx_mode_ranks_relays_and_skips_cuts() {
+        let net = corridor_net();
+        let mask = net.alive_mask();
+        let exact = identify_with_mask(&net, &mask, &KeyNodeConfig::default());
+        let approx = identify_with_mask(
+            &net,
+            &mask,
+            &KeyNodeConfig {
+                max_exact_nodes: 0,
+                ..KeyNodeConfig::default()
+            },
+        );
+        assert!(!approx.is_empty());
+        assert!(approx
+            .iter()
+            .all(|k| matches!(k.reason, KeyReason::TrafficHub)));
+        for w in approx.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert!(approx.iter().all(|k| (1.0..=2.0).contains(&k.weight)));
+        // The heaviest relays the exact pipeline finds are still found: the
+        // bridge carries everything in a corridor net.
+        let exact_ids: std::collections::HashSet<NodeId> = exact.iter().map(|k| k.id).collect();
+        assert!(approx.iter().take(2).any(|k| exact_ids.contains(&k.id)));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod routing;
 
 pub use error::NetError;
 pub use geom::{Point, Region};
-pub use graph::Network;
+pub use graph::{EnergyColumnsMut, Network};
 pub use keynode::KeyNode;
 pub use node::{NodeId, SensorNode};
 

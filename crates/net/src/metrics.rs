@@ -56,8 +56,7 @@ pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize
         return 0.0;
     }
     let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
-    for node in net.nodes() {
-        let p = node.position();
+    for p in net.positions() {
         x0 = x0.min(p.x);
         y0 = y0.min(p.y);
         x1 = x1.max(p.x);
@@ -77,10 +76,10 @@ pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize
         for gx in 0..grid {
             let px = x0 + (x1 - x0) * (gx as f64 + 0.5) / grid as f64;
             let py = y0 + (y1 - y0) * (gy as f64 + 0.5) / grid as f64;
-            let hit = net.nodes().iter().enumerate().any(|(i, n)| {
+            let hit = net.positions().iter().enumerate().any(|(i, p)| {
                 mask.get(i).copied().unwrap_or(false) && {
-                    let dx = n.position().x - px;
-                    let dy = n.position().y - py;
+                    let dx = p.x - px;
+                    let dy = p.y - py;
                     dx * dx + dy * dy <= r2
                 }
             });
@@ -95,11 +94,10 @@ pub fn coverage(net: &Network, mask: &[bool], sensing_radius_m: f64, grid: usize
 /// Estimated time (s) until the first node dies under current steady-state
 /// power draw, or `None` if no node is draining.
 pub fn time_to_first_death(net: &Network, power_w: &[f64]) -> Option<f64> {
-    net.nodes()
-        .iter()
+    (0..net.node_count())
         .zip(power_w)
-        .filter(|(n, &p)| n.is_alive() && p > 0.0)
-        .map(|(n, &p)| n.battery().level_j() / p)
+        .filter(|&(i, &p)| net.alive(i) && p > 0.0)
+        .map(|(i, &p)| net.levels_j()[i] / p)
         .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
 }
 
@@ -142,11 +140,8 @@ mod tests {
     fn killing_nodes_reduces_coverage_and_survival() {
         let mut net = small_net();
         for i in 0..8 {
-            let cap = net.nodes()[i].battery().capacity_j();
-            net.node_mut(crate::node::NodeId(i))
-                .unwrap()
-                .battery_mut()
-                .discharge(cap);
+            let cap = net.capacities_j()[i];
+            net.energy_mut().discharge(i, cap);
         }
         let s = snapshot(&net, 10.0, 20);
         assert_eq!(s.alive, 8);
@@ -194,7 +189,7 @@ mod tests {
         let mut power = vec![1.0; 16];
         power[3] = 100.0; // hottest node
         let t = time_to_first_death(&net, &power).unwrap();
-        let expect = net.nodes()[3].battery().level_j() / 100.0;
+        let expect = net.levels_j()[3] / 100.0;
         assert!((t - expect).abs() < 1e-9);
     }
 

@@ -174,6 +174,34 @@ impl SensorNode {
     pub fn mark_failed(&mut self) {
         self.failed = true;
     }
+
+    /// Reassembles a node from the network's state columns. Parts are
+    /// trusted; see [`Battery::from_parts`].
+    pub(crate) fn from_parts(
+        position: Point,
+        battery: Battery,
+        sensing_rate_bps: f64,
+        failed: bool,
+    ) -> Self {
+        SensorNode {
+            position,
+            battery,
+            sensing_rate_bps,
+            failed,
+        }
+    }
+
+    /// Decomposes the node into `(position, battery, sensing_rate_bps,
+    /// failed)` — the inverse of [`SensorNode::from_parts`], used when a
+    /// constructed node list is columnised into the network.
+    pub(crate) fn into_parts(self) -> (Point, Battery, f64, bool) {
+        (
+            self.position,
+            self.battery,
+            self.sensing_rate_bps,
+            self.failed,
+        )
+    }
 }
 
 #[cfg(test)]

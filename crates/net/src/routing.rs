@@ -84,7 +84,7 @@ impl RoutingTree {
             if !mask.get(s.0).copied().unwrap_or(false) {
                 continue;
             }
-            let d0 = net.nodes()[s.0].position().distance(net.sink());
+            let d0 = net.positions()[s.0].distance(net.sink());
             if d0 < dist[s.0] {
                 dist[s.0] = d0;
                 heap.push(Item { d: d0, v: s.0 });
@@ -98,9 +98,7 @@ impl RoutingTree {
                 if !mask[u.0] {
                     continue;
                 }
-                let w = net.nodes()[v]
-                    .position()
-                    .distance(net.nodes()[u.0].position());
+                let w = net.positions()[v].distance(net.positions()[u.0]);
                 let nd = d + w;
                 if nd < dist[u.0] {
                     dist[u.0] = nd;
@@ -222,7 +220,7 @@ impl RoutingTree {
             if !affected[s.0] || !mask.get(s.0).copied().unwrap_or(false) {
                 continue;
             }
-            let d0 = net.nodes()[s.0].position().distance(net.sink());
+            let d0 = net.positions()[s.0].distance(net.sink());
             if d0 < self.dist[s.0] {
                 self.dist[s.0] = d0;
                 heap.push(Item { d: d0, v: s.0 });
@@ -258,9 +256,7 @@ impl RoutingTree {
                 if !mask[u.0] {
                     continue;
                 }
-                let w = net.nodes()[v]
-                    .position()
-                    .distance(net.nodes()[u.0].position());
+                let w = net.positions()[v].distance(net.positions()[u.0]);
                 let nd = d + w;
                 if nd < self.dist[u.0] {
                     self.dist[u.0] = nd;
@@ -373,7 +369,7 @@ pub fn traffic_load(net: &Network, tree: &RoutingTree, mask: &[bool]) -> Traffic
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     for &i in &order {
-        tx[i] += net.nodes()[i].sensing_rate_bps();
+        tx[i] += net.sensing_rates_bps()[i];
         if let Some(p) = tree.parent(NodeId(i)) {
             rx[p.0] += tx[i];
             tx[p.0] += tx[i];
@@ -407,10 +403,8 @@ pub fn node_power(
             continue;
         }
         let hop = match tree.parent(NodeId(i)) {
-            Some(p) => net.nodes()[i]
-                .position()
-                .distance(net.nodes()[p.0].position()),
-            None => net.nodes()[i].position().distance(net.sink()),
+            Some(p) => net.positions()[i].distance(net.positions()[p.0]),
+            None => net.positions()[i].distance(net.sink()),
         };
         out[i] = radio.relay_power(load.rx_bps[i], load.tx_bps[i], hop);
     }
@@ -494,7 +488,7 @@ mod tests {
         let mask = net.alive_mask();
         let tree = RoutingTree::shortest_path(&net, &mask);
         let load = traffic_load(&net, &tree, &mask);
-        let rate = net.nodes()[0].sensing_rate_bps();
+        let rate = net.sensing_rates_bps()[0];
         // Node 0 relays everyone: tx = 5·rate, rx = 4·rate.
         assert!((load.tx_bps[0] - 5.0 * rate).abs() < 1e-9);
         assert!((load.rx_bps[0] - 4.0 * rate).abs() < 1e-9);

@@ -49,6 +49,23 @@ pub const THREADS_ENV: &str = "WRSN_THREADS";
 /// harness binaries, not by this module.
 pub const TIMEOUT_ENV: &str = "WRSN_TIMEOUT_S";
 
+/// Environment variable overriding the engine's spatial shard count (see
+/// [`crate::World::set_shards`]). Unset, non-numeric or zero means unsharded.
+pub const SHARDS_ENV: &str = "WRSN_SHARDS";
+
+/// The engine's spatial shard count: `WRSN_SHARDS` if set to a positive
+/// integer, otherwise 1 (unsharded). Sharding never changes simulation
+/// output, so unlike [`threads`] there is no machine-derived default.
+pub fn shards() -> usize {
+    match std::env::var(SHARDS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
 /// The worker thread count: `WRSN_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism.
 pub fn threads() -> usize {

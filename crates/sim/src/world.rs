@@ -116,6 +116,11 @@ pub struct World {
     /// serialized, never part of a [`Checkpoint`], never perturbs the
     /// trajectory.
     ckpt: Option<Checkpointer>,
+    /// Number of spatial shards the advance loop partitions the node columns
+    /// into (1 = unsharded). Pure execution strategy, like `ckpt`: never
+    /// serialized, preserved across [`World::restore`], and byte-identical
+    /// output at any value.
+    shard_count: usize,
     scratch: Scratch,
 }
 
@@ -152,6 +157,10 @@ struct Scratch {
     /// rebuild/scan entirely. Cleared by every out-of-loop mutation
     /// (`refresh_full`, `set_battery_level`).
     horizon: Option<(Option<NodeId>, u64, f64)>,
+    /// Spatial shard map: node indices grouped by uniform-grid locality, each
+    /// shard sorted ascending. Empty when `World::shard_count <= 1` (the
+    /// unsharded fast path iterates `alive_idx` directly).
+    shards: Vec<Vec<usize>>,
 }
 
 impl Default for Scratch {
@@ -169,6 +178,7 @@ impl Default for Scratch {
                 tx_bps: Vec::new(),
             },
             horizon: None,
+            shards: Vec::new(),
         }
     }
 }
@@ -222,6 +232,7 @@ impl Deserialize for World {
                 None => None,
             },
             ckpt: None,
+            shard_count: crate::parallel::shards(),
             scratch: Scratch::default(),
         };
         world.rebuild_scratch();
@@ -250,9 +261,11 @@ impl World {
             energy_used_j: 0.0,
             faults: None,
             ckpt: None,
+            shard_count: crate::parallel::shards(),
             scratch: Scratch::default(),
         };
         world.refresh_full();
+        world.rebuild_shards();
         world
     }
 
@@ -299,6 +312,21 @@ impl World {
     /// The attached checkpointer, if any.
     pub fn checkpointer(&self) -> Option<&Checkpointer> {
         self.ckpt.as_ref()
+    }
+
+    /// Sets the number of spatial shards the advance loop partitions the
+    /// node columns into (values below 1 clamp to 1 = unsharded). Sharding
+    /// is a pure execution strategy: the trajectory, trace and snapshots are
+    /// byte-identical at any shard count. New worlds start from the
+    /// [`crate::parallel::SHARDS_ENV`] environment variable (default 1).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shard_count = shards.max(1);
+        self.rebuild_shards();
+    }
+
+    /// The configured spatial shard count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shard_count
     }
 
     /// Current simulation time, seconds.
@@ -355,16 +383,22 @@ impl World {
         }
     }
 
+    /// Recomputes the ascending alive-index list from the alive mask. The
+    /// single definition shared by [`World::rebuild_alive`] (full rebuild)
+    /// and [`World::refresh_after_deaths`] (post-death repair): both paths
+    /// must agree bitwise on iteration order, so there is exactly one.
+    fn rebuild_alive_idx(alive: &[bool], alive_idx: &mut Vec<usize>) {
+        alive_idx.clear();
+        alive_idx.extend((0..alive.len()).filter(|&i| alive[i]));
+    }
+
     /// Rebuilds the alive mask/index and sizes the per-node scratch buffers.
     fn rebuild_alive(&mut self) {
         let n = self.net.node_count();
+        let net = &self.net;
         self.scratch.alive.clear();
-        self.scratch
-            .alive
-            .extend(self.net.nodes().iter().map(|node| node.is_alive()));
-        self.scratch.alive_idx.clear();
-        let alive = &self.scratch.alive;
-        self.scratch.alive_idx.extend((0..n).filter(|&i| alive[i]));
+        self.scratch.alive.extend((0..n).map(|i| net.alive(i)));
+        Self::rebuild_alive_idx(&self.scratch.alive, &mut self.scratch.alive_idx);
         self.scratch.net_w.resize(n, 0.0);
         self.scratch.affected.resize(n, false);
     }
@@ -373,6 +407,48 @@ impl World {
     fn rebuild_scratch(&mut self) {
         self.rebuild_alive();
         self.scratch.load = routing::traffic_load(&self.net, &self.tree, &self.scratch.alive);
+        self.rebuild_shards();
+    }
+
+    /// Rebuilds the spatial shard map: every node (alive or not) is bucketed
+    /// by the same uniform-grid cell the adjacency build hashes on (cell side
+    /// = comm range), cells are ordered lexicographically, and the ordered
+    /// cell list is cut into `shard_count` contiguous blocks of roughly equal
+    /// node count, each sorted ascending. Membership is a pure function of
+    /// positions, comm range and shard count — identical across runs,
+    /// restores and thread counts, which is what makes the sharded advance
+    /// deterministic.
+    fn rebuild_shards(&mut self) {
+        self.scratch.shards.clear();
+        let n = self.net.node_count();
+        if self.shard_count <= 1 || n == 0 {
+            return;
+        }
+        let positions = self.net.positions();
+        let (min_x, min_y) = wrsn_net::graph::grid_origin(positions);
+        let inv_cell = 1.0 / self.net.comm_range();
+        let mut cells: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            cells
+                .entry(wrsn_net::graph::grid_cell(p, min_x, min_y, inv_cell))
+                .or_default()
+                .push(i);
+        }
+        let shard_count = self.shard_count.min(n);
+        let target = n.div_ceil(shard_count);
+        let mut shard: Vec<usize> = Vec::new();
+        for members in cells.into_values() {
+            shard.extend(members);
+            if shard.len() >= target && self.scratch.shards.len() + 1 < shard_count {
+                shard.sort_unstable();
+                self.scratch.shards.push(std::mem::take(&mut shard));
+            }
+        }
+        if !shard.is_empty() {
+            shard.sort_unstable();
+            self.scratch.shards.push(shard);
+        }
     }
 
     /// Recomputes routing/power from scratch after a topology change, updates
@@ -410,7 +486,7 @@ impl World {
         for d in dead.iter() {
             alive[d.0] = false;
         }
-        alive_idx.retain(|&i| alive[i]);
+        Self::rebuild_alive_idx(alive, alive_idx);
 
         let mut affected = std::mem::take(&mut self.scratch.affected);
         let dead = std::mem::take(&mut self.scratch.dead);
@@ -480,8 +556,8 @@ impl World {
         level_j: f64,
     ) -> Result<(), wrsn_net::NetError> {
         let was_alive = self.net.node(node)?.is_alive();
-        self.net.node_mut(node)?.battery_mut().set_level(level_j);
-        let alive_now = self.net.nodes()[node.0].is_alive();
+        self.net.energy_mut().set_level(node.0, level_j);
+        let alive_now = self.net.alive(node.0);
         if !alive_now {
             self.trace.record(self.time_s, SimEvent::NodeDied { node });
         }
@@ -523,12 +599,12 @@ impl World {
     /// Idempotent: rescanning a node whose battery did not change is a no-op
     /// for both the queue and the trace.
     fn scan_request_one(&mut self, nid: NodeId) {
-        let node = &self.net.nodes()[nid.0];
-        if !node.is_alive() {
+        let i = nid.0;
+        if !self.net.alive(i) {
             self.requests.withdraw(nid);
             return;
         }
-        if node.battery().needs_charging() {
+        if self.net.needs_charging(i) {
             // A fault-armed request loss eats the node's next (re-)issue: the
             // broadcast went out but the charger never heard it.
             if !self.requests.contains(nid) {
@@ -541,8 +617,8 @@ impl World {
             let issued = self.requests.issue(ChargeRequest {
                 node: nid,
                 issued_at_s: self.time_s,
-                deficit_j: node.battery().deficit_j(),
-                residual_j: node.battery().level_j(),
+                deficit_j: self.net.capacities_j()[i] - self.net.levels_j()[i],
+                residual_j: self.net.levels_j()[i],
             });
             if issued {
                 self.trace
@@ -579,12 +655,13 @@ impl World {
     /// computation into the apply loop instead.
     fn next_event_horizon(&self) -> f64 {
         let mut t_event = f64::INFINITY;
+        let levels = self.net.levels_j();
+        let warnings = self.net.warnings_j();
         for idx in 0..self.scratch.drain_idx.len() {
             let i = self.scratch.drain_idx[idx];
             let w = self.scratch.net_w[i];
-            let battery = self.net.nodes()[i].battery();
-            let level = battery.level_j();
-            let warning = battery.warning_j();
+            let level = levels[i];
+            let warning = warnings[i];
             t_event = t_event.min(level / w);
             if level > warning {
                 t_event = t_event.min((level - warning) / w);
@@ -687,12 +764,10 @@ impl World {
                 }
             }
             #[cfg(debug_assertions)]
-            let pre_total_j: f64 = self
-                .scratch
-                .alive_idx
-                .iter()
-                .map(|&i| self.net.nodes()[i].battery().level_j())
-                .sum();
+            let pre_total_j: f64 = {
+                let levels = self.net.levels_j();
+                self.scratch.alive_idx.iter().map(|&i| levels[i]).sum()
+            };
             // The horizon for the *next* segment reads exactly the post-step
             // battery levels this loop writes, so it is folded in here: one
             // pass applies the drain, detects deaths and warning crossings,
@@ -700,63 +775,59 @@ impl World {
             // `next_event_horizon` scan (same nodes ascending, same values).
             let mut t_next = f64::INFINITY;
             {
-                let net = &mut self.net;
                 let power_w = &self.power_w;
+                let mut cols = self.net.energy_mut();
                 let Scratch {
+                    alive,
                     alive_idx,
                     net_w,
                     dead,
                     crossed,
+                    shards,
                     ..
                 } = &mut self.scratch;
-                for &i in alive_idx.iter() {
-                    let w = net_w[i];
-                    let nid = NodeId(i);
-                    if w == 0.0 && inject_node != Some(nid) {
-                        // Zero drain, no injection: the battery cannot move.
-                        continue;
+                if shards.is_empty() {
+                    stored += apply_segment(
+                        alive_idx,
+                        None,
+                        &mut cols,
+                        power_w,
+                        net_w,
+                        inject_node,
+                        eff_w,
+                        step,
+                        &mut t_next,
+                        dead,
+                        crossed,
+                    );
+                } else {
+                    // Sharded advance: every per-node update is independent
+                    // of every other node's, so each shard applies the same
+                    // ops to its own members (filtered by the alive mask —
+                    // shards keep dead members, `alive_idx` does not), and
+                    // the cross-shard effect lists are merged back into the
+                    // ascending index order the unsharded loop produces.
+                    // `t_next` is a min-fold (exactly associative) and
+                    // `stored` is only ever contributed by the inject node's
+                    // shard, so the merge is bitwise equal to the fast path
+                    // at any shard count.
+                    for shard in shards.iter() {
+                        stored += apply_segment(
+                            shard,
+                            Some(alive),
+                            &mut cols,
+                            power_w,
+                            net_w,
+                            inject_node,
+                            eff_w,
+                            step,
+                            &mut t_next,
+                            dead,
+                            crossed,
+                        );
                     }
-                    let battery = net.node_mut(nid)?.battery_mut();
-                    let was_low = battery.needs_charging();
-                    if w > 0.0 {
-                        battery.discharge(w * step);
-                        // Snap float residue: if the remaining charge lasts
-                        // under a nanosecond at this drain, the node is dead
-                        // now.
-                        if battery.level_j() <= w * DEATH_EPS {
-                            battery.set_level(0.0);
-                        }
-                        if battery.is_depleted() {
-                            // `alive_idx` ascends, so deaths come out sorted.
-                            // Dead nodes get a full request scan during the
-                            // topology refresh, so none is queued here.
-                            dead.push(nid);
-                        } else {
-                            let level = battery.level_j();
-                            let warning = battery.warning_j();
-                            t_next = t_next.min(level / w);
-                            if level > warning {
-                                t_next = t_next.min((level - warning) / w);
-                            }
-                            if battery.needs_charging() != was_low {
-                                crossed.push(i);
-                            }
-                        }
-                        if inject_node == Some(nid) {
-                            // Net drain positive means no saturation: the
-                            // battery absorbed the full injected inflow.
-                            stored += eff_w * step;
-                        }
-                    } else {
-                        let gained = battery.charge(-w * step);
-                        if battery.needs_charging() != was_low {
-                            crossed.push(i);
-                        }
-                        if inject_node == Some(nid) {
-                            // Saturated batteries absorb less than injected.
-                            stored += gained + power_w[i] * step;
-                        }
-                    }
+                    dead.sort_unstable();
+                    crossed.sort_unstable();
                 }
             }
             self.time_s += step;
@@ -842,8 +913,8 @@ impl World {
                     }
                     // Crashing a node that already died (or crashed) is a
                     // recorded no-op: the plan is generated blind to the run.
-                    if self.net.nodes()[node.0].is_alive() {
-                        self.net.node_mut(node)?.mark_failed();
+                    if self.net.alive(node.0) {
+                        self.net.mark_failed(node)?;
                         self.trace.record(self.time_s, SimEvent::NodeDied { node });
                         self.scratch.dead.push(node);
                         rec.add(Counter::TopologyRefreshes, 1);
@@ -887,13 +958,14 @@ impl World {
     #[cfg(debug_assertions)]
     fn debug_check_energy(&self, pre_total_j: f64, inject_w: f64, step: f64) {
         let mut post_total_j = 0.0;
+        let levels = self.net.levels_j();
+        let caps = self.net.capacities_j();
         for &i in &self.scratch.alive_idx {
-            let battery = self.net.nodes()[i].battery();
-            let level = battery.level_j();
+            let level = levels[i];
             debug_assert!(
-                level >= 0.0 && level <= battery.capacity_j() * (1.0 + 1e-9),
+                level >= 0.0 && level <= caps[i] * (1.0 + 1e-9),
                 "node {i} battery out of range: {level} J of {} J",
-                battery.capacity_j()
+                caps[i]
             );
             post_total_j += level;
         }
@@ -1007,10 +1079,10 @@ impl World {
                 let mut stored = 0.0;
                 let mut remaining = dur;
                 let mut guard = 0usize;
-                while remaining > 1e-9 && self.net.nodes()[node.0].is_alive() {
+                while remaining > 1e-9 && self.net.alive(node.0) {
                     let drain = self.power_w[node.0] - delivered_w;
                     let chunk = if drain > 0.0 {
-                        let ttd = self.net.nodes()[node.0].battery().level_j() / drain;
+                        let ttd = self.net.levels_j()[node.0] / drain;
                         remaining.min(ttd.max(1e-6) + 1e-9)
                     } else {
                         remaining
@@ -1090,11 +1162,14 @@ impl World {
     /// event horizon — is invalidated and rebuilt, so the restored world's
     /// subsequent trajectory is bitwise identical to the uninterrupted one.
     pub fn restore(&mut self, checkpoint: &Checkpoint) {
-        // Supervision attachments survive a restore: a world resuming from
-        // disk keeps writing its periodic checkpoints.
+        // Supervision attachments and execution strategy survive a restore: a
+        // world resuming from disk keeps writing its periodic checkpoints and
+        // keeps its configured shard count (sharding never changes output).
         let ckpt = self.ckpt.take();
+        let shard_count = self.shard_count;
         *self = checkpoint.state.clone();
         self.ckpt = ckpt.map(|c| c.armed_at(self.time_s));
+        self.shard_count = shard_count;
         self.scratch = Scratch::default();
         self.rebuild_scratch();
     }
@@ -1206,6 +1281,84 @@ impl World {
             final_health: metrics::snapshot(&self.net, self.config.sensing_radius_m, 20),
         }
     }
+}
+
+/// Applies one integration segment to the nodes listed in `members`: drains
+/// (or charges, for the injected node) each battery over `step` seconds,
+/// detects deaths and warning-threshold crossings, folds the next event
+/// horizon into `t_next`, and returns the energy stored in `inject_node`'s
+/// battery. The unsharded path passes `alive_idx` with no mask; shards pass
+/// their (static) member lists with the live mask, which filters to exactly
+/// the same node set. Per-node updates touch only that node's column entries,
+/// so any partition of the members applies bitwise-identical updates.
+#[allow(clippy::too_many_arguments)] // the fused loop's full working set
+fn apply_segment(
+    members: &[usize],
+    alive: Option<&[bool]>,
+    cols: &mut wrsn_net::EnergyColumnsMut<'_>,
+    power_w: &[f64],
+    net_w: &[f64],
+    inject_node: Option<NodeId>,
+    eff_w: f64,
+    step: f64,
+    t_next: &mut f64,
+    dead: &mut Vec<NodeId>,
+    crossed: &mut Vec<usize>,
+) -> f64 {
+    let mut stored = 0.0;
+    for &i in members {
+        if let Some(alive) = alive {
+            if !alive[i] {
+                continue;
+            }
+        }
+        let w = net_w[i];
+        let nid = NodeId(i);
+        if w == 0.0 && inject_node != Some(nid) {
+            // Zero drain, no injection: the battery cannot move.
+            continue;
+        }
+        let was_low = cols.needs_charging(i);
+        if w > 0.0 {
+            cols.discharge(i, w * step);
+            // Snap float residue: if the remaining charge lasts under a
+            // nanosecond at this drain, the node is dead now.
+            if cols.level_j[i] <= w * DEATH_EPS {
+                cols.set_level(i, 0.0);
+            }
+            if cols.depleted[i] {
+                // `members` ascends, so deaths come out sorted. Dead nodes
+                // get a full request scan during the topology refresh, so
+                // none is queued here.
+                dead.push(nid);
+            } else {
+                let level = cols.level_j[i];
+                let warning = cols.warning_j[i];
+                *t_next = t_next.min(level / w);
+                if level > warning {
+                    *t_next = t_next.min((level - warning) / w);
+                }
+                if cols.needs_charging(i) != was_low {
+                    crossed.push(i);
+                }
+            }
+            if inject_node == Some(nid) {
+                // Net drain positive means no saturation: the battery
+                // absorbed the full injected inflow.
+                stored += eff_w * step;
+            }
+        } else {
+            let gained = cols.charge(i, -w * step);
+            if cols.needs_charging(i) != was_low {
+                crossed.push(i);
+            }
+            if inject_node == Some(nid) {
+                // Saturated batteries absorb less than injected.
+                stored += gained + power_w[i] * step;
+            }
+        }
+    }
+    stored
 }
 
 /// A frozen copy of a [`World`]'s complete simulation state, taken with
@@ -1341,7 +1494,7 @@ mod tests {
         assert!(s.radiated_j > 0.0);
         assert!(report.charger_energy_used_j > s.radiated_j * 0.99);
         // The charger parked ~1 m from the node.
-        let node_pos = w.network().nodes()[2].position();
+        let node_pos = w.network().positions()[2];
         assert!((s.charger_pos.distance(node_pos) - 1.0).abs() < 1e-6);
     }
 
@@ -1548,7 +1701,7 @@ mod tests {
             kind: FaultKind::NodeFailure { node: NodeId(1) },
         }]));
         w.run(&mut crate::policy::IdlePolicy).expect("run");
-        let node = &w.network().nodes()[1];
+        let node = w.network().node(NodeId(1)).unwrap();
         assert!(node.has_failed());
         assert!(
             node.battery().level_j() > 0.0,

@@ -1,0 +1,199 @@
+//! Spatial sharding is a pure execution strategy: a world advanced with any
+//! shard count must serialize byte-for-byte identically to the unsharded
+//! world — through free-running drains, charging sessions, fault injection,
+//! and mid-run snapshot/restore. The property tests drive randomly sized
+//! worlds through all of those and compare full JSON snapshots (batteries,
+//! clock, trace, requests, fault bookkeeping) across shard counts
+//! {1, 2, 7, 16}.
+
+use proptest::prelude::*;
+use wrsn_net::energy::Battery;
+use wrsn_net::node::SensorNode;
+use wrsn_net::{Network, NodeId, Point, Region};
+use wrsn_sim::fault::{FaultConfig, FaultPlan};
+use wrsn_sim::{
+    ChargeMode, ChargerAction, ChargerPolicy, MobileCharger, World, WorldConfig, WorldView,
+};
+
+/// The shard counts every property is checked across, against the
+/// unsharded (count 1) reference.
+const SHARD_COUNTS: [usize; 3] = [2, 7, 16];
+
+fn build_world(nodes: usize, seed: u64, horizon_s: f64) -> World {
+    // Small batteries so deaths land inside the window.
+    let deployed = wrsn_net::deploy::uniform(&Region::square(60.0), nodes, seed);
+    let nodes: Vec<SensorNode> = deployed
+        .iter()
+        .map(|n| SensorNode::with_battery(n.position(), Battery::new(150.0, 30.0)))
+        .collect();
+    let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+    let charger = MobileCharger::standard(Point::new(30.0, 30.0));
+    World::new(
+        net,
+        charger,
+        WorldConfig {
+            horizon_s,
+            ..WorldConfig::default()
+        },
+    )
+}
+
+fn snapshot_json(world: &World) -> String {
+    serde_json::to_string(world).expect("serialize world")
+}
+
+/// Charges one node honestly for a while, then finishes — exercises the
+/// injection path of the segment loop (the only per-node op the free-running
+/// drain never hits).
+struct ChargeOneThenIdle {
+    node: NodeId,
+    done: bool,
+}
+
+impl ChargerPolicy for ChargeOneThenIdle {
+    fn next_action(&mut self, _view: &WorldView<'_>) -> ChargerAction {
+        if self.done {
+            ChargerAction::Finish
+        } else {
+            self.done = true;
+            ChargerAction::Charge {
+                node: self.node,
+                duration_s: 600.0,
+                mode: ChargeMode::Honest,
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "charge-one"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Free-running advance (drains, deaths, routing repair, request
+    /// issuance) is bitwise identical at every shard count.
+    #[test]
+    fn sharded_advance_matches_unsharded(
+        nodes in 8usize..40,
+        seed in 0u64..1_000,
+        dt in 1_000.0..200_000.0f64,
+    ) {
+        let mut reference = build_world(nodes, seed, 1.0e6);
+        reference.set_shards(1);
+        reference.advance_by(dt).expect("advance");
+        let expected = snapshot_json(&reference);
+        for count in SHARD_COUNTS {
+            let mut sharded = build_world(nodes, seed, 1.0e6);
+            sharded.set_shards(count);
+            sharded.advance_by(dt).expect("advance");
+            prop_assert_eq!(
+                &snapshot_json(&sharded), &expected,
+                "shard count {} diverged from unsharded", count
+            );
+        }
+    }
+
+    /// A charging session (battery injection mid-segment) stays bitwise
+    /// identical at every shard count.
+    #[test]
+    fn sharded_charging_session_matches_unsharded(
+        nodes in 8usize..32,
+        seed in 0u64..1_000,
+        target in 0usize..8,
+    ) {
+        let horizon = 40_000.0;
+        let mut reference = build_world(nodes, seed, horizon);
+        reference.set_shards(1);
+        reference
+            .run(&mut ChargeOneThenIdle { node: NodeId(target), done: false })
+            .expect("run");
+        let expected = snapshot_json(&reference);
+        for count in SHARD_COUNTS {
+            let mut sharded = build_world(nodes, seed, horizon);
+            sharded.set_shards(count);
+            sharded
+                .run(&mut ChargeOneThenIdle { node: NodeId(target), done: false })
+                .expect("run");
+            prop_assert_eq!(
+                &snapshot_json(&sharded), &expected,
+                "shard count {} diverged from unsharded", count
+            );
+        }
+    }
+
+    /// An active fault plan (crashes with routing repair, degradations,
+    /// request losses) does not break shard equivalence.
+    #[test]
+    fn sharded_advance_matches_under_faults(
+        nodes in 8usize..32,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        dt in 10_000.0..200_000.0f64,
+    ) {
+        let cfg = FaultConfig {
+            node_failures: 2,
+            degradations: 1,
+            request_losses: 1,
+            ..FaultConfig::default()
+        };
+        let plan = |n: usize| FaultPlan::generate(fault_seed, n, dt, &cfg);
+        let mut reference = build_world(nodes, seed, 1.0e6);
+        reference.set_shards(1);
+        reference.set_fault_plan(plan(nodes));
+        reference.advance_by(dt).expect("advance");
+        let expected = snapshot_json(&reference);
+        for count in SHARD_COUNTS {
+            let mut sharded = build_world(nodes, seed, 1.0e6);
+            sharded.set_shards(count);
+            sharded.set_fault_plan(plan(nodes));
+            sharded.advance_by(dt).expect("advance");
+            prop_assert_eq!(
+                &snapshot_json(&sharded), &expected,
+                "shard count {} diverged from unsharded under faults", count
+            );
+        }
+    }
+
+    /// Snapshot mid-run in one sharding configuration, restore into a world
+    /// with a *different* shard count, re-advance: still bitwise identical
+    /// to the uninterrupted unsharded run (a restored world keeps its own
+    /// shard count, and sharding never leaks into the snapshot).
+    #[test]
+    fn snapshot_restore_across_shard_counts(
+        nodes in 8usize..32,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        t_snap in 5_000.0..50_000.0f64,
+    ) {
+        let cfg = FaultConfig::uniform(1);
+        let total = 120_000.0;
+        // The reference splits its advance at the same instant the resumed
+        // runs do: a segment boundary at t_snap changes float stepping (two
+        // exact drains instead of one), sharded or not, so only the same
+        // split is comparable bitwise.
+        let mut reference = build_world(nodes, seed, 1.0e6);
+        reference.set_shards(1);
+        reference.set_fault_plan(FaultPlan::generate(fault_seed, nodes, total, &cfg));
+        reference.advance_by(t_snap).expect("advance");
+        reference.advance_by(total - t_snap).expect("advance");
+        let expected = snapshot_json(&reference);
+        for (snap_shards, resume_shards) in [(1, 7), (7, 1), (2, 16)] {
+            let mut donor = build_world(nodes, seed, 1.0e6);
+            donor.set_shards(snap_shards);
+            donor.set_fault_plan(FaultPlan::generate(fault_seed, nodes, total, &cfg));
+            donor.advance_by(t_snap).expect("advance");
+            let checkpoint = donor.snapshot();
+
+            let mut resumed = build_world(4, 0, 1.0);
+            resumed.set_shards(resume_shards);
+            resumed.restore(&checkpoint);
+            prop_assert_eq!(resumed.shards(), resume_shards);
+            resumed.advance_by(total - t_snap).expect("advance");
+            prop_assert_eq!(
+                &snapshot_json(&resumed), &expected,
+                "snapshot at {} shards resumed at {} diverged", snap_shards, resume_shards
+            );
+        }
+    }
+}

@@ -181,7 +181,7 @@ pub fn run_bench_experiment(params: &TestbedParams, horizon_s: f64) -> BenchOutc
             node: id,
             is_key: key_ids.contains(&id),
             honest_delivered_j: honest_delivered,
-            honest_alive: honest_world.network().nodes()[i].is_alive(),
+            honest_alive: honest_world.network().alive(i),
             attack_delivered_j: attack_delivered,
             attack_death_s: attack_world.trace().death_time_of(id),
             flagged: reports.iter().any(|r| r.flagged(id)),

@@ -3,6 +3,11 @@
 # timings as BENCH_<label>.json (single-threaded) and BENCH_<label>_t<N>.json
 # (N worker threads, default: all cores).
 #
+# Each configuration runs TRIALS times (default 3); the kept report is the
+# trial with the median suite wall time, so one noisy neighbour can't skew
+# a checked-in baseline. Set WRSN_BENCH_IDS to bench a different id list
+# (e.g. "all,scale" to append the million-node scaling curve).
+#
 # Usage: scripts/bench.sh [label] [threads]
 #   scripts/bench.sh            -> BENCH_local.json + BENCH_local_t<nproc>.json
 #   scripts/bench.sh pr3        -> BENCH_pr3.json + BENCH_pr3_t<nproc>.json
@@ -12,15 +17,48 @@ cd "$(dirname "$0")/.."
 
 label="${1:-local}"
 threads="${2:-$(nproc)}"
+trials="${TRIALS:-3}"
+ids="${WRSN_BENCH_IDS:-all}"
+
+if [ "$trials" -lt 3 ]; then
+  echo "TRIALS must be >= 3 (got $trials)" >&2
+  exit 1
+fi
 
 echo "== cargo build --release -p wrsn-bench"
 cargo build --release -p wrsn-bench
 
-echo "== exp --id all --threads 1 -> BENCH_${label}.json"
-./target/release/exp --id all --threads 1 --json "BENCH_${label}.json" > /dev/null
+# Runs `exp` $trials times with $1 threads and keeps the trial with the
+# median suite wall time at $2.
+run_median() {
+  local nthreads="$1" out="$2"
+  local tmp walls=()
+  tmp="$(mktemp -d)"
+  for t in $(seq 1 "$trials"); do
+    ./target/release/exp --id "$ids" --threads "$nthreads" \
+      --json "$tmp/trial$t.json" > /dev/null
+    walls+=("$(python3 -c "
+import json, sys
+print(sum(e['wall_s'] for e in json.load(open(sys.argv[1]))['experiments']))
+" "$tmp/trial$t.json")")
+  done
+  local median_trial
+  median_trial="$(python3 -c "
+import sys
+walls = sorted(enumerate(float(w) for w in sys.argv[1:]), key=lambda p: p[1])
+idx, wall = walls[len(walls) // 2]
+print(idx + 1)
+print('   trials:', ' '.join(f'{w:.3f}s' for _, w in walls),
+      f'-> median {wall:.3f}s', file=sys.stderr)
+" "${walls[@]}")"
+  cp "$tmp/trial$median_trial.json" "$out"
+  rm -rf "$tmp"
+}
 
-echo "== exp --id all --threads ${threads} -> BENCH_${label}_t${threads}.json"
-./target/release/exp --id all --threads "${threads}" \
-  --json "BENCH_${label}_t${threads}.json" > /dev/null
+echo "== exp --id $ids --threads 1 x$trials -> BENCH_${label}.json (median)"
+run_median 1 "BENCH_${label}.json"
+
+echo "== exp --id $ids --threads $threads x$trials -> BENCH_${label}_t${threads}.json (median)"
+run_median "$threads" "BENCH_${label}_t${threads}.json"
 
 echo "Wrote BENCH_${label}.json and BENCH_${label}_t${threads}.json"

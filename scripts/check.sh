@@ -16,6 +16,23 @@ cargo test --workspace -q
 echo "== release golden digest (fig9 + fig13 byte-identity)"
 cargo test --release -p wrsn-bench --test golden_exp_digest -q
 
+echo "== release golden digest (scale 10k byte-identity)"
+cargo test --release -p wrsn-bench --test golden_scale_digest -q
+
+echo "== scale-smoke: 10k nodes, shard counts 1 and 8, identical traces"
+# Spatial sharding is a pure execution strategy: the scale experiment's full
+# trace must be byte-identical at any shard count.
+scale_a="$(mktemp)"
+scale_b="$(mktemp)"
+scale_dir="$(mktemp -d)"
+WRSN_SCALE_SIZES=10000 WRSN_SHARDS=1 cargo run -p wrsn-bench --release --bin exp -- \
+  --id scale --out-dir "$scale_dir/s1" --trace "$scale_a" >/dev/null
+WRSN_SCALE_SIZES=10000 WRSN_SHARDS=8 cargo run -p wrsn-bench --release --bin exp -- \
+  --id scale --out-dir "$scale_dir/s8" --trace "$scale_b" >/dev/null
+cmp -s "$scale_a" "$scale_b" \
+  || { echo "scale trace differs between shard counts 1 and 8" >&2; exit 1; }
+rm -rf "$scale_a" "$scale_b" "$scale_dir"
+
 echo "== trace export smoke test"
 trace_file="$(mktemp)"
 trap 'rm -f "$trace_file"' EXIT

@@ -179,9 +179,9 @@ mod tests {
     fn build_is_deterministic_per_seed() {
         let a = Scenario::paper_scale(40, 1).build();
         let b = Scenario::paper_scale(40, 1).build();
-        for (x, y) in a.network().nodes().iter().zip(b.network().nodes()) {
-            assert_eq!(x.position(), y.position());
-            assert_eq!(x.battery().level_j(), y.battery().level_j());
+        for i in 0..a.network().node_count() {
+            assert_eq!(a.network().positions()[i], b.network().positions()[i]);
+            assert_eq!(a.network().levels_j()[i], b.network().levels_j()[i]);
         }
     }
 
@@ -189,8 +189,9 @@ mod tests {
     fn levels_are_inside_the_requested_range() {
         let s = Scenario::paper_scale(50, 7);
         let w = s.build();
-        for n in w.network().nodes() {
-            let frac = n.battery().fraction();
+        let net = w.network();
+        for i in 0..net.node_count() {
+            let frac = net.levels_j()[i] / net.capacities_j()[i];
             assert!(
                 (s.level_range.0 - 1e-9..s.level_range.1 + 1e-9).contains(&frac),
                 "frac = {frac}"

@@ -24,7 +24,7 @@ fn neglect_kills_but_fairness_audit_sees_it() {
 
     let dead = victims
         .iter()
-        .filter(|v| !world.network().nodes()[v.0].is_alive())
+        .filter(|v| !world.network().alive(v.0))
         .count();
     assert!(
         dead as f64 >= 0.8 * victims.len() as f64,

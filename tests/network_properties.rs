@@ -74,7 +74,7 @@ proptest! {
         let generated: f64 = net
             .ids()
             .filter(|&id| tree.is_reachable(id))
-            .map(|id| net.nodes()[id.0].sensing_rate_bps())
+            .map(|id| net.sensing_rates_bps()[id.0])
             .sum();
         let delivered: f64 = net
             .ids()

@@ -27,10 +27,11 @@ fn batteries_never_leave_bounds_under_any_policy() {
     let scenario = Scenario::paper_scale(40, 17);
     for mut policy in policies(&scenario) {
         let world = run(&scenario, policy.as_mut());
-        for node in world.network().nodes() {
-            let level = node.battery().level_j();
+        let net = world.network();
+        for i in 0..net.node_count() {
+            let level = net.levels_j()[i];
             assert!(
-                (0.0..=node.battery().capacity_j() + 1e-9).contains(&level),
+                (0.0..=net.capacities_j()[i] + 1e-9).contains(&level),
                 "{}: level {level} out of bounds",
                 policy.name()
             );
@@ -73,7 +74,7 @@ fn death_events_are_time_ordered_and_unique() {
         assert_eq!(ids.len(), before, "{}: duplicate death", policy.name());
         // Dead nodes really are dead.
         for id in ids {
-            assert!(!world.network().nodes()[id.0].is_alive());
+            assert!(!world.network().alive(id.0));
         }
     }
 }
@@ -124,7 +125,7 @@ fn failure_injection_mid_run_is_survivable() {
         }
         world.run(policy.as_mut()).expect("run");
         for i in (0..40).step_by(5) {
-            assert!(!world.network().nodes()[i].is_alive());
+            assert!(!world.network().alive(i));
         }
     }
 }
@@ -157,8 +158,13 @@ fn world_snapshot_round_trips_through_json() {
     assert_eq!(back.trace().sessions(), world.trace().sessions());
     assert_eq!(back.trace().death_times(), world.trace().death_times());
     assert_eq!(back.network().node_count(), world.network().node_count());
-    for (a, b) in back.network().nodes().iter().zip(world.network().nodes()) {
-        assert_eq!(a.battery().level_j(), b.battery().level_j());
+    for (a, b) in back
+        .network()
+        .levels_j()
+        .iter()
+        .zip(world.network().levels_j())
+    {
+        assert_eq!(a, b);
     }
     // Derived routing state (with its INFINITY distances) survived too.
     for id in back.network().ids() {
