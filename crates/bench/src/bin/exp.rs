@@ -35,11 +35,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::Value;
+use wrsn::sim::store::write_atomic;
 use wrsn_bench::error::BenchError;
 use wrsn_bench::experiments::common::synthetic_instance;
 use wrsn_bench::manifest::{self, ExpStatus, FailKind, Manifest, StoredOutput};
 use wrsn_bench::obs::{self, Counter, Recorder, SpanStats, StatsRecorder};
 use wrsn_bench::parallel::{self, FailureKind};
+use wrsn_bench::service::git_rev;
 
 /// Everything one experiment produced, buffered for in-order printing.
 struct ExpOutput {
@@ -124,7 +126,12 @@ fn emit(output: &ExpOutput, dir: &Path) -> Result<(), BenchError> {
     std::fs::create_dir_all(dir).map_err(|e| BenchError::io("create", dir, &e))?;
     for (name, csv) in &output.csvs {
         let file = dir.join(name);
-        std::fs::write(&file, csv).map_err(|e| BenchError::io("write CSV", &file, &e))?;
+        // Atomic like every other campaign artifact: a crash mid-write must
+        // not leave a torn CSV at the final path.
+        write_atomic(&file, csv.as_bytes()).map_err(|e| BenchError::Manifest {
+            path: file.clone(),
+            detail: e.to_string(),
+        })?;
     }
     eprintln!(
         "[{}] done in {:.1} s; CSVs in {}",
@@ -247,20 +254,6 @@ fn usage() -> String {
         wrsn_bench::ALL_IDS.join(", "),
         wrsn_bench::EXTRA_IDS.join(", ")
     )
-}
-
-/// Short git revision of the working tree, for bench provenance; `unknown`
-/// outside a git checkout or without git on the path.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .filter(|rev| !rev.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Parsed and validated command line.
@@ -608,7 +601,10 @@ fn run_campaign(cli: &Cli) -> Result<ExitCode, BenchError> {
                 stream.push('\n');
             }
         }
-        std::fs::write(path, &stream).map_err(|e| BenchError::io("write trace", path, &e))?;
+        write_atomic(Path::new(path), stream.as_bytes()).map_err(|e| BenchError::Manifest {
+            path: PathBuf::from(path),
+            detail: e.to_string(),
+        })?;
         let records: usize = outputs.iter().map(|o| o.jsonl.len()).sum();
         eprintln!("[trace] {records} records written to {path}");
     }
@@ -627,7 +623,12 @@ fn run_campaign(cli: &Cli) -> Result<ExitCode, BenchError> {
             id: "report".to_string(),
             detail: e.0,
         })?;
-        std::fs::write(path, text + "\n").map_err(|e| BenchError::io("write report", path, &e))?;
+        write_atomic(Path::new(path), (text + "\n").as_bytes()).map_err(|e| {
+            BenchError::Manifest {
+                path: PathBuf::from(path),
+                detail: e.to_string(),
+            }
+        })?;
         eprintln!("[json] timing report written to {path}");
     }
 

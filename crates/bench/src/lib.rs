@@ -17,6 +17,7 @@
 pub mod error;
 pub mod experiments;
 pub mod manifest;
+pub mod service;
 pub mod stats;
 pub mod table;
 

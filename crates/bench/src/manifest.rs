@@ -365,4 +365,74 @@ mod tests {
         assert!(err.to_string().contains("digest"));
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    #[test]
+    fn truncated_artifacts_are_rejected_at_every_cut_point() {
+        // The crash signature atomic writes exist to prevent: a prefix of
+        // the real bytes at the final path (power loss mid-write on a
+        // filesystem that still tore it, a partial copy, …). Every proper
+        // prefix must fail the digest check — never load as a shorter-but-
+        // plausible artifact.
+        let dir = temp_dir("truncate");
+        let output = StoredOutput {
+            id: "fig2".to_string(),
+            wall_s: 0.5,
+            rendered: vec!["## fig2".to_string()],
+            csvs: vec![("fig2_0.csv".to_string(), "a\n1\n".to_string())],
+            jsonl: Vec::new(),
+            counters: Vec::new(),
+        };
+        let digest = save_artifact(&dir, &output).expect("save");
+        let path = artifact_path(&dir, "fig2");
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = load_artifact(&dir, "fig2", &digest).unwrap_err();
+            assert!(
+                matches!(err, BenchError::Manifest { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        // The intact bytes still load.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(load_artifact(&dir, "fig2", &digest).unwrap(), output);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saves_and_artifacts_leave_no_temp_droppings() {
+        // write_atomic's temp files must never be visible after a
+        // successful save — resume scans the out-dir and a stray
+        // `.manifest.json.tmp.<pid>` would be one crash away from shadowing
+        // real state.
+        let dir = temp_dir("tmpfiles");
+        let m = Manifest::new("run-1".to_string(), &["fig2"], 1, false, None);
+        m.save(&dir).expect("save");
+        let output = StoredOutput {
+            id: "fig2".to_string(),
+            wall_s: 0.1,
+            rendered: Vec::new(),
+            csvs: Vec::new(),
+            jsonl: Vec::new(),
+            counters: Vec::new(),
+        };
+        save_artifact(&dir, &output).expect("save artifact");
+        let mut walk = vec![dir.clone()];
+        while let Some(d) = walk.pop() {
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let entry = entry.unwrap();
+                if entry.file_type().unwrap().is_dir() {
+                    walk.push(entry.path());
+                    continue;
+                }
+                let name = entry.file_name();
+                assert!(
+                    !name.to_string_lossy().contains(".tmp"),
+                    "stray temp file {:?}",
+                    entry.path()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

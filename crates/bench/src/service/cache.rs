@@ -1,0 +1,254 @@
+//! The daemon's content-addressed result store.
+//!
+//! One file per request digest, `<dir>/<digest>.out.json`, holding a header
+//! line and the canonical result bytes:
+//!
+//! ```text
+//! WRSNSVC v1 req=<digest 16 hex> len=<result bytes> fnv=<result FNV-1a 64, 16 hex>
+//! <result JSON>
+//! ```
+//!
+//! A lookup replays the stored bytes **verbatim** — the daemon's dedupe
+//! guarantee is that a cache hit is byte-identical to the miss that produced
+//! it. The header makes corruption detectable instead of believable: the
+//! `req` digest catches a file renamed or hard-linked onto the wrong key,
+//! `len` catches truncation (the failure mode of a non-atomic write cut off
+//! by SIGKILL), and `fnv` catches bit rot inside the body. Anything that
+//! fails validation is reported as [`CacheLookup::Rejected`] and recomputed —
+//! never served.
+//!
+//! Writes go through [`store::write_atomic`] (same-directory temp file +
+//! fsync + rename), so a daemon killed mid-write leaves either the old entry
+//! or the new one, never a torn file at the final path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wrsn::sim::store;
+
+/// Magic + version prefix of every cache entry header.
+pub const HEADER_MAGIC: &str = "WRSNSVC v1";
+
+/// The outcome of a cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Entry present and validated; the stored canonical result bytes.
+    Hit(String),
+    /// No entry for this digest.
+    Miss,
+    /// An entry exists but failed validation (reason inside). The caller
+    /// recomputes and overwrites it.
+    Rejected(String),
+}
+
+/// A directory of digest-keyed result artifacts.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the directory cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The entry path for a request digest.
+    pub fn entry_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.out.json"))
+    }
+
+    /// Looks up `digest`, validating the entry end to end.
+    pub fn lookup(&self, digest: &str) -> CacheLookup {
+        let path = self.entry_path(digest);
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(e) => return CacheLookup::Rejected(format!("read {}: {e}", path.display())),
+        };
+        match validate(digest, &raw) {
+            Ok(result) => CacheLookup::Hit(result),
+            Err(reason) => CacheLookup::Rejected(reason),
+        }
+    }
+
+    /// Stores `result` (canonical bytes) under `digest`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// A [`store::StoreError`] if the temp-file write or rename fails.
+    pub fn save(&self, digest: &str, result: &str) -> Result<(), store::StoreError> {
+        let body = format!(
+            "{HEADER_MAGIC} req={digest} len={} fnv={:016x}\n{result}",
+            result.len(),
+            store::fnv1a64(result.as_bytes())
+        );
+        store::write_atomic(&self.entry_path(digest), body.as_bytes())
+    }
+}
+
+/// Validates a raw cache entry against its expected request digest and
+/// returns the embedded result bytes.
+fn validate(digest: &str, raw: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "entry is not UTF-8".to_string())?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or("entry has no header/body separator (truncated?)")?;
+    let mut fields = header.split(' ');
+    let magic = (fields.next(), fields.next());
+    if magic != (Some("WRSNSVC"), Some("v1")) {
+        return Err(format!("bad header magic `{header}`"));
+    }
+    let mut req = None;
+    let mut len = None;
+    let mut fnv = None;
+    for field in fields {
+        match field.split_once('=') {
+            Some(("req", v)) => req = Some(v.to_string()),
+            Some(("len", v)) => {
+                len = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad len field `{v}`"))?,
+                )
+            }
+            Some(("fnv", v)) => {
+                fnv = Some(u64::from_str_radix(v, 16).map_err(|_| format!("bad fnv field `{v}`"))?)
+            }
+            _ => return Err(format!("unknown header field `{field}`")),
+        }
+    }
+    let req = req.ok_or("header missing req=")?;
+    let len = len.ok_or("header missing len=")?;
+    let fnv = fnv.ok_or("header missing fnv=")?;
+    if req != digest {
+        return Err(format!("entry is for digest {req}, expected {digest}"));
+    }
+    if body.len() != len {
+        return Err(format!(
+            "body is {} bytes, header says {len} (truncated or padded)",
+            body.len()
+        ));
+    }
+    let got = store::fnv1a64(body.as_bytes());
+    if got != fnv {
+        return Err(format!("body digest {got:016x} != header {fnv:016x}"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wrsn-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_lookup_replays_exact_bytes() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let digest = "00112233deadbeef";
+        let result = r#"{"scenario":{"nodes":40},"report":{"x":1.25}}"#;
+        assert_eq!(cache.lookup(digest), CacheLookup::Miss);
+        cache.save(digest, result).unwrap();
+        assert_eq!(cache.lookup(digest), CacheLookup::Hit(result.to_string()));
+        // Overwrite is idempotent and still atomic.
+        cache.save(digest, result).unwrap();
+        assert_eq!(cache.lookup(digest), CacheLookup::Hit(result.to_string()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_rejected_never_served() {
+        // The SIGKILL-mid-write failure mode: a prefix of a valid entry. No
+        // prefix may validate — a hit must mean the full original bytes.
+        let dir = temp_dir("truncate");
+        let cache = ResultCache::open(&dir).unwrap();
+        let digest = "feedface01234567";
+        let result = r#"{"exp":"fig2","rendered":["table"]}"#;
+        cache.save(digest, result).unwrap();
+        let path = cache.entry_path(digest);
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            match cache.lookup(digest) {
+                CacheLookup::Rejected(_) => {}
+                other => panic!("prefix of {cut} bytes validated as {other:?}"),
+            }
+        }
+        // Restoring the full bytes validates again.
+        fs::write(&path, &full).unwrap();
+        assert_eq!(cache.lookup(digest), CacheLookup::Hit(result.to_string()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let dir = temp_dir("bitflip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let digest = "0123456789abcdef";
+        let result = r#"{"v":[1,2,3]}"#;
+        cache.save(digest, result).unwrap();
+        let path = cache.entry_path(digest);
+        let full = fs::read(&path).unwrap();
+        for pos in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[pos] ^= 0x01;
+            fs::write(&path, &corrupt).unwrap();
+            match cache.lookup(digest) {
+                CacheLookup::Rejected(_) => {}
+                other => panic!("flip at byte {pos} validated as {other:?}"),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_entry_filed_under_the_wrong_digest_is_rejected() {
+        let dir = temp_dir("wrongkey");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.save("aaaaaaaaaaaaaaaa", "{}").unwrap();
+        fs::rename(
+            cache.entry_path("aaaaaaaaaaaaaaaa"),
+            cache.entry_path("bbbbbbbbbbbbbbbb"),
+        )
+        .unwrap();
+        match cache.lookup("bbbbbbbbbbbbbbbb") {
+            CacheLookup::Rejected(reason) => assert!(reason.contains("aaaaaaaaaaaaaaaa")),
+            other => panic!("mis-filed entry validated as {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saves_leave_no_temp_droppings() {
+        let dir = temp_dir("tmpfiles");
+        let cache = ResultCache::open(&dir).unwrap();
+        for k in 0..8 {
+            cache.save(&format!("{k:016x}"), "{\"k\":1}").unwrap();
+        }
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy();
+            assert!(
+                name.ends_with(".out.json") && !name.contains(".tmp"),
+                "unexpected file {name}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

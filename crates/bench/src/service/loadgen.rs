@@ -1,0 +1,472 @@
+//! The synthetic load generator behind `wrsnd load` and `BENCH_pr7.json`.
+//!
+//! Opens `conns` TCP connections to a running daemon and drives `requests`
+//! scenario requests through them, pipelined (every connection keeps its
+//! requests in flight without waiting for earlier responses). The request
+//! mix is deterministic in `seed`: node counts drawn from a mixed-size
+//! palette and a configurable fraction of *duplicates* — requests whose
+//! canonical payload (and hence digest) repeats — to exercise the dedupe
+//! path the way a real campaign with overlapping sweeps would.
+//!
+//! Besides throughput/latency it **verifies** the daemon's contract and
+//! fails loudly (nonzero exit from the CLI) when it is violated:
+//!
+//! - every request is answered exactly once, with `status: ok`;
+//! - responses sharing a digest carry byte-identical `result` values,
+//!   whatever mix of `miss`/`hit`/`coalesced` served them;
+//! - with `--verify-exp <id>`, the daemon's result for that experiment must
+//!   match this process's own in-process computation byte for byte — the
+//!   daemon path and the `exp` single-shot path cannot drift apart.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+use wrsn::sim::store;
+
+use super::request::{self, DeploymentKind, ParsedResponse, Payload, ScenarioSpec};
+use crate::error::BenchError;
+
+/// Node-count palette for the mixed-size request stream.
+const NODE_SIZES: &[usize] = &[10, 20, 40, 80];
+
+/// Scenario horizon used by generated requests — short enough that a single
+/// request is milliseconds of compute, so the benchmark measures the
+/// *service*, not one giant simulation.
+const LOAD_HORIZON_S: f64 = 5_000.0;
+
+/// Load-run configuration (assembled by the `wrsnd load` CLI).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub connect: String,
+    /// Total work requests to send.
+    pub requests: usize,
+    /// Concurrent connections to spread them over.
+    pub conns: usize,
+    /// Fraction of requests that repeat an earlier digest (`0.0..=1.0`).
+    pub dup_frac: f64,
+    /// Per-request deadline sent with every request, seconds.
+    pub deadline_s: f64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Also send this experiment id and compare against an in-process run.
+    pub verify_exp: Option<String>,
+    /// Write the JSON report here (atomically) when set.
+    pub json_path: Option<std::path::PathBuf>,
+    /// Send `{"op":"shutdown"}` after the run completes.
+    pub shutdown: bool,
+}
+
+/// What a completed load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// `ok` responses.
+    pub ok: usize,
+    /// Responses by cache path: `(miss, hit, coalesced)`.
+    pub cache_paths: (usize, usize, usize),
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Sustained throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Per-request latency samples, milliseconds.
+    pub latency_ms: Vec<f64>,
+    /// Contract violations (empty for a passing run).
+    pub violations: Vec<String>,
+}
+
+impl LoadReport {
+    /// The JSON report body (`BENCH_pr7.json` schema).
+    pub fn to_value(&self, config: &LoadConfig) -> Value {
+        let opt = |x: Option<f64>| x.map(Value::F64).unwrap_or(Value::Null);
+        let lat = &self.latency_ms;
+        Value::Map(vec![
+            ("bench".to_string(), Value::Str("wrsnd-loadgen".to_string())),
+            ("requests".to_string(), Value::U64(self.sent as u64)),
+            ("conns".to_string(), Value::U64(config.conns as u64)),
+            ("dup_frac".to_string(), Value::F64(config.dup_frac)),
+            ("seed".to_string(), Value::U64(config.seed)),
+            (
+                "node_sizes".to_string(),
+                Value::Seq(NODE_SIZES.iter().map(|&n| Value::U64(n as u64)).collect()),
+            ),
+            ("ok".to_string(), Value::U64(self.ok as u64)),
+            (
+                "cache".to_string(),
+                Value::Map(vec![
+                    ("miss".to_string(), Value::U64(self.cache_paths.0 as u64)),
+                    ("hit".to_string(), Value::U64(self.cache_paths.1 as u64)),
+                    (
+                        "coalesced".to_string(),
+                        Value::U64(self.cache_paths.2 as u64),
+                    ),
+                ]),
+            ),
+            ("wall_s".to_string(), Value::F64(self.wall_s)),
+            (
+                "throughput_rps".to_string(),
+                Value::F64(self.throughput_rps),
+            ),
+            (
+                "latency_ms".to_string(),
+                Value::Map(vec![
+                    ("mean".to_string(), Value::F64(crate::stats::mean(lat))),
+                    ("p50".to_string(), opt(crate::stats::p50(lat))),
+                    ("p99".to_string(), opt(crate::stats::p99(lat))),
+                    ("max".to_string(), opt(crate::stats::max(lat))),
+                ]),
+            ),
+            (
+                "violations".to_string(),
+                Value::Seq(
+                    self.violations
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The deterministic request stream: `(request line, payload digest)` pairs.
+///
+/// A pool of `ceil(requests * (1 - dup_frac))` unique scenarios is generated
+/// first; the stream then samples from it so that roughly `dup_frac` of
+/// requests repeat an earlier digest, interleaved across connections.
+pub fn request_stream(config: &LoadConfig) -> Vec<(String, String)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x6c6f_6164);
+    let dup_frac = config.dup_frac.clamp(0.0, 1.0);
+    let unique = ((config.requests as f64 * (1.0 - dup_frac)).ceil() as usize)
+        .clamp(1, config.requests.max(1));
+    let pool: Vec<ScenarioSpec> = (0..unique)
+        .map(|k| ScenarioSpec {
+            nodes: NODE_SIZES[rng.gen_range(0..NODE_SIZES.len())],
+            seed: k as u64, // distinct seeds keep pool entries distinct
+            horizon_s: LOAD_HORIZON_S,
+            deployment: DeploymentKind::Uniform,
+        })
+        .collect();
+    (0..config.requests)
+        .map(|k| {
+            // First pass covers the pool in order (every unique scenario is
+            // computed at least once); the tail re-samples — duplicates.
+            let spec = if k < pool.len() {
+                &pool[k]
+            } else {
+                &pool[rng.gen_range(0..pool.len())]
+            };
+            let payload = Payload::Scenario(spec.clone());
+            let line = format!(
+                "{{\"id\":\"q{k}\",\"scenario\":{{\"nodes\":{},\"seed\":{},\"horizon_s\":{}}},\
+                 \"deadline_s\":{}}}",
+                spec.nodes, spec.seed, spec.horizon_s, config.deadline_s
+            );
+            (line, payload.digest())
+        })
+        .collect()
+}
+
+struct ConnOutcome {
+    responses: Vec<(ParsedResponse, f64)>,
+    error: Option<String>,
+}
+
+/// Runs the load, returning the measured report.
+///
+/// # Errors
+///
+/// [`BenchError::Io`] when the daemon cannot be reached at all; protocol
+/// violations are collected in [`LoadReport::violations`] instead so one
+/// bad response does not mask the rest of the run.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
+    let addr_path = std::path::Path::new(&config.connect);
+    let stream_plan = request_stream(config);
+    let conns = config.conns.clamp(1, stream_plan.len().max(1));
+
+    let mut expected: HashMap<String, String> = HashMap::new(); // id → digest
+    for (line, digest) in &stream_plan {
+        // ids are q<k>, embedded in the line we built above.
+        let id = line
+            .split('"')
+            .nth(3)
+            .expect("generated line has an id")
+            .to_string();
+        expected.insert(id, digest.clone());
+    }
+
+    let started = Instant::now();
+    let (result_tx, result_rx) = mpsc::channel::<ConnOutcome>();
+    let mut handles = Vec::new();
+    for conn_id in 0..conns {
+        // Round-robin the stream across connections.
+        let lines: Vec<String> = stream_plan
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % conns == conn_id)
+            .map(|(_, (line, _))| line.clone())
+            .collect();
+        let connect = config.connect.clone();
+        let verify_line = if conn_id == 0 {
+            config
+                .verify_exp
+                .as_ref()
+                .map(|id| format!("{{\"id\":\"verify\",\"exp\":\"{id}\"}}"))
+        } else {
+            None
+        };
+        let tx = result_tx.clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("loadgen-conn-{conn_id}"))
+                .spawn(move || {
+                    let outcome = drive_connection(&connect, &lines, verify_line.as_deref());
+                    let _ = tx.send(outcome);
+                })
+                .map_err(|e| {
+                    BenchError::io(
+                        "spawn load connection",
+                        std::path::Path::new("loadgen"),
+                        &std::io::Error::other(e.to_string()),
+                    )
+                })?,
+        );
+    }
+    drop(result_tx);
+
+    let mut responses: Vec<(ParsedResponse, f64)> = Vec::new();
+    let mut violations = Vec::new();
+    while let Ok(outcome) = result_rx.recv() {
+        if let Some(error) = outcome.error {
+            violations.push(error);
+        }
+        responses.extend(outcome.responses);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    if responses.is_empty() && !violations.is_empty() {
+        // Nothing came back at all — surface connectivity as a hard error.
+        return Err(BenchError::io(
+            "drive load against daemon",
+            addr_path,
+            &std::io::Error::other(violations.join("; ")),
+        ));
+    }
+
+    // --- Contract checks -------------------------------------------------
+    let mut by_digest: HashMap<String, String> = HashMap::new(); // digest → result bytes
+    let mut verify_result: Option<String> = None;
+    let mut seen_ids: HashMap<String, u64> = HashMap::new();
+    let mut ok = 0usize;
+    let mut cache_paths = (0usize, 0usize, 0usize);
+    let mut latency_ms = Vec::new();
+    for (response, latency) in &responses {
+        *seen_ids.entry(response.id.clone()).or_default() += 1;
+        if response.id == "verify" {
+            if response.status == "ok" {
+                verify_result = response.result_canonical.clone();
+            } else {
+                violations.push(format!(
+                    "verify request failed: {}",
+                    response.error.clone().unwrap_or_default()
+                ));
+            }
+            continue;
+        }
+        if response.status != "ok" {
+            violations.push(format!(
+                "{}: status {} ({})",
+                response.id,
+                response.status,
+                response.error.clone().unwrap_or_default()
+            ));
+            continue;
+        }
+        ok += 1;
+        latency_ms.push(*latency);
+        match response.cache.as_deref() {
+            Some("miss") => cache_paths.0 += 1,
+            Some("hit") => cache_paths.1 += 1,
+            Some("coalesced") => cache_paths.2 += 1,
+            other => violations.push(format!("{}: bad cache tag {other:?}", response.id)),
+        }
+        let (Some(digest), Some(result)) = (&response.digest, &response.result_canonical) else {
+            violations.push(format!(
+                "{}: ok response missing digest/result",
+                response.id
+            ));
+            continue;
+        };
+        if let Some(want) = expected.get(&response.id) {
+            if want != digest {
+                violations.push(format!(
+                    "{}: digest {digest} != expected {want}",
+                    response.id
+                ));
+            }
+        }
+        match by_digest.get(digest) {
+            None => {
+                by_digest.insert(digest.clone(), result.clone());
+            }
+            Some(first) if first != result => violations.push(format!(
+                "{}: duplicate digest {digest} served different bytes",
+                response.id
+            )),
+            Some(_) => {}
+        }
+    }
+    for (id, digest) in &expected {
+        match seen_ids.get(id) {
+            Some(1) => {}
+            Some(n) => violations.push(format!("{id}: answered {n} times")),
+            None => violations.push(format!("{id}: never answered (digest {digest})")),
+        }
+    }
+    if let Some(exp_id) = &config.verify_exp {
+        match verify_result {
+            None => violations.push(format!("verify-exp {exp_id}: no ok response")),
+            Some(daemon_bytes) => {
+                let local = request::execute(&Payload::Exp(exp_id.clone())).map_err(|e| {
+                    BenchError::InvalidFlag {
+                        flag: "--verify-exp",
+                        detail: format!("local run of {exp_id} failed: {e:?}"),
+                    }
+                })?;
+                if local != daemon_bytes {
+                    violations.push(format!(
+                        "verify-exp {exp_id}: daemon bytes (fnv {:016x}) != local bytes (fnv {:016x})",
+                        store::fnv1a64(daemon_bytes.as_bytes()),
+                        store::fnv1a64(local.as_bytes())
+                    ));
+                }
+            }
+        }
+    }
+
+    let report = LoadReport {
+        sent: stream_plan.len(),
+        ok,
+        cache_paths,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            stream_plan.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency_ms,
+        violations,
+    };
+    if let Some(path) = &config.json_path {
+        let text = serde_json::to_string(&report.to_value(config))
+            .expect("report has no non-finite floats");
+        store::write_atomic(path, format!("{text}\n").as_bytes()).map_err(|e| {
+            BenchError::Manifest {
+                path: path.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+    }
+    Ok(report)
+}
+
+/// Sends `lines` down one connection, pipelined, and collects the responses
+/// with per-request latency (send → response arrival).
+fn drive_connection(connect: &str, lines: &[String], verify_line: Option<&str>) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        responses: Vec::new(),
+        error: None,
+    };
+    let stream = match TcpStream::connect(connect) {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.error = Some(format!("connect {connect}: {e}"));
+            return outcome;
+        }
+    };
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.error = Some(format!("clone {connect}: {e}"));
+            return outcome;
+        }
+    };
+    let expected = lines.len() + usize::from(verify_line.is_some());
+    let reader = thread::spawn(move || {
+        let mut collected = Vec::new();
+        let reader = BufReader::new(read_half);
+        for line in reader.lines() {
+            let arrived = Instant::now();
+            match line {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => match request::parse_response(&line) {
+                    Ok(parsed) => collected.push((parsed, arrived)),
+                    Err(e) => {
+                        collected.push((
+                            ParsedResponse {
+                                id: String::new(),
+                                status: format!("unparseable: {e}"),
+                                digest: None,
+                                cache: None,
+                                error: Some(line),
+                                result_canonical: None,
+                            },
+                            arrived,
+                        ));
+                    }
+                },
+                Err(_) => break,
+            }
+            if collected.len() >= expected {
+                break;
+            }
+        }
+        collected
+    });
+
+    let mut sent_at: HashMap<String, Instant> = HashMap::new();
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut write_error = None;
+    for line in lines.iter().map(String::as_str).chain(verify_line) {
+        let id = line.split('"').nth(3).unwrap_or("").to_string();
+        sent_at.insert(id, Instant::now());
+        if let Err(e) = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+        {
+            write_error = Some(format!("send to {connect}: {e}"));
+            break;
+        }
+    }
+    if write_error.is_none() {
+        if let Err(e) = writer.flush() {
+            write_error = Some(format!("flush to {connect}: {e}"));
+        }
+    }
+    outcome.error = write_error;
+    match reader.join() {
+        Ok(collected) => {
+            for (response, arrived) in collected {
+                let latency = sent_at
+                    .get(&response.id)
+                    .map(|sent| arrived.duration_since(*sent).as_secs_f64() * 1e3)
+                    .unwrap_or(0.0);
+                outcome.responses.push((response, latency));
+            }
+        }
+        Err(_) => {
+            outcome.error = Some("reader thread panicked".to_string());
+        }
+    }
+    outcome
+}

@@ -1,0 +1,43 @@
+//! `wrsnd` — the long-running campaign service.
+//!
+//! The single-shot `exp` binary pays process startup, thread-pool spin-up
+//! and cache-cold simulation state for every invocation; sweeping a
+//! parameter grid that way is thousands of process launches. `wrsnd` keeps
+//! one process resident and serves *scenario requests* over newline-
+//! delimited JSON (TCP or stdin), with:
+//!
+//! - a bounded worker pool with per-request wall-clock **deadlines**,
+//!   enforced through the engine's cooperative cancellation
+//!   ([`wrsn::sim::cancel`]) by a watchdog thread;
+//! - **dedupe by content digest**: requests are canonicalised and FNV-hashed;
+//!   a digest seen before is replayed byte-identically from the
+//!   content-addressed artifact store, and concurrent duplicates coalesce
+//!   behind a single computation (single-flight);
+//! - **crash safety**: every artifact is written via same-directory
+//!   temp-file + fsync + rename and validated (magic, length, checksum)
+//!   before it is ever served, so a SIGKILL mid-write costs at most a
+//!   recompute, never a wrong answer.
+//!
+//! Module map: [`request`] (wire schema + payload execution), [`cache`]
+//! (the artifact store), [`scheduler`] (worker pool), [`server`] (TCP/stdin
+//! frontends), [`loadgen`] (the benchmark driver behind `BENCH_pr7.json`).
+
+pub mod cache;
+pub mod loadgen;
+pub mod request;
+pub mod scheduler;
+pub mod server;
+
+/// Short git revision of the working tree, for provenance stamps in bench
+/// reports; `unknown` outside a git checkout or without git on the path.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -1,0 +1,735 @@
+//! The `wrsnd` wire schema: newline-delimited JSON requests and responses.
+//!
+//! One request per line. A *work* request names either a paper experiment or
+//! a parameterised synthetic scenario:
+//!
+//! ```text
+//! {"id":"q1","exp":"fig2"}
+//! {"id":"q2","scenario":{"nodes":40,"seed":7,"horizon_s":20000},"deadline_s":30}
+//! ```
+//!
+//! A *control* request carries an `op` instead: `{"op":"ping"}`,
+//! `{"op":"stats"}`, `{"op":"shutdown"}`.
+//!
+//! Responses are one JSON object per line, streamed back in **completion
+//! order** (clients correlate by `id`):
+//!
+//! ```text
+//! {"v":1,"id":"q2","status":"ok","digest":"<16 hex>","cache":"miss","wall_ms":3.1,"result":{...}}
+//! {"v":1,"id":"q9","status":"timeout","error":"..."}
+//! {"v":1,"id":"q3","status":"error","error":"..."}
+//! ```
+//!
+//! The `result` object is the **deterministic** part of a response: for a
+//! given payload its bytes are identical across runs, daemons, and
+//! cache-hit/miss paths, so it is what the content-addressed artifact store
+//! persists and what duplicate-detection compares. `wall_ms` and `cache`
+//! live in the envelope, outside the digested bytes. `digest` is the
+//! FNV-1a 64 hash of the payload's *canonical form* (defaults filled in,
+//! fields in fixed order) — the cache key two textually different but
+//! semantically identical requests share.
+
+use serde::Value;
+use wrsn::scenario::{Deployment, Scenario};
+use wrsn::sim::store;
+use wrsn::sim::SimError;
+
+/// Response envelope version, bumped on incompatible wire changes.
+pub const RESPONSE_VERSION: u64 = 1;
+
+/// Largest accepted scenario size (the SoA engine handles 10⁶ nodes, but a
+/// shared daemon should not let one request monopolise it for minutes).
+pub const MAX_NODES: usize = 200_000;
+
+/// Scenario horizon when the request omits `horizon_s`, seconds.
+pub const DEFAULT_HORIZON_S: f64 = 50_000.0;
+
+/// Largest accepted scenario horizon, seconds.
+pub const MAX_HORIZON_S: f64 = 1.0e9;
+
+/// How scenario nodes are laid out (mirrors [`Deployment`] minus parameters,
+/// so the wire form stays a plain string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentKind {
+    /// Uniform random over the field (the default).
+    Uniform,
+    /// Two clusters joined by a thin bridge.
+    Corridor,
+    /// Four Gaussian clusters, σ = 15 m.
+    Clustered,
+}
+
+impl DeploymentKind {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeploymentKind::Uniform => "uniform",
+            DeploymentKind::Corridor => "corridor",
+            DeploymentKind::Clustered => "clustered",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "uniform" => Some(DeploymentKind::Uniform),
+            "corridor" => Some(DeploymentKind::Corridor),
+            "clustered" => Some(DeploymentKind::Clustered),
+            _ => None,
+        }
+    }
+}
+
+/// A validated synthetic-scenario request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Sensor node count (`2..=`[`MAX_NODES`]).
+    pub nodes: usize,
+    /// Deployment / battery-level RNG seed.
+    pub seed: u64,
+    /// Simulation horizon, seconds.
+    pub horizon_s: f64,
+    /// Node layout.
+    pub deployment: DeploymentKind,
+}
+
+impl ScenarioSpec {
+    /// The canonical inner JSON value (defaults filled, fixed field order) —
+    /// the bytes the request digest is computed over.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("nodes".to_string(), Value::U64(self.nodes as u64)),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("horizon_s".to_string(), Value::F64(self.horizon_s)),
+            (
+                "deployment".to_string(),
+                Value::Str(self.deployment.name().to_string()),
+            ),
+        ])
+    }
+
+    /// The equivalent experiment-world builder.
+    pub fn scenario(&self) -> Scenario {
+        let mut scenario = Scenario::paper_scale(self.nodes, self.seed);
+        scenario.horizon_s = self.horizon_s;
+        match self.deployment {
+            DeploymentKind::Uniform => {}
+            DeploymentKind::Corridor => scenario.deployment = Deployment::Corridor,
+            DeploymentKind::Clustered => {
+                scenario.deployment = Deployment::Clustered {
+                    count: 4,
+                    sigma: 15.0,
+                }
+            }
+        }
+        scenario
+    }
+}
+
+/// What a work request asks the daemon to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A full paper experiment by id (`exp --id <id>` equivalent, unobserved).
+    Exp(String),
+    /// A parameterised synthetic CSA campaign.
+    Scenario(ScenarioSpec),
+    /// Test-only payloads for exercising the scheduler in-process.
+    #[cfg(test)]
+    Test(TestOp),
+}
+
+/// Test-only payload behaviours (see [`Payload::Test`]).
+#[cfg(test)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestOp {
+    /// Returns `{"echo":<tag>}` after `sleep_ms`.
+    Echo {
+        /// Distinguishes digests.
+        tag: u64,
+        /// Simulated compute time.
+        sleep_ms: u64,
+    },
+    /// Panics (a poisoned work item).
+    Panic,
+    /// Spins on the thread's cancellation token, like a hung engine segment.
+    Hang,
+}
+
+impl Payload {
+    /// The canonical JSON form the request digest is computed over. Two
+    /// requests with the same canonical form are the same work, whatever
+    /// their `id`, `deadline_s`, field order, or omitted defaults.
+    pub fn canonical(&self) -> String {
+        let value = match self {
+            Payload::Exp(id) => Value::Map(vec![("exp".to_string(), Value::Str(id.clone()))]),
+            Payload::Scenario(spec) => Value::Map(vec![("scenario".to_string(), spec.to_value())]),
+            #[cfg(test)]
+            Payload::Test(op) => {
+                let name = match op {
+                    TestOp::Echo { tag, .. } => format!("echo-{tag}"),
+                    TestOp::Panic => "panic".to_string(),
+                    TestOp::Hang => "hang".to_string(),
+                };
+                Value::Map(vec![("test".to_string(), Value::Str(name))])
+            }
+        };
+        serde_json::to_string(&value).expect("canonical payload has no non-finite floats")
+    }
+
+    /// FNV-1a 64 digest (16 hex digits) of the canonical form — the
+    /// content-address the cache and dedupe layers key on.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", store::fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// Daemon-side control operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Liveness probe; answered inline.
+    Ping,
+    /// Service counter snapshot; answered inline.
+    Stats,
+    /// Graceful drain-and-exit.
+    Shutdown,
+}
+
+impl ControlOp {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlOp::Ping => "ping",
+            ControlOp::Stats => "stats",
+            ControlOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id (`r<seq>` when the request omitted one).
+    pub id: String,
+    /// Per-request wall-clock deadline, seconds (overrides the server
+    /// default when present).
+    pub deadline_s: Option<f64>,
+    /// What the request asks for.
+    pub kind: RequestKind,
+}
+
+/// Work vs. control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Schedulable compute.
+    Work(Payload),
+    /// Inline control operation.
+    Control(ControlOp),
+}
+
+fn field_str(value: &Value, field: &str) -> Result<String, String> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("`{field}` must be a string, got {}", other.kind())),
+    }
+}
+
+fn field_f64(value: &Value, field: &str) -> Result<f64, String> {
+    match value {
+        Value::U64(u) => Ok(*u as f64),
+        Value::I64(i) => Ok(*i as f64),
+        Value::F64(x) => Ok(*x),
+        other => Err(format!("`{field}` must be a number, got {}", other.kind())),
+    }
+}
+
+fn field_u64(value: &Value, field: &str) -> Result<u64, String> {
+    match value {
+        Value::U64(u) => Ok(*u),
+        other => Err(format!(
+            "`{field}` must be a non-negative integer, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn parse_scenario(value: &Value) -> Result<ScenarioSpec, String> {
+    let map = value
+        .as_map()
+        .ok_or_else(|| format!("`scenario` must be an object, got {}", value.kind()))?;
+    let mut nodes = None;
+    let mut seed = 0u64;
+    let mut horizon_s = DEFAULT_HORIZON_S;
+    let mut deployment = DeploymentKind::Uniform;
+    for (key, val) in map {
+        match key.as_str() {
+            "nodes" => nodes = Some(field_u64(val, "scenario.nodes")?),
+            "seed" => seed = field_u64(val, "scenario.seed")?,
+            "horizon_s" => horizon_s = field_f64(val, "scenario.horizon_s")?,
+            "deployment" => {
+                let name = field_str(val, "scenario.deployment")?;
+                deployment = DeploymentKind::parse(&name).ok_or_else(|| {
+                    format!("unknown deployment `{name}` (uniform, corridor, clustered)")
+                })?;
+            }
+            other => return Err(format!("unknown scenario field `{other}`")),
+        }
+    }
+    let nodes = nodes.ok_or("`scenario.nodes` is required")? as usize;
+    if !(2..=MAX_NODES).contains(&nodes) {
+        return Err(format!(
+            "`scenario.nodes` must be in 2..={MAX_NODES}, got {nodes}"
+        ));
+    }
+    if !horizon_s.is_finite() || horizon_s <= 0.0 || horizon_s > MAX_HORIZON_S {
+        return Err(format!(
+            "`scenario.horizon_s` must be a positive number <= {MAX_HORIZON_S:e}, got {horizon_s}"
+        ));
+    }
+    Ok(ScenarioSpec {
+        nodes,
+        seed,
+        horizon_s,
+        deployment,
+    })
+}
+
+/// Parses one request line. `seq` numbers the line within its connection and
+/// names anonymous requests `r<seq>`. The error string is ready to embed in
+/// an error response.
+pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed request JSON: {e}"))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| format!("request must be a JSON object, got {}", value.kind()))?;
+    let mut id = None;
+    let mut deadline_s = None;
+    let mut op = None;
+    let mut exp = None;
+    let mut scenario = None;
+    for (key, val) in map {
+        match key.as_str() {
+            "id" => id = Some(field_str(val, "id")?),
+            "deadline_s" => {
+                let d = field_f64(val, "deadline_s")?;
+                if !d.is_finite() || d <= 0.0 {
+                    return Err(format!(
+                        "`deadline_s` must be a positive number of seconds, got {d}"
+                    ));
+                }
+                deadline_s = Some(d);
+            }
+            "op" => op = Some(field_str(val, "op")?),
+            "exp" => exp = Some(field_str(val, "exp")?),
+            "scenario" => scenario = Some(parse_scenario(val)?),
+            other => return Err(format!("unknown request field `{other}`")),
+        }
+    }
+    let id = id.unwrap_or_else(|| format!("r{seq}"));
+    let kind = match (op, exp, scenario) {
+        (Some(op), None, None) => {
+            let op = match op.as_str() {
+                "ping" => ControlOp::Ping,
+                "stats" => ControlOp::Stats,
+                "shutdown" => ControlOp::Shutdown,
+                other => return Err(format!("unknown op `{other}` (ping, stats, shutdown)")),
+            };
+            RequestKind::Control(op)
+        }
+        (None, Some(exp), None) => {
+            if !crate::is_known_id(&exp) {
+                return Err(format!("unknown experiment id `{exp}`"));
+            }
+            RequestKind::Work(Payload::Exp(exp))
+        }
+        (None, None, Some(spec)) => RequestKind::Work(Payload::Scenario(spec)),
+        (None, None, None) => {
+            return Err("request needs exactly one of `op`, `exp`, `scenario`".to_string())
+        }
+        _ => return Err("`op`, `exp` and `scenario` are mutually exclusive".to_string()),
+    };
+    Ok(Request {
+        id,
+        deadline_s,
+        kind,
+    })
+}
+
+/// Why executing a payload did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The thread's cancellation token fired (deadline enforcement).
+    Cancelled,
+    /// The computation failed.
+    Failed(String),
+}
+
+/// Executes a payload on the calling thread and returns the canonical
+/// `result` JSON. Deadline enforcement is cooperative: the simulation engine
+/// polls the thread's current [`wrsn::sim::cancel`] token between
+/// integration segments, so install one before calling.
+///
+/// # Errors
+///
+/// [`ExecError::Cancelled`] when the token fired mid-run,
+/// [`ExecError::Failed`] on an engine or serialization error. Panics inside
+/// experiment code propagate (the scheduler catches them per-request).
+pub fn execute(payload: &Payload) -> Result<String, ExecError> {
+    let value = match payload {
+        Payload::Exp(id) => {
+            let tables = crate::run(id).map_err(|e| match e {
+                crate::BenchError::Sim {
+                    source: SimError::Cancelled,
+                    ..
+                } => ExecError::Cancelled,
+                other => ExecError::Failed(other.to_string()),
+            })?;
+            let rendered = tables
+                .iter()
+                .map(|t| Value::Str(t.render()))
+                .collect::<Vec<_>>();
+            let csvs = tables
+                .iter()
+                .enumerate()
+                .map(|(k, t)| {
+                    Value::Seq(vec![
+                        Value::Str(format!("{id}_{k}.csv")),
+                        Value::Str(t.to_csv()),
+                    ])
+                })
+                .collect::<Vec<_>>();
+            Value::Map(vec![
+                ("exp".to_string(), Value::Str(id.clone())),
+                ("rendered".to_string(), Value::Seq(rendered)),
+                ("csvs".to_string(), Value::Seq(csvs)),
+            ])
+        }
+        Payload::Scenario(spec) => {
+            if wrsn::sim::cancel::cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+            let scenario = spec.scenario();
+            let mut world = scenario.build();
+            let (report, outcome) =
+                wrsn::core::attack::run_attack(&mut world, scenario.tide_config()).map_err(
+                    |e| match e {
+                        SimError::Cancelled => ExecError::Cancelled,
+                        other => ExecError::Failed(other.to_string()),
+                    },
+                )?;
+            let lifetime = match report.network_lifetime_s {
+                Some(t) => Value::F64(t),
+                None => Value::Null,
+            };
+            Value::Map(vec![
+                ("scenario".to_string(), spec.to_value()),
+                (
+                    "report".to_string(),
+                    Value::Map(vec![
+                        ("final_time_s".to_string(), Value::F64(report.final_time_s)),
+                        (
+                            "dead_nodes".to_string(),
+                            Value::U64(report.dead_nodes as u64),
+                        ),
+                        (
+                            "alive_nodes".to_string(),
+                            Value::U64(report.alive_nodes as u64),
+                        ),
+                        ("network_lifetime_s".to_string(), lifetime),
+                        (
+                            "charger_energy_used_j".to_string(),
+                            Value::F64(report.charger_energy_used_j),
+                        ),
+                        (
+                            "total_delivered_j".to_string(),
+                            Value::F64(report.total_delivered_j),
+                        ),
+                        ("sessions".to_string(), Value::U64(report.sessions as u64)),
+                    ]),
+                ),
+                (
+                    "attack".to_string(),
+                    Value::Map(vec![
+                        ("targeted".to_string(), Value::U64(outcome.targeted as u64)),
+                        (
+                            "exhausted".to_string(),
+                            Value::U64(outcome.exhausted as u64),
+                        ),
+                        ("utility".to_string(), Value::F64(outcome.utility)),
+                        (
+                            "exhausted_ratio".to_string(),
+                            Value::F64(outcome.exhausted_ratio),
+                        ),
+                        (
+                            "key_node_exhausted_ratio".to_string(),
+                            Value::F64(outcome.key_node_exhausted_ratio),
+                        ),
+                    ]),
+                ),
+            ])
+        }
+        #[cfg(test)]
+        Payload::Test(op) => match op {
+            TestOp::Echo { tag, sleep_ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(*sleep_ms));
+                Value::Map(vec![("echo".to_string(), Value::U64(*tag))])
+            }
+            TestOp::Panic => panic!("test payload panicked"),
+            TestOp::Hang => loop {
+                if wrsn::sim::cancel::cancelled() {
+                    return Err(ExecError::Cancelled);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            },
+        },
+    };
+    serde_json::to_string(&value).map_err(|e| ExecError::Failed(format!("serialize result: {e}")))
+}
+
+fn quote(s: &str) -> String {
+    serde_json::to_string(&Value::Str(s.to_string())).expect("strings always serialize")
+}
+
+/// An `ok` response line. `result_json` is embedded verbatim — it must be
+/// the canonical result bytes ([`execute`]'s return value or a cache replay).
+pub fn ok_line(id: &str, digest: &str, cache: &str, wall_ms: f64, result_json: &str) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"ok\",\"digest\":\"{digest}\",\
+         \"cache\":\"{cache}\",\"wall_ms\":{wall_ms:.3},\"result\":{result_json}}}",
+        quote(id)
+    )
+}
+
+/// An `error` response line.
+pub fn error_line(id: &str, detail: &str) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"error\",\"error\":{}}}",
+        quote(id),
+        quote(detail)
+    )
+}
+
+/// A `timeout` response line.
+pub fn timeout_line(id: &str, deadline_s: f64) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"timeout\",\"error\":{}}}",
+        quote(id),
+        quote(&format!(
+            "request exceeded its {deadline_s} s wall-clock deadline"
+        ))
+    )
+}
+
+/// An `ok` control response line with an arbitrary result value.
+pub fn control_line(id: &str, result: &Value) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"ok\",\"result\":{}}}",
+        quote(id),
+        serde_json::to_string(result).expect("control results have no non-finite floats")
+    )
+}
+
+/// A response line parsed by the load generator and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedResponse {
+    /// Correlation id.
+    pub id: String,
+    /// `ok`, `error`, or `timeout`.
+    pub status: String,
+    /// Request digest (work responses only).
+    pub digest: Option<String>,
+    /// `hit`, `miss`, or `coalesced` (work responses only).
+    pub cache: Option<String>,
+    /// Failure detail (`error`/`timeout` responses).
+    pub error: Option<String>,
+    /// The result re-serialized to canonical bytes (ok responses only).
+    /// Round-tripping through the vendored writer is lossless, so these
+    /// bytes are comparable across responses.
+    pub result_canonical: Option<String>,
+}
+
+/// Parses a response line.
+///
+/// # Errors
+///
+/// A human-readable message for malformed lines or an unknown envelope
+/// version.
+pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed response JSON: {e}"))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| format!("response must be a JSON object, got {}", value.kind()))?;
+    let mut parsed = ParsedResponse {
+        id: String::new(),
+        status: String::new(),
+        digest: None,
+        cache: None,
+        error: None,
+        result_canonical: None,
+    };
+    for (key, val) in map {
+        match key.as_str() {
+            "v" => {
+                let v = field_u64(val, "v")?;
+                if v != RESPONSE_VERSION {
+                    return Err(format!(
+                        "unsupported response version {v} (this client speaks {RESPONSE_VERSION})"
+                    ));
+                }
+            }
+            "id" => parsed.id = field_str(val, "id")?,
+            "status" => parsed.status = field_str(val, "status")?,
+            "digest" => parsed.digest = Some(field_str(val, "digest")?),
+            "cache" => parsed.cache = Some(field_str(val, "cache")?),
+            "error" => parsed.error = Some(field_str(val, "error")?),
+            "wall_ms" => {}
+            "result" => {
+                parsed.result_canonical = Some(
+                    serde_json::to_string(val).map_err(|e| format!("re-serialize result: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown response field `{other}`")),
+        }
+    }
+    if parsed.status.is_empty() {
+        return Err("response has no `status`".to_string());
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_requests_share_a_digest() {
+        let a = parse_line(r#"{"id":"a","scenario":{"nodes":40,"seed":7}}"#, 0).unwrap();
+        let b = parse_line(
+            r#"{"scenario":{"seed":7,"horizon_s":50000,"deployment":"uniform","nodes":40},"deadline_s":5}"#,
+            1,
+        )
+        .unwrap();
+        let (RequestKind::Work(pa), RequestKind::Work(pb)) = (&a.kind, &b.kind) else {
+            panic!("both are work requests");
+        };
+        assert_eq!(pa.digest(), pb.digest());
+        assert_eq!(b.id, "r1", "anonymous requests are named by sequence");
+        assert_eq!(b.deadline_s, Some(5.0));
+    }
+
+    #[test]
+    fn different_scenarios_get_different_digests() {
+        let spec = |seed| {
+            Payload::Scenario(ScenarioSpec {
+                nodes: 40,
+                seed,
+                horizon_s: DEFAULT_HORIZON_S,
+                deployment: DeploymentKind::Uniform,
+            })
+        };
+        assert_ne!(spec(1).digest(), spec(2).digest());
+        assert_ne!(
+            Payload::Exp("fig2".to_string()).digest(),
+            Payload::Exp("fig3".to_string()).digest()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        for (line, needle) in [
+            ("not json", "malformed"),
+            ("[1,2]", "JSON object"),
+            (r#"{"scenario":{"nodes":1}}"#, "nodes"),
+            (r#"{"scenario":{"nodes":40,"horizon_s":-5}}"#, "horizon_s"),
+            (
+                r#"{"scenario":{"nodes":40,"wat":1}}"#,
+                "unknown scenario field",
+            ),
+            (r#"{"exp":"fig99"}"#, "unknown experiment id"),
+            (r#"{"op":"reboot"}"#, "unknown op"),
+            (r#"{"exp":"fig2","op":"ping"}"#, "mutually exclusive"),
+            (r#"{"id":"x"}"#, "exactly one of"),
+            (r#"{"exp":"fig2","deadline_s":0}"#, "deadline_s"),
+            (r#"{"exp":"fig2","nope":1}"#, "unknown request field"),
+        ] {
+            let err = parse_line(line, 0).unwrap_err();
+            assert!(err.contains(needle), "line {line}: error `{err}`");
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        for (line, op) in [
+            (r#"{"op":"ping"}"#, ControlOp::Ping),
+            (r#"{"op":"stats"}"#, ControlOp::Stats),
+            (r#"{"op":"shutdown"}"#, ControlOp::Shutdown),
+        ] {
+            let req = parse_line(line, 3).unwrap();
+            assert_eq!(req.kind, RequestKind::Control(op));
+        }
+    }
+
+    #[test]
+    fn scenario_execution_is_deterministic() {
+        let payload = Payload::Scenario(ScenarioSpec {
+            nodes: 24,
+            seed: 7,
+            horizon_s: 20_000.0,
+            deployment: DeploymentKind::Uniform,
+        });
+        let a = execute(&payload).expect("runs");
+        let b = execute(&payload).expect("runs");
+        assert_eq!(a, b, "same spec, same bytes");
+        assert!(a.contains("\"report\""));
+        assert!(a.contains("\"attack\""));
+    }
+
+    #[test]
+    fn exp_execution_matches_the_single_shot_runner() {
+        let result = execute(&Payload::Exp("fig2".to_string())).expect("fig2 runs");
+        let tables = crate::run("fig2").expect("fig2 runs");
+        // The daemon's result embeds exactly the single-shot renderings.
+        let quoted = serde_json::to_string(&Value::Str(tables[0].render())).unwrap();
+        assert!(
+            result.contains(&quoted),
+            "daemon result must embed the single-shot rendering"
+        );
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let ok = ok_line("q\"1", "00deadbeef00cafe", "miss", 1.5, r#"{"x":1}"#);
+        let parsed = parse_response(&ok).expect("parses");
+        assert_eq!(parsed.id, "q\"1");
+        assert_eq!(parsed.status, "ok");
+        assert_eq!(parsed.digest.as_deref(), Some("00deadbeef00cafe"));
+        assert_eq!(parsed.cache.as_deref(), Some("miss"));
+        assert_eq!(parsed.result_canonical.as_deref(), Some(r#"{"x":1}"#));
+
+        let err = error_line("q2", "boom\nline two");
+        let parsed = parse_response(&err).expect("parses");
+        assert_eq!(parsed.status, "error");
+        assert_eq!(parsed.error.as_deref(), Some("boom\nline two"));
+
+        let to = timeout_line("q3", 2.5);
+        let parsed = parse_response(&to).expect("parses");
+        assert_eq!(parsed.status, "timeout");
+        assert!(parsed.error.unwrap().contains("2.5 s"));
+    }
+
+    #[test]
+    fn cancelled_token_short_circuits_scenario_execution() {
+        use wrsn::sim::cancel::{CancelToken, ScopedCancel};
+        let token = CancelToken::new();
+        token.cancel();
+        let _guard = ScopedCancel::install(token);
+        let payload = Payload::Scenario(ScenarioSpec {
+            nodes: 24,
+            seed: 1,
+            horizon_s: 20_000.0,
+            deployment: DeploymentKind::Uniform,
+        });
+        assert_eq!(execute(&payload), Err(ExecError::Cancelled));
+    }
+}

@@ -1,0 +1,634 @@
+//! The daemon's worker pool: bounded threads, per-request deadlines with
+//! cooperative cancellation, and single-flight dedupe over the result cache.
+//!
+//! Lifecycle of a submitted request:
+//!
+//! 1. It joins a FIFO queue (its deadline clock starts at submission).
+//! 2. A pooled worker pops it. Past its deadline already → `timeout`
+//!    response without executing.
+//! 3. Cache lookup by payload digest. Validated hit → replay the stored
+//!    bytes (`"cache":"hit"`). A corrupt entry is counted, discarded and
+//!    recomputed.
+//! 4. Single-flight: if another worker is already computing this digest, the
+//!    request parks as a *follower* and is answered from the leader's bytes
+//!    (`"cache":"coalesced"`) — identical work is never computed twice
+//!    concurrently.
+//! 5. Otherwise this request leads: the worker installs a fresh
+//!    [`CancelToken`] (via [`ScopedCancel`], so the engine's segment-boundary
+//!    polls see it), registers a watchdog slot, and runs the payload under
+//!    [`std::panic::catch_unwind`].
+//!
+//! A monitor thread sweeps the slots every few milliseconds and cancels the
+//! token of any run past its deadline; the engine unwinds with
+//! `SimError::Cancelled` at the next poll and the worker reports `timeout`.
+//! A panicked payload poisons nothing: the guard's id-keyed drop removes
+//! exactly its token (see `wrsn::sim::cancel`), the worker thread survives
+//! and takes the next job — pinned by the panic-then-reuse tests below.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use wrsn::sim::cancel::{CancelToken, ScopedCancel};
+
+use super::cache::{CacheLookup, ResultCache};
+use super::request::{self, ExecError, Payload};
+
+/// How often the watchdog sweeps the in-flight slots.
+const WATCHDOG_PERIOD: Duration = Duration::from_millis(3);
+
+/// Monotonic service counters, exposed by the `stats` control op.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    received: AtomicU64,
+    ok: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    cache_rejected: AtomicU64,
+}
+
+impl ServiceCounters {
+    fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests that completed with an `ok` response (any cache path).
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from a validated cache entry.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that were computed fresh.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from a concurrent leader's computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests that blew their deadline (queued or running).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed (engine error or payload panic).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Cache entries discarded as corrupt (and recomputed).
+    pub fn cache_rejected(&self) -> u64 {
+        self.cache_rejected.load(Ordering::Relaxed)
+    }
+
+    /// A JSON snapshot for the `stats` control op.
+    pub fn to_value(&self) -> Value {
+        let u = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
+        Value::Map(vec![
+            ("received".to_string(), u(&self.received)),
+            ("ok".to_string(), u(&self.ok)),
+            ("cache_hits".to_string(), u(&self.cache_hits)),
+            ("cache_misses".to_string(), u(&self.cache_misses)),
+            ("coalesced".to_string(), u(&self.coalesced)),
+            ("timeouts".to_string(), u(&self.timeouts)),
+            ("errors".to_string(), u(&self.errors)),
+            ("cache_rejected".to_string(), u(&self.cache_rejected)),
+        ])
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    id: String,
+    payload: Payload,
+    digest: String,
+    deadline: Duration,
+    enqueued: Instant,
+    reply: Sender<String>,
+}
+
+impl Job {
+    /// Time this job has left before its deadline, if any.
+    fn remaining(&self) -> Option<Duration> {
+        self.deadline.checked_sub(self.enqueued.elapsed())
+    }
+}
+
+/// One worker's watchdog slot: what it is running and for how long it may.
+struct WatchSlot {
+    started: Instant,
+    budget: Duration,
+    token: CancelToken,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Inner {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: ResultCache,
+    /// digest → followers parked behind the leader computing that digest.
+    inflight: Mutex<HashMap<String, Vec<Job>>>,
+    slots: Vec<Mutex<Option<WatchSlot>>>,
+    counters: ServiceCounters,
+    default_deadline: Duration,
+    stopping: AtomicBool,
+}
+
+/// The worker pool. Dropping without [`Scheduler::shutdown`] aborts the
+/// queue without draining it; prefer an explicit shutdown.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+    watchdog: Option<thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns `workers` pooled threads plus the deadline watchdog.
+    pub fn new(cache: ResultCache, workers: usize, default_deadline: Duration) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+            counters: ServiceCounters::default(),
+            default_deadline,
+            stopping: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|slot| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("wrsnd-worker-{slot}"))
+                    .spawn(move || worker_loop(&inner, slot))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let watchdog = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("wrsnd-watchdog".to_string())
+                .spawn(move || watchdog_loop(&inner))
+                .expect("spawn watchdog thread")
+        };
+        Scheduler {
+            inner,
+            workers: handles,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Enqueues a work request. The deadline clock starts now; `None` uses
+    /// the pool default. The response line (ok/timeout/error) is delivered
+    /// on `reply` when the request resolves.
+    pub fn submit(
+        &self,
+        id: String,
+        payload: Payload,
+        deadline: Option<Duration>,
+        reply: Sender<String>,
+    ) {
+        ServiceCounters::inc(&self.inner.counters.received);
+        let job = Job {
+            id,
+            digest: payload.digest(),
+            payload,
+            deadline: deadline.unwrap_or(self.inner.default_deadline),
+            enqueued: Instant::now(),
+            reply,
+        };
+        let mut queue = self.inner.queue.lock().expect("queue lock");
+        if queue.closed {
+            let line = request::error_line(&job.id, "service is shutting down");
+            let _ = job.reply.send(line);
+            return;
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.inner.available.notify_one();
+    }
+
+    /// The live counters (shared with the `stats` control op).
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.inner.counters
+    }
+
+    /// Closes the queue, drains every already-submitted job, and joins the
+    /// pool. Submissions after this point are answered with an error.
+    pub fn shutdown(mut self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            queue.closed = true;
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.stopping.store(true, Ordering::Release);
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+    }
+}
+
+/// Blocks for the next job; `None` once the queue is closed and drained.
+fn next_job(inner: &Inner) -> Option<Job> {
+    let mut queue = inner.queue.lock().expect("queue lock");
+    loop {
+        if let Some(job) = queue.jobs.pop_front() {
+            return Some(job);
+        }
+        if queue.closed {
+            return None;
+        }
+        queue = inner.available.wait(queue).expect("queue wait");
+    }
+}
+
+fn watchdog_loop(inner: &Inner) {
+    while !inner.stopping.load(Ordering::Acquire) {
+        for slot in &inner.slots {
+            let slot = slot.lock().expect("slot lock");
+            if let Some(watch) = slot.as_ref() {
+                if watch.started.elapsed() > watch.budget {
+                    watch.token.cancel();
+                }
+            }
+        }
+        thread::sleep(WATCHDOG_PERIOD);
+    }
+}
+
+/// Answers `job` and the followers that coalesced behind it from one
+/// computed outcome.
+enum Outcome {
+    Ok(String),
+    Timeout,
+    Error(String),
+}
+
+fn worker_loop(inner: &Inner, slot: usize) {
+    while let Some(job) = next_job(inner) {
+        // Deadline may already have passed while queued.
+        let Some(budget) = job.remaining() else {
+            ServiceCounters::inc(&inner.counters.timeouts);
+            let _ = job
+                .reply
+                .send(request::timeout_line(&job.id, job.deadline.as_secs_f64()));
+            continue;
+        };
+        // Cache first: a validated entry answers without touching the pool's
+        // compute budget at all.
+        match inner.cache.lookup(&job.digest) {
+            CacheLookup::Hit(result) => {
+                ServiceCounters::inc(&inner.counters.cache_hits);
+                ServiceCounters::inc(&inner.counters.ok);
+                let line = request::ok_line(
+                    &job.id,
+                    &job.digest,
+                    "hit",
+                    job.enqueued.elapsed().as_secs_f64() * 1e3,
+                    &result,
+                );
+                let _ = job.reply.send(line);
+                continue;
+            }
+            CacheLookup::Rejected(_) => {
+                ServiceCounters::inc(&inner.counters.cache_rejected);
+            }
+            CacheLookup::Miss => {}
+        }
+        // Single-flight: park behind an in-progress computation of the same
+        // digest instead of duplicating it.
+        {
+            let mut inflight = inner.inflight.lock().expect("inflight lock");
+            if let Some(followers) = inflight.get_mut(&job.digest) {
+                followers.push(job);
+                continue;
+            }
+            inflight.insert(job.digest.clone(), Vec::new());
+        }
+        // This job leads. Arm the watchdog slot and run under a fresh token.
+        let token = CancelToken::new();
+        *inner.slots[slot].lock().expect("slot lock") = Some(WatchSlot {
+            started: Instant::now(),
+            budget,
+            token: token.clone(),
+        });
+        let run = {
+            let guard = ScopedCancel::install(token.clone());
+            let run = catch_unwind(AssertUnwindSafe(|| request::execute(&job.payload)));
+            drop(guard);
+            run
+        };
+        *inner.slots[slot].lock().expect("slot lock") = None;
+        let outcome = match run {
+            Ok(Ok(result)) => Outcome::Ok(result),
+            Ok(Err(ExecError::Cancelled)) => Outcome::Timeout,
+            Ok(Err(ExecError::Failed(detail))) => Outcome::Error(detail),
+            // A panic out of a cancelled run is the engine unwinding past a
+            // poll point under load — a timeout, not a bug in the payload.
+            Err(_) if token.is_cancelled() => Outcome::Timeout,
+            Err(payload) => Outcome::Error(format!(
+                "worker panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+        };
+        // Persist before taking the followers, so a request that misses the
+        // follower window finds the cache entry instead of recomputing.
+        if let Outcome::Ok(result) = &outcome {
+            if let Err(e) = inner.cache.save(&job.digest, result) {
+                eprintln!("wrsnd: cache save failed for {}: {e}", job.digest);
+            }
+        }
+        let followers = inner
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&job.digest)
+            .unwrap_or_default();
+        match outcome {
+            Outcome::Ok(result) => {
+                ServiceCounters::inc(&inner.counters.cache_misses);
+                ServiceCounters::inc(&inner.counters.ok);
+                let wall_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                let _ = job.reply.send(request::ok_line(
+                    &job.id,
+                    &job.digest,
+                    "miss",
+                    wall_ms,
+                    &result,
+                ));
+                for follower in followers {
+                    ServiceCounters::inc(&inner.counters.coalesced);
+                    ServiceCounters::inc(&inner.counters.ok);
+                    let wall_ms = follower.enqueued.elapsed().as_secs_f64() * 1e3;
+                    let line = request::ok_line(
+                        &follower.id,
+                        &follower.digest,
+                        "coalesced",
+                        wall_ms,
+                        &result,
+                    );
+                    let _ = follower.reply.send(line);
+                }
+            }
+            Outcome::Timeout => {
+                ServiceCounters::inc(&inner.counters.timeouts);
+                let _ = job
+                    .reply
+                    .send(request::timeout_line(&job.id, job.deadline.as_secs_f64()));
+                // The leader's deadline is not the followers': give each a
+                // fresh chance under its own clock.
+                requeue(inner, followers);
+            }
+            Outcome::Error(detail) => {
+                ServiceCounters::inc(&inner.counters.errors);
+                let _ = job.reply.send(request::error_line(&job.id, &detail));
+                for follower in followers {
+                    ServiceCounters::inc(&inner.counters.errors);
+                    let _ = follower
+                        .reply
+                        .send(request::error_line(&follower.id, &detail));
+                }
+            }
+        }
+    }
+}
+
+fn requeue(inner: &Inner, followers: Vec<Job>) {
+    if followers.is_empty() {
+        return;
+    }
+    let mut queue = inner.queue.lock().expect("queue lock");
+    if queue.closed {
+        for job in followers {
+            ServiceCounters::inc(&inner.counters.errors);
+            let _ = job
+                .reply
+                .send(request::error_line(&job.id, "service is shutting down"));
+        }
+        return;
+    }
+    let n = followers.len();
+    for job in followers {
+        queue.jobs.push_back(job);
+    }
+    drop(queue);
+    for _ in 0..n {
+        inner.available.notify_one();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::request::{parse_response, TestOp};
+    use std::sync::mpsc;
+
+    fn temp_cache(tag: &str) -> (ResultCache, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "wrsn-sched-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultCache::open(&dir).unwrap(), dir)
+    }
+
+    fn echo(tag: u64, sleep_ms: u64) -> Payload {
+        Payload::Test(TestOp::Echo { tag, sleep_ms })
+    }
+
+    #[test]
+    fn work_round_trips_and_repeats_hit_the_cache() {
+        let (cache, dir) = temp_cache("roundtrip");
+        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit("a".to_string(), echo(1, 0), None, tx.clone());
+        let first = parse_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(first.status, "ok");
+        assert_eq!(first.cache.as_deref(), Some("miss"));
+        scheduler.submit("b".to_string(), echo(1, 0), None, tx);
+        let second = parse_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(second.cache.as_deref(), Some("hit"));
+        assert_eq!(
+            first.result_canonical, second.result_canonical,
+            "hit replays the miss byte-identically"
+        );
+        assert_eq!(scheduler.counters().cache_hits(), 1);
+        assert_eq!(scheduler.counters().cache_misses(), 1);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_into_one_computation() {
+        let (cache, dir) = temp_cache("coalesce");
+        let scheduler = Scheduler::new(cache, 4, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        for k in 0..6 {
+            scheduler.submit(format!("q{k}"), echo(7, 150), None, tx.clone());
+        }
+        drop(tx);
+        let mut results = Vec::new();
+        while let Ok(line) = rx.recv() {
+            results.push(parse_response(&line).unwrap());
+        }
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.status == "ok"));
+        let bytes: Vec<_> = results.iter().map(|r| r.result_canonical.clone()).collect();
+        assert!(
+            bytes.windows(2).all(|w| w[0] == w[1]),
+            "every duplicate gets identical bytes"
+        );
+        // Exactly one real computation; the rest coalesced or (if they
+        // arrived after the leader finished) hit the cache.
+        assert_eq!(scheduler.counters().cache_misses(), 1);
+        assert_eq!(
+            scheduler.counters().coalesced() + scheduler.counters().cache_hits(),
+            5
+        );
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_hung_payload_times_out_at_its_deadline() {
+        let (cache, dir) = temp_cache("deadline");
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        let started = Instant::now();
+        scheduler.submit(
+            "hang".to_string(),
+            Payload::Test(TestOp::Hang),
+            Some(Duration::from_millis(80)),
+            tx,
+        );
+        let response = parse_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(response.status, "timeout");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "watchdog fired, not a test timeout"
+        );
+        assert_eq!(scheduler.counters().timeouts(), 1);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_request_queued_past_its_deadline_never_executes() {
+        let (cache, dir) = temp_cache("queued");
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        // Occupy the only worker…
+        scheduler.submit("slow".to_string(), echo(9, 250), None, tx.clone());
+        // …so this 1 ms deadline is long gone by the time it is popped.
+        scheduler.submit(
+            "late".to_string(),
+            echo(10, 0),
+            Some(Duration::from_millis(1)),
+            tx,
+        );
+        let mut by_id = HashMap::new();
+        for _ in 0..2 {
+            let r = parse_response(&rx.recv().unwrap()).unwrap();
+            by_id.insert(r.id.clone(), r);
+        }
+        assert_eq!(by_id["slow"].status, "ok");
+        assert_eq!(by_id["late"].status, "timeout");
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_payload_reports_an_error_and_the_worker_thread_survives() {
+        let (cache, dir) = temp_cache("panic");
+        // One worker: the follow-up request runs on the *same* pooled
+        // thread the panic unwound through.
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit(
+            "boom".to_string(),
+            Payload::Test(TestOp::Panic),
+            None,
+            tx.clone(),
+        );
+        let boom = parse_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(boom.status, "error");
+        assert!(boom.error.unwrap().contains("panicked"));
+        // The reused thread must carry no stale cancel token: a fresh
+        // request completes normally instead of being instantly "cancelled".
+        scheduler.submit("after".to_string(), echo(11, 0), None, tx);
+        let after = parse_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(after.status, "ok", "reused worker thread is clean");
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn followers_of_a_timed_out_leader_are_requeued_not_dropped() {
+        let (cache, dir) = temp_cache("requeue");
+        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10));
+        let (tx, rx) = mpsc::channel();
+        // Leader hangs with a short deadline; follower (same digest) has a
+        // generous one. After the leader times out the follower re-runs the
+        // payload itself — Hang always hangs, so it times out on its *own*
+        // deadline rather than being silently dropped.
+        scheduler.submit(
+            "leader".to_string(),
+            Payload::Test(TestOp::Hang),
+            Some(Duration::from_millis(60)),
+            tx.clone(),
+        );
+        thread::sleep(Duration::from_millis(10));
+        scheduler.submit(
+            "follower".to_string(),
+            Payload::Test(TestOp::Hang),
+            Some(Duration::from_millis(300)),
+            tx,
+        );
+        let mut statuses = HashMap::new();
+        for _ in 0..2 {
+            let r = parse_response(&rx.recv().unwrap()).unwrap();
+            statuses.insert(r.id.clone(), r.status);
+        }
+        assert_eq!(statuses["leader"], "timeout");
+        assert_eq!(statuses["follower"], "timeout");
+        assert_eq!(scheduler.counters().timeouts(), 2);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,273 @@
+//! The daemon's frontends: a TCP listener and a stdin/stdout pipe mode, both
+//! speaking the newline-delimited JSON protocol of [`super::request`].
+//!
+//! Each TCP connection gets a reader thread (parse → submit to the
+//! scheduler, control ops answered inline) and a writer thread draining a
+//! per-connection channel — so responses stream back in completion order
+//! while later requests on the same connection are still being parsed
+//! (pipelining). Stdin mode wires the same loop to the process's standard
+//! streams for harnesses that prefer pipes to sockets.
+//!
+//! Shutdown (`{"op":"shutdown"}`) stops the accept loop, half-closes every
+//! connection's read side so its reader sees EOF, drains the scheduler
+//! queue, and joins everything — queued work is answered, new work is
+//! refused.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use serde::Value;
+
+use super::cache::ResultCache;
+use super::request::{self, ControlOp, RequestKind};
+use super::scheduler::Scheduler;
+use crate::error::BenchError;
+
+/// Daemon configuration (assembled by the `wrsnd serve` CLI).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (`None` for stdin mode).
+    pub listen: Option<String>,
+    /// Artifact store directory.
+    pub store_dir: std::path::PathBuf,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Default per-request deadline.
+    pub default_deadline: Duration,
+    /// Exit after this many work requests (`None` = run until shutdown).
+    /// A load-test guard rail so an orphaned daemon cannot outlive its
+    /// driver forever.
+    pub max_requests: Option<u64>,
+}
+
+/// Shared per-daemon state driving shutdown.
+struct Control {
+    stop: AtomicBool,
+    /// Work requests accepted so far (for `max_requests`).
+    accepted: AtomicU64,
+    /// Read-half handles of live connections, half-closed on shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Control {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let conns = self.conns.lock().expect("conns lock");
+        for stream in conns.iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// Runs the daemon until shutdown. In TCP mode prints
+/// `wrsnd listening on <addr>` to stdout once the socket is bound (the
+/// line load generators and tests wait for).
+///
+/// # Errors
+///
+/// [`BenchError::Io`] if the store directory or listen socket cannot be
+/// set up. Per-connection I/O errors only end that connection.
+pub fn serve(config: &ServeConfig) -> Result<(), BenchError> {
+    let cache = ResultCache::open(&config.store_dir)
+        .map_err(|e| BenchError::io("open artifact store", &config.store_dir, &e))?;
+    let scheduler = Arc::new(Scheduler::new(
+        cache,
+        config.workers,
+        config.default_deadline,
+    ));
+    let control = Arc::new(Control {
+        stop: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+    });
+    match &config.listen {
+        Some(addr) => serve_tcp(addr, config, &scheduler, &control)?,
+        None => serve_stdio(config, &scheduler, &control),
+    }
+    match Arc::try_unwrap(scheduler) {
+        Ok(scheduler) => scheduler.shutdown(),
+        Err(_) => unreachable!("all connection threads were joined"),
+    }
+    Ok(())
+}
+
+fn serve_tcp(
+    addr: &str,
+    config: &ServeConfig,
+    scheduler: &Arc<Scheduler>,
+    control: &Arc<Control>,
+) -> Result<(), BenchError> {
+    let path = std::path::Path::new(addr);
+    let listener =
+        TcpListener::bind(addr).map_err(|e| BenchError::io("bind listen socket", path, &e))?;
+    let local: SocketAddr = listener
+        .local_addr()
+        .map_err(|e| BenchError::io("resolve listen socket", path, &e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| BenchError::io("configure listen socket", path, &e))?;
+    println!("wrsnd listening on {local}");
+    std::io::stdout().flush().ok();
+
+    let mut conn_threads = Vec::new();
+    let mut next_conn = 0u64;
+    while !control.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_conn;
+                next_conn += 1;
+                if let Ok(read_half) = stream.try_clone() {
+                    control.conns.lock().expect("conns lock").push(read_half);
+                }
+                let scheduler = Arc::clone(scheduler);
+                let control = Arc::clone(control);
+                let config = config.clone();
+                conn_threads.push(
+                    thread::Builder::new()
+                        .name(format!("wrsnd-conn-{conn_id}"))
+                        .spawn(move || serve_connection(stream, &config, &scheduler, &control))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("wrsnd: accept failed: {e}");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    for handle in conn_threads {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// One TCP connection: reader parses and submits on this thread, a writer
+/// thread drains the reply channel. Returns when the client closes (or
+/// shutdown half-closes) the read side and all pending replies have gone
+/// out.
+fn serve_connection(
+    stream: TcpStream,
+    config: &ServeConfig,
+    scheduler: &Arc<Scheduler>,
+    control: &Arc<Control>,
+) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wrsnd: cannot clone connection: {e}");
+            return;
+        }
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::Builder::new()
+        .name("wrsnd-conn-writer".to_string())
+        .spawn(move || {
+            let mut out = std::io::BufWriter::new(write_half);
+            // Ends when every sender (reader + in-flight jobs) is dropped.
+            while let Ok(line) = rx.recv() {
+                if out.write_all(line.as_bytes()).is_err()
+                    || out.write_all(b"\n").is_err()
+                    || out.flush().is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+    let reader = BufReader::new(stream);
+    read_loop(reader, &tx, config, scheduler, control);
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The protocol loop shared by TCP connections and stdin mode.
+fn read_loop<R: BufRead>(
+    reader: R,
+    reply: &mpsc::Sender<String>,
+    config: &ServeConfig,
+    scheduler: &Arc<Scheduler>,
+    control: &Arc<Control>,
+) {
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if control.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request = match request::parse_line(trimmed, seq) {
+            Ok(request) => request,
+            Err(detail) => {
+                let _ = reply.send(request::error_line(&format!("r{seq}"), &detail));
+                seq += 1;
+                continue;
+            }
+        };
+        seq += 1;
+        match request.kind {
+            RequestKind::Control(ControlOp::Ping) => {
+                let pong = Value::Map(vec![("op".to_string(), Value::Str("ping".to_string()))]);
+                let _ = reply.send(request::control_line(&request.id, &pong));
+            }
+            RequestKind::Control(ControlOp::Stats) => {
+                let _ = reply.send(request::control_line(
+                    &request.id,
+                    &scheduler.counters().to_value(),
+                ));
+            }
+            RequestKind::Control(ControlOp::Shutdown) => {
+                let bye = Value::Map(vec![("op".to_string(), Value::Str("shutdown".to_string()))]);
+                let _ = reply.send(request::control_line(&request.id, &bye));
+                control.request_stop();
+                break;
+            }
+            RequestKind::Work(payload) => {
+                let accepted = control.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+                let deadline = request.deadline_s.map(Duration::from_secs_f64);
+                scheduler.submit(request.id, payload, deadline, reply.clone());
+                if let Some(max) = config.max_requests {
+                    if accepted >= max {
+                        eprintln!("wrsnd: reached max-requests={max}, shutting down");
+                        control.request_stop();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn serve_stdio(config: &ServeConfig, scheduler: &Arc<Scheduler>, control: &Arc<Control>) {
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::Builder::new()
+        .name("wrsnd-stdout".to_string())
+        .spawn(move || {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            while let Ok(line) = rx.recv() {
+                if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn stdout writer");
+    println!("wrsnd listening on stdin");
+    std::io::stdout().flush().ok();
+    let stdin = std::io::stdin();
+    read_loop(stdin.lock(), &tx, config, scheduler, control);
+    drop(tx);
+    let _ = writer.join();
+}

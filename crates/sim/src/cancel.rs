@@ -13,13 +13,25 @@
 //! [`crate::parallel::map_indexed`] for its inner trials) inherit their
 //! ancestor's deadline.
 //!
+//! Installed tokens live on a per-thread *stack keyed by a unique guard id*,
+//! not a saved-previous-value swap. The distinction matters on pooled threads
+//! that outlive a request: with a plain swap, guards dropped out of LIFO
+//! order (a panic payload carrying a guard across a
+//! [`std::panic::catch_unwind`] boundary, a guard stored in a struct that
+//! outlives its scope) would restore a *stale* token over a newer one, and a
+//! long-lived worker thread would then cancel an unrelated later request.
+//! With the id-keyed stack a guard can only ever remove its own entry, so
+//! restoration is exact no matter how the unwind interleaves drops — pinned
+//! by the out-of-order and panic tests below and by the daemon-level
+//! worker-reuse tests in `wrsn-bench`.
+//!
 //! Cancellation is *cooperative*: code that never reaches a poll point (a
 //! tight loop outside the simulation engine, blocking I/O) cannot be
 //! interrupted. The simulation hot loop polls once per piecewise-linear
 //! segment, which bounds the reaction latency to one segment of work.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared cancellation flag. Cloning yields another handle to the *same*
@@ -47,43 +59,64 @@ impl CancelToken {
 }
 
 thread_local! {
-    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+    /// The thread's stack of installed tokens, innermost last. Entries carry
+    /// the unique id of the [`ScopedCancel`] guard that pushed them, so a
+    /// drop removes exactly its own entry even when drops run out of order.
+    static STACK: RefCell<Vec<(u64, CancelToken)>> = const { RefCell::new(Vec::new()) };
 }
 
-/// The token currently installed on this thread, if any.
+/// Process-wide guard id source (never reused, so an id identifies one
+/// install across every thread).
+static NEXT_GUARD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The token currently installed on this thread (the innermost live
+/// [`ScopedCancel`]), if any.
 pub fn current() -> Option<CancelToken> {
-    CURRENT.with(|cell| cell.borrow().clone())
+    STACK.with(|stack| stack.borrow().last().map(|(_, token)| token.clone()))
 }
 
 /// Whether this thread's current token (if any) has been cancelled. With no
 /// token installed this is always `false`.
 pub fn cancelled() -> bool {
-    CURRENT.with(|cell| {
-        cell.borrow()
-            .as_ref()
-            .is_some_and(CancelToken::is_cancelled)
+    STACK.with(|stack| {
+        stack
+            .borrow()
+            .last()
+            .is_some_and(|(_, token)| token.is_cancelled())
     })
 }
 
-/// RAII guard that installs a token as this thread's current one and restores
-/// the previous token (if any) on drop, so supervision scopes nest.
+/// RAII guard that installs a token as this thread's current one and removes
+/// it again on drop, so supervision scopes nest.
+///
+/// Removal is keyed by the guard's unique id: dropping a guard removes *its*
+/// entry from the thread's token stack, wherever that entry sits. Guards
+/// dropped in LIFO order behave like a classic save/restore; guards dropped
+/// out of order (e.g. one smuggled through a panic payload across a
+/// `catch_unwind` boundary) still cannot clobber a newer scope's token or
+/// resurrect a stale one.
 #[derive(Debug)]
 pub struct ScopedCancel {
-    prev: Option<CancelToken>,
+    id: u64,
 }
 
 impl ScopedCancel {
     /// Installs `token` as the thread's current token until the guard drops.
     pub fn install(token: CancelToken) -> Self {
-        let prev = CURRENT.with(|cell| cell.borrow_mut().replace(token));
-        ScopedCancel { prev }
+        let id = NEXT_GUARD_ID.fetch_add(1, Ordering::Relaxed);
+        STACK.with(|stack| stack.borrow_mut().push((id, token)));
+        ScopedCancel { id }
     }
 }
 
 impl Drop for ScopedCancel {
     fn drop(&mut self) {
-        let prev = self.prev.take();
-        CURRENT.with(|cell| *cell.borrow_mut() = prev);
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|(id, _)| *id == self.id) {
+                stack.remove(pos);
+            }
+        });
     }
 }
 
@@ -122,5 +155,74 @@ mod tests {
         assert!(cancelled());
         drop(guard);
         assert!(current().is_none());
+    }
+
+    #[test]
+    fn out_of_order_drop_cannot_clobber_a_newer_token() {
+        // Guard A (cancelled token), then guard B (live token). Dropping A
+        // *first* — out of LIFO order — must leave B's token current; the
+        // old swap-based restore would have reinstated A's saved `None` and
+        // then B's drop would have resurrected A's cancelled token.
+        let stale = CancelToken::new();
+        stale.cancel();
+        let guard_a = ScopedCancel::install(stale);
+        let live = CancelToken::new();
+        let guard_b = ScopedCancel::install(live.clone());
+        drop(guard_a);
+        assert!(
+            !cancelled(),
+            "dropping an outer guard out of order must not disturb the inner token"
+        );
+        drop(guard_b);
+        assert!(current().is_none(), "stack is empty after both drops");
+    }
+
+    #[test]
+    fn panic_across_catch_unwind_leaves_no_stale_token() {
+        // A worker that installs its own scope and panics: the unwind caught
+        // by `catch_unwind` must drop the guard and leave this thread's
+        // token state exactly as before — the pooled-thread reuse hazard.
+        let outer = CancelToken::new();
+        let _outer_guard = ScopedCancel::install(outer.clone());
+        let result = std::panic::catch_unwind(|| {
+            let poisoned = CancelToken::new();
+            poisoned.cancel();
+            let _guard = ScopedCancel::install(poisoned);
+            panic!("worker died mid-request");
+        });
+        assert!(result.is_err());
+        assert!(
+            !cancelled(),
+            "the panicked scope's cancelled token must not survive the unwind"
+        );
+        assert!(
+            current().is_some(),
+            "the enclosing scope's token is still installed"
+        );
+    }
+
+    #[test]
+    fn guard_smuggled_through_a_panic_payload_removes_only_its_entry() {
+        // The pathological ordering: a guard escapes its scope inside the
+        // panic payload, so it drops *after* the scopes that were entered
+        // later have already been torn down and a fresh scope installed.
+        let result = std::panic::catch_unwind(|| {
+            let stale = CancelToken::new();
+            stale.cancel();
+            let guard = ScopedCancel::install(stale);
+            std::panic::panic_any(guard);
+        });
+        let payload = result.expect_err("the closure panicked");
+        // A new request's scope begins on the same (pooled) thread...
+        let fresh = CancelToken::new();
+        let _fresh_guard = ScopedCancel::install(fresh.clone());
+        // ...and only now does the smuggled guard drop.
+        drop(payload);
+        assert!(
+            !cancelled(),
+            "late drop of the smuggled guard must not cancel the new request"
+        );
+        let now = current().expect("fresh token still installed");
+        assert!(!now.is_cancelled());
     }
 }

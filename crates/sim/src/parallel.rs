@@ -461,6 +461,31 @@ mod tests {
     }
 
     #[test]
+    fn panicking_worker_leaves_no_stale_token_on_its_thread() {
+        // `count == 1` degenerates to the sequential path, so the work item
+        // runs on *this* thread — the same thread the next request would
+        // reuse in a pooled scheduler. The item installs its own (cancelled)
+        // scope and panics; after the harness catches the unwind, this
+        // thread's token state must be exactly what it was before.
+        assert!(cancel::current().is_none());
+        let out = try_map_indexed(1, 0, |_| -> usize {
+            let poisoned = CancelToken::new();
+            poisoned.cancel();
+            let _guard = ScopedCancel::install(poisoned);
+            panic!("worker died holding a cancel scope");
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().kind, FailureKind::Panic);
+        assert!(
+            cancel::current().is_none(),
+            "a caught worker panic must not leave its cancel token installed"
+        );
+        // The "reused thread" then serves an unrelated item: it must not see
+        // a stale cancellation.
+        let seen = try_map_indexed(1, 0, |_| cancel::cancelled());
+        assert_eq!(seen[0].as_ref().unwrap(), &false);
+    }
+
+    #[test]
     fn a_panic_without_cancellation_is_still_a_panic_under_supervision() {
         let out = try_map_indexed_watched(1, 0, Some(Duration::from_secs(30)), |_| -> usize {
             panic!("genuine bug")

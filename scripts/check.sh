@@ -128,4 +128,30 @@ grep -q "## fig3" "$hang_out" \
 grep -q '"failure":"Timeout"' "$hang_dir/manifest.json" \
   || { echo "manifest does not record the timeout" >&2; exit 1; }
 
+echo "== wrsnd campaign service: load-gen smoke"
+# Boot the daemon, drive it with a bounded deterministic load, and let the
+# load generator's own contract checks gate: every request answered ok,
+# duplicate digests byte-identical, daemon output for fig2 identical to an
+# in-process run, nothing stuck past its deadline. --max-requests caps the
+# daemon's lifetime so a wedged run cannot orphan it.
+svc_store="$(mktemp -d)"
+svc_banner="$(mktemp)"
+trap 'rm -f "$trace_file" "$faults_a" "$faults_b" "$panic_out" "$panic_err" \
+  "$hang_out" "$hang_err" "$svc_banner"; rm -rf "$gold_dir" "$run_dir" "$svc_store"' EXIT
+wrsnd=target/release/wrsnd
+"$wrsnd" serve --listen 127.0.0.1:0 --store "$svc_store" --max-requests 2000 \
+  > "$svc_banner" 2>/dev/null &
+svc_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$svc_banner" 2>/dev/null && break
+  sleep 0.1
+done
+svc_addr="$(sed -n 's/^wrsnd listening on //p' "$svc_banner")"
+[ -n "$svc_addr" ] || { echo "wrsnd never printed its listen address" >&2; exit 1; }
+"$wrsnd" load --connect "$svc_addr" --requests 400 --conns 8 --dup-frac 0.5 \
+  --deadline-s 120 --verify-exp fig2 --shutdown \
+  || { echo "wrsnd load-gen contract checks failed" >&2; exit 1; }
+wait "$svc_pid" \
+  || { echo "wrsnd daemon exited nonzero" >&2; exit 1; }
+
 echo "All checks passed."
