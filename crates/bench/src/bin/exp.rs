@@ -56,6 +56,11 @@ struct ExpOutput {
     /// Aggregated span wall-times (never part of the JSONL stream, never
     /// persisted — a replayed experiment has none).
     spans: Vec<SpanStats>,
+    /// Effective worker threads the experiment's worlds ran with, recorded
+    /// at run time (a replay reports the original run's value).
+    threads: usize,
+    /// Effective spatial shards, recorded the same way.
+    shards: usize,
 }
 
 impl ExpOutput {
@@ -67,6 +72,8 @@ impl ExpOutput {
             csvs: self.csvs.clone(),
             jsonl: self.jsonl.clone(),
             counters: self.counters.clone(),
+            threads: self.threads,
+            shards: self.shards,
         }
     }
 
@@ -79,6 +86,8 @@ impl ExpOutput {
             jsonl: stored.jsonl,
             counters: stored.counters,
             spans: Vec::new(),
+            threads: stored.threads,
+            shards: stored.shards,
         }
     }
 }
@@ -116,6 +125,10 @@ fn run_experiment(id: &'static str, observe: bool) -> Result<ExpOutput, BenchErr
         jsonl,
         counters,
         spans,
+        // Recorded at run time so a `--resume` replay reports the strategy
+        // the numbers were actually produced with, not today's environment.
+        threads: parallel::threads(),
+        shards: parallel::shards(),
     })
 }
 
@@ -177,6 +190,8 @@ fn json_report(outputs: &[ExpOutput], planner: &[(usize, f64)], campaign: &Campa
             let mut entry = vec![
                 ("id".to_string(), Value::Str(o.id.to_string())),
                 ("wall_s".to_string(), Value::F64(o.wall_s)),
+                ("threads".to_string(), Value::U64(o.threads as u64)),
+                ("shards".to_string(), Value::U64(o.shards as u64)),
             ];
             if !o.counters.is_empty() {
                 entry.push((

@@ -88,6 +88,8 @@ pub struct ScaleRow {
     pub nodes: usize,
     /// Shard count the world ran with.
     pub shards: usize,
+    /// Worker threads the parallel shard executor ran with.
+    pub threads: usize,
     /// Seconds to deploy and build the world (graph, routing, grid).
     pub build_s: f64,
     /// Seconds to run the CSA campaign to the horizon.
@@ -109,12 +111,14 @@ pub fn run_at_size_with(n: usize, rec: &mut dyn Recorder) -> ScaleRow {
     let mut world = scenario.build();
     let build_s = built.elapsed().as_secs_f64();
     let shards = world.shards();
+    let threads = world.threads();
     let ran = Instant::now();
     let (report, outcome) = run_csa_scaled_with(&mut world, config, rec);
     let run_s = ran.elapsed().as_secs_f64();
     ScaleRow {
         nodes: n,
         shards,
+        threads,
         build_s,
         run_s,
         dead: report.dead_nodes,
@@ -134,6 +138,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         &[
             "nodes",
             "shards",
+            "threads",
             "build (s)",
             "campaign (s)",
             "total (s)",
@@ -152,6 +157,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         table.push(vec![
             row.nodes.to_string(),
             row.shards.to_string(),
+            row.threads.to_string(),
             f(row.build_s, 3),
             f(row.run_s, 3),
             f(row.build_s + row.run_s, 3),

@@ -208,6 +208,12 @@ pub struct StoredOutput {
     pub jsonl: Vec<String>,
     /// Nonzero counters at the end of the experiment.
     pub counters: Vec<(String, u64)>,
+    /// Worker threads the run executed with. An artifact predating this
+    /// field fails deserialization, which the replay path already treats as
+    /// a corrupt artifact: the experiment deterministically re-runs.
+    pub threads: usize,
+    /// Spatial shards the run executed with (same compatibility story).
+    pub shards: usize,
 }
 
 /// Path of the artifact for `id` under `out_dir`.
@@ -348,6 +354,8 @@ mod tests {
             csvs: vec![("fig2_0.csv".to_string(), "a,b\n1,2\n".to_string())],
             jsonl: vec!["{\"t\":\"meta\"}".to_string()],
             counters: vec![("sessions_started".to_string(), 7)],
+            threads: 2,
+            shards: 8,
         };
         let digest = save_artifact(&dir, &output).expect("save");
         assert_eq!(digest.len(), 16);
@@ -381,6 +389,8 @@ mod tests {
             csvs: vec![("fig2_0.csv".to_string(), "a\n1\n".to_string())],
             jsonl: Vec::new(),
             counters: Vec::new(),
+            threads: 1,
+            shards: 1,
         };
         let digest = save_artifact(&dir, &output).expect("save");
         let path = artifact_path(&dir, "fig2");
@@ -415,6 +425,8 @@ mod tests {
             csvs: Vec::new(),
             jsonl: Vec::new(),
             counters: Vec::new(),
+            threads: 1,
+            shards: 1,
         };
         save_artifact(&dir, &output).expect("save artifact");
         let mut walk = vec![dir.clone()];

@@ -95,10 +95,22 @@ impl ServiceCounters {
         self.cache_rejected.load(Ordering::Relaxed)
     }
 
-    /// A JSON snapshot for the `stats` control op.
+    /// A JSON snapshot for the `stats` control op. Alongside the request
+    /// tallies it reports the effective execution strategy — worker threads
+    /// and spatial shards — every payload's world runs with, so a campaign
+    /// driver can record *how* its numbers were produced without parsing the
+    /// daemon's environment.
     pub fn to_value(&self) -> Value {
         let u = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
         Value::Map(vec![
+            (
+                "threads".to_string(),
+                Value::U64(wrsn::sim::parallel::threads() as u64),
+            ),
+            (
+                "shards".to_string(),
+                Value::U64(wrsn::sim::parallel::shards() as u64),
+            ),
             ("received".to_string(), u(&self.received)),
             ("ok".to_string(), u(&self.ok)),
             ("cache_hits".to_string(), u(&self.cache_hits)),

@@ -251,6 +251,10 @@ fn ping_and_stats_report_service_state() {
         body.contains("\"cache_misses\":1"),
         "one computed request in {body}"
     );
+    assert!(
+        body.contains("\"threads\":") && body.contains("\"shards\":"),
+        "stats must report the effective execution strategy, got {body}"
+    );
     drop(conn);
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&store);

@@ -1,0 +1,204 @@
+//! Shared battery-column view for disjoint parallel per-node updates.
+//!
+//! This is the one module in the crate that uses `unsafe`: the parallel
+//! shard executor in `wrsn-sim` needs several worker threads mutating the
+//! *same* energy columns at provably disjoint node indices (spatial shards
+//! partition the id space), which safe Rust cannot express over `&mut [f64]`
+//! without either cloning columns per shard or serialising the write-back.
+//!
+//! The contract is narrow and documented on every op: no two threads may
+//! touch the same index concurrently. Op bodies are copied verbatim from
+//! [`EnergyColumnsMut`] so a cell update is bitwise identical to the
+//! equivalent column call — the byte-identity proptests in `wrsn-sim` pin
+//! this across thread and shard counts.
+
+#![allow(unsafe_code)]
+
+use crate::graph::EnergyColumnsMut;
+
+/// Shared battery-column view for disjoint parallel updates, obtained from
+/// [`EnergyColumnsMut::as_cells`].
+///
+/// Every mutating op is an `unsafe fn` taking `&self`: callers promise that
+/// no two threads ever access the same index concurrently. The simulation
+/// engine upholds this structurally — spatial shards partition node ids, and
+/// each shard worker only calls ops on its own members.
+pub struct EnergyCells<'a> {
+    capacity_j: &'a [f64],
+    warning_j: &'a [f64],
+    level_j: *mut f64,
+    depleted: *mut bool,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut f64>,
+}
+
+// Safety: all mutation goes through per-index `unsafe fn` ops whose contract
+// requires disjoint indices across threads; the shared slices are read-only.
+unsafe impl Send for EnergyCells<'_> {}
+unsafe impl Sync for EnergyCells<'_> {}
+
+impl<'a> EnergyCells<'a> {
+    /// Reborrows mutable columns as a shared cells view. The exclusive
+    /// borrow of `cols` guarantees nothing else can touch the columns while
+    /// the view lives.
+    pub fn new(cols: &'a mut EnergyColumnsMut<'_>) -> Self {
+        let len = cols.level_j.len();
+        EnergyCells {
+            capacity_j: cols.capacity_j,
+            warning_j: cols.warning_j,
+            level_j: cols.level_j.as_mut_ptr(),
+            depleted: cols.depleted.as_mut_ptr(),
+            len,
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn check(&self, i: usize) {
+        assert!(i < self.len, "node index {i} out of range {}", self.len);
+    }
+
+    /// Cell form of [`EnergyColumnsMut::discharge`].
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access index `i` while this call runs.
+    #[inline]
+    pub unsafe fn discharge(&self, i: usize, energy_j: f64) -> f64 {
+        self.check(i);
+        let level = self.level_j.add(i);
+        let e = energy_j.max(0.0).min(*level);
+        *level -= e;
+        if *level <= 0.0 {
+            *level = 0.0;
+            *self.depleted.add(i) = true;
+        }
+        e
+    }
+
+    /// Cell form of [`EnergyColumnsMut::charge`].
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access index `i` while this call runs.
+    #[inline]
+    pub unsafe fn charge(&self, i: usize, energy_j: f64) -> f64 {
+        self.check(i);
+        if *self.depleted.add(i) {
+            return 0.0;
+        }
+        let level = self.level_j.add(i);
+        let e = energy_j.max(0.0).min(self.capacity_j[i] - *level);
+        *level += e;
+        e
+    }
+
+    /// Cell form of [`EnergyColumnsMut::set_level`].
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access index `i` while this call runs.
+    #[inline]
+    pub unsafe fn set_level(&self, i: usize, level_j: f64) {
+        self.check(i);
+        let level = self.level_j.add(i);
+        *level = level_j.clamp(0.0, self.capacity_j[i]);
+        if *level <= 0.0 {
+            *self.depleted.add(i) = true;
+        }
+    }
+
+    /// Cell form of [`EnergyColumnsMut::needs_charging`].
+    ///
+    /// # Safety
+    ///
+    /// No other thread may write index `i` while this call runs.
+    #[inline]
+    pub unsafe fn needs_charging(&self, i: usize) -> bool {
+        self.check(i);
+        !*self.depleted.add(i) && *self.level_j.add(i) <= self.warning_j[i]
+    }
+
+    /// Current level of cell `i`, joules.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may write index `i` while this call runs.
+    #[inline]
+    pub unsafe fn level(&self, i: usize) -> f64 {
+        self.check(i);
+        *self.level_j.add(i)
+    }
+
+    /// Warning threshold of cell `i`, joules (read-only column).
+    #[inline]
+    pub fn warning(&self, i: usize) -> f64 {
+        self.warning_j[i]
+    }
+
+    /// Depletion latch of cell `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may write index `i` while this call runs.
+    #[inline]
+    pub unsafe fn depleted(&self, i: usize) -> bool {
+        self.check(i);
+        *self.depleted.add(i)
+    }
+}
+
+impl EnergyColumnsMut<'_> {
+    /// Reborrows the columns as a shared [`EnergyCells`] view for disjoint
+    /// parallel per-index updates.
+    pub fn as_cells(&mut self) -> EnergyCells<'_> {
+        EnergyCells::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::geom::{Point, Region};
+    use crate::graph::Network;
+
+    #[test]
+    fn energy_cells_match_columns() {
+        let nodes = crate::deploy::uniform(&Region::square(60.0), 16, 3);
+        let mut a = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+        let mut b = a.clone();
+        let mut cols = a.energy_mut();
+        let mut cols_b = b.energy_mut();
+        let cells = cols_b.as_cells();
+        for i in 0..16 {
+            let want = cols.discharge(i, 7.5 * (i as f64 + 1.0));
+            let got = unsafe { cells.discharge(i, 7.5 * (i as f64 + 1.0)) };
+            assert_eq!(want.to_bits(), got.to_bits(), "discharge node {i}");
+            let want = cols.charge(i, 3.25);
+            let got = unsafe { cells.charge(i, 3.25) };
+            assert_eq!(want.to_bits(), got.to_bits(), "charge node {i}");
+            unsafe {
+                assert_eq!(cols.needs_charging(i), cells.needs_charging(i));
+                assert_eq!(cols.level_j[i].to_bits(), cells.level(i).to_bits());
+                assert_eq!(cols.depleted[i], cells.depleted(i));
+                assert_eq!(cols.warning_j[i].to_bits(), cells.warning(i).to_bits());
+            }
+            cols.set_level(i, 40.0 + i as f64);
+            unsafe {
+                cells.set_level(i, 40.0 + i as f64);
+                assert_eq!(cols.level_j[i].to_bits(), cells.level(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn energy_cells_bounds_checked() {
+        let nodes = crate::deploy::uniform(&Region::square(60.0), 4, 3);
+        let mut net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+        let mut cols = net.energy_mut();
+        let cells = cols.as_cells();
+        unsafe {
+            cells.level(4);
+        }
+    }
+}

@@ -146,6 +146,10 @@ impl EnergyColumnsMut<'_> {
     }
 }
 
+/// Below this node count the parallel build falls back to the sequential
+/// half-scan: spawn overhead would dominate the ~O(n) bucket scan.
+const PARALLEL_BUILD_MIN_NODES: usize = 8192;
+
 impl Network {
     /// Builds the network, computing adjacency from `comm_range_m`.
     ///
@@ -199,6 +203,86 @@ impl Network {
                 }
             }
         }
+        let sink_neighbors = (0..n)
+            .filter(|&i| positions[i].distance_sq(sink) <= r2)
+            .map(NodeId)
+            .collect();
+        Network::from_parts(nodes, sink, comm_range_m, adj, sink_neighbors)
+    }
+
+    /// Like [`Network::build`], but fans the per-node neighbour scan over
+    /// `threads` scoped worker threads when the deployment is large enough
+    /// to amortise the spawn cost.
+    ///
+    /// Each worker owns a contiguous range of adjacency lists and scans the
+    /// full 3×3 cell neighbourhood for every node (instead of the sequential
+    /// half-scan), then sorts ascending — each grid bucket holds ascending
+    /// ids by construction, so the resulting lists are identical to the
+    /// sequential build's, and the network is byte-for-byte the same at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm_range_m` is not finite and positive.
+    pub fn build_with_threads(
+        nodes: Vec<SensorNode>,
+        sink: Point,
+        comm_range_m: f64,
+        threads: usize,
+    ) -> Self {
+        let n = nodes.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 || n < PARALLEL_BUILD_MIN_NODES {
+            return Network::build(nodes, sink, comm_range_m);
+        }
+        assert!(
+            comm_range_m.is_finite() && comm_range_m > 0.0,
+            "communication range must be positive, got {comm_range_m}"
+        );
+        let r2 = comm_range_m * comm_range_m;
+        let positions: Vec<Point> = nodes.iter().map(SensorNode::position).collect();
+        let inv_cell = 1.0 / comm_range_m;
+        let (min_x, min_y) = grid_origin(&positions);
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            buckets
+                .entry(grid_cell(p, min_x, min_y, inv_cell))
+                .or_default()
+                .push(i);
+        }
+        let mut adj = vec![Vec::new(); n];
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, chunk_adj) in adj.chunks_mut(chunk).enumerate() {
+                let positions = &positions;
+                let buckets = &buckets;
+                scope.spawn(move || {
+                    let base = c * chunk;
+                    for (k, out) in chunk_adj.iter_mut().enumerate() {
+                        let i = base + k;
+                        let (cx, cy) = grid_cell(positions[i], min_x, min_y, inv_cell);
+                        for dx in -1..=1 {
+                            for dy in -1..=1 {
+                                if let Some(bucket) = buckets.get(&(cx + dx, cy + dy)) {
+                                    out.extend(
+                                        bucket
+                                            .iter()
+                                            .copied()
+                                            .filter(|&j| {
+                                                j != i
+                                                    && positions[i].distance_sq(positions[j]) <= r2
+                                            })
+                                            .map(NodeId),
+                                    );
+                                }
+                            }
+                        }
+                        out.sort_unstable();
+                    }
+                });
+            }
+        });
         let sink_neighbors = (0..n)
             .filter(|&i| positions[i].distance_sq(sink) <= r2)
             .map(NodeId)
@@ -813,5 +897,24 @@ mod tests {
         // Sink at (0,0), range 12: nodes 0 (d=0) and 1 (d=10) qualify.
         let net = path_net();
         assert_eq!(net.sink_neighbors(), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Above the parallel threshold so the threaded path actually runs.
+        let nodes = crate::deploy::uniform(&Region::square(400.0), 9000, 42);
+        let seq = Network::build(nodes.clone(), Point::new(200.0, 200.0), 12.0);
+        for threads in [2, 3, 8] {
+            let par =
+                Network::build_with_threads(nodes.clone(), Point::new(200.0, 200.0), 12.0, threads);
+            assert_eq!(par.sink_neighbors(), seq.sink_neighbors());
+            for i in 0..seq.node_count() {
+                assert_eq!(
+                    par.neighbors(NodeId(i)),
+                    seq.neighbors(NodeId(i)),
+                    "threads {threads} node {i}"
+                );
+            }
+        }
     }
 }

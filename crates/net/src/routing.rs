@@ -137,13 +137,27 @@ impl RoutingTree {
     ///
     /// Debug builds re-run the full computation and assert bitwise equality
     /// — the equality harness backing the `routing_repair` property tests.
-    #[allow(clippy::needless_range_loop)] // `affected` co-indexes self.dist/parent/reachable
     pub fn repair_after_deaths(
         &mut self,
         net: &Network,
         mask: &[bool],
         dead: &[NodeId],
         affected: &mut Vec<bool>,
+    ) -> RepairReport {
+        self.repair_after_deaths_budgeted(net, mask, dead, affected, None)
+    }
+
+    /// [`RoutingTree::repair_after_deaths`] with an explicit relaxation
+    /// budget (`None` = the default `max(alive / 2, 4096)`). Exposed for the
+    /// budget-fallback unit tests; production callers use the default.
+    #[allow(clippy::needless_range_loop)] // `affected` co-indexes self.dist/parent/reachable
+    fn repair_after_deaths_budgeted(
+        &mut self,
+        net: &Network,
+        mask: &[bool],
+        dead: &[NodeId],
+        affected: &mut Vec<bool>,
+        budget_override: Option<usize>,
     ) -> RepairReport {
         let n = net.node_count();
         debug_assert_eq!(self.dist.len(), n);
@@ -246,12 +260,31 @@ impl RoutingTree {
                 });
             }
         }
+        // Relaxation budget: the affected-fraction gate above bounds the
+        // *invalidated* region, but frontier donors can still blow the
+        // re-relaxation up to a large multiple of it at scale (13.2M settles
+        // across a 1M-node run before this bound existed). Past the budget a
+        // full rebuild is cheaper — and identical, full build being the
+        // semantic reference — so abandon the repair mid-relax; the rebuild
+        // overwrites all distance/parent/reachability state wholesale. Each
+        // non-stale pop settles a node at its final distance once, so
+        // `relaxed <= alive_count`: with the 4096 floor the budget can only
+        // trigger above 4096 alive nodes, leaving the paper-scale figure
+        // experiments (and their golden traces) untouched.
+        let budget = budget_override.unwrap_or_else(|| (alive_count / 2).max(4096));
         let mut relaxed = 0usize;
         while let Some(Item { d, v }) = heap.pop() {
             if d > self.dist[v] {
                 continue;
             }
             relaxed += 1;
+            if relaxed > budget {
+                *self = RoutingTree::shortest_path(net, mask);
+                return RepairReport {
+                    relaxed: 0,
+                    full_rebuild: true,
+                };
+            }
             for &u in net.neighbors(NodeId(v)) {
                 if !mask[u.0] {
                     continue;
@@ -568,6 +601,52 @@ mod tests {
             );
         }
         assert_eq!(tree.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn exhausted_relaxation_budget_falls_back_to_full_rebuild() {
+        // Same topology as the reroute test: killing sink-adjacent node 0
+        // re-relaxes node 2 through donor node 1 — normally in place, but a
+        // zero budget forces the fallback, which must be bitwise identical.
+        let nodes = vec![
+            SensorNode::new(Point::new(10.0, 0.0)),
+            SensorNode::new(Point::new(0.0, 10.0)),
+            SensorNode::new(Point::new(10.0, 10.0)),
+            SensorNode::new(Point::new(0.0, 20.0)),
+            SensorNode::new(Point::new(0.0, 30.0)),
+        ];
+        let net = Network::build(nodes, Point::new(0.0, 0.0), 12.0);
+        let mut mask = net.alive_mask();
+        let mut tree = RoutingTree::shortest_path(&net, &mask);
+        mask[0] = false;
+        let mut affected = Vec::new();
+        let report =
+            tree.repair_after_deaths_budgeted(&net, &mask, &[NodeId(0)], &mut affected, Some(0));
+        assert!(report.full_rebuild, "a zero budget must force the fallback");
+        assert_eq!(report.relaxed, 0);
+        let full = RoutingTree::shortest_path(&net, &mask);
+        for i in 0..net.node_count() {
+            let id = NodeId(i);
+            assert_eq!(tree.parent(id), full.parent(id), "parent of {i}");
+            assert_eq!(tree.is_reachable(id), full.is_reachable(id));
+            assert_eq!(
+                tree.dist_to_sink(id).to_bits(),
+                full.dist_to_sink(id).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn default_budget_never_triggers_at_figure_scale() {
+        // The default budget floor is 4096 settles and `relaxed` is bounded
+        // by the alive count, so small worlds must always repair in place.
+        let net = path_net();
+        let mut mask = net.alive_mask();
+        let mut tree = RoutingTree::shortest_path(&net, &mask);
+        mask[3] = false;
+        let mut affected = Vec::new();
+        let report = tree.repair_after_deaths(&net, &mask, &[NodeId(3)], &mut affected);
+        assert!(!report.full_rebuild);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The fused integration-segment kernel and its shard executors.
+//!
+//! This is the one module in the crate that uses `unsafe`: the parallel
+//! shard executor runs [`apply_segment`] on several worker threads over the
+//! *same* battery columns (a shared [`EnergyCells`] view), relying on the
+//! engine invariant that spatial shards partition the node id space — no two
+//! shards ever touch the same node, so every per-index cell op is data-race
+//! free. The safe wrappers below ([`apply_sequential`],
+//! [`apply_shards_parallel`]) are the only entry points; they uphold the
+//! disjointness contract structurally and everything outside this module
+//! stays unsafe-free.
+//!
+//! Bitwise discipline: the kernel body is the same for the unsharded,
+//! sequential-sharded and parallel-sharded paths (one function), cell ops
+//! are bitwise-identical to the [`wrsn_net::EnergyColumnsMut`] column ops,
+//! and the merge in `World::advance` re-establishes ascending index order —
+//! so the trajectory is byte-identical at any `threads × shards`
+//! combination. The `shard_determinism` proptests pin this.
+
+#![allow(unsafe_code)]
+
+use wrsn_net::{EnergyCells, EnergyColumnsMut, NodeId};
+
+use crate::parallel::{self, WorkerError};
+use crate::world::DEATH_EPS;
+
+/// Per-segment inputs shared by every shard: the current power/drain columns
+/// and the injection applied over the segment.
+pub(crate) struct SegmentCtx<'a> {
+    /// Gross per-node power draw, watts (for saturation bookkeeping).
+    pub power_w: &'a [f64],
+    /// Net battery drain per node, watts (negative = charging).
+    pub net_w: &'a [f64],
+    /// The node receiving wireless charge, if any.
+    pub inject_node: Option<NodeId>,
+    /// Effective injected power, watts (after fault degradation).
+    pub eff_w: f64,
+    /// Segment length, seconds.
+    pub step: f64,
+}
+
+/// One shard's private accumulators for a parallel segment: deaths, warning
+/// crossings, the shard-local event horizon and the energy stored in the
+/// inject node's battery (nonzero only for the shard owning it).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSlot {
+    pub dead: Vec<NodeId>,
+    pub crossed: Vec<usize>,
+    pub t_next: f64,
+    pub stored: f64,
+}
+
+impl Default for ShardSlot {
+    fn default() -> Self {
+        ShardSlot {
+            dead: Vec::new(),
+            crossed: Vec::new(),
+            t_next: f64::INFINITY,
+            stored: 0.0,
+        }
+    }
+}
+
+/// Applies one integration segment to the nodes listed in `members`: drains
+/// (or charges, for the injected node) each battery over `step` seconds,
+/// detects deaths and warning-threshold crossings, folds the next event
+/// horizon into `t_next`, and returns the energy stored in `inject_node`'s
+/// battery. The unsharded path passes `alive_idx` with no mask; shards pass
+/// their (static) member lists with the live mask, which filters to exactly
+/// the same node set. Per-node updates touch only that node's column entries,
+/// so any partition of the members applies bitwise-identical updates.
+///
+/// # Safety
+///
+/// Concurrent calls sharing `cells` must have disjoint `members` — the
+/// spatial shard map partitions node ids, which is how the wrappers below
+/// uphold this.
+#[allow(clippy::too_many_arguments)] // the fused loop's full working set
+unsafe fn apply_segment(
+    members: &[usize],
+    alive: Option<&[bool]>,
+    cells: &EnergyCells<'_>,
+    ctx: &SegmentCtx<'_>,
+    t_next: &mut f64,
+    dead: &mut Vec<NodeId>,
+    crossed: &mut Vec<usize>,
+) -> f64 {
+    let mut stored = 0.0;
+    for &i in members {
+        if let Some(alive) = alive {
+            if !alive[i] {
+                continue;
+            }
+        }
+        let w = ctx.net_w[i];
+        let nid = NodeId(i);
+        if w == 0.0 && ctx.inject_node != Some(nid) {
+            // Zero drain, no injection: the battery cannot move.
+            continue;
+        }
+        let was_low = cells.needs_charging(i);
+        if w > 0.0 {
+            cells.discharge(i, w * ctx.step);
+            // Snap float residue: if the remaining charge lasts under a
+            // nanosecond at this drain, the node is dead now.
+            if cells.level(i) <= w * DEATH_EPS {
+                cells.set_level(i, 0.0);
+            }
+            if cells.depleted(i) {
+                // `members` ascends, so deaths come out sorted. Dead nodes
+                // get a full request scan during the topology refresh, so
+                // none is queued here.
+                dead.push(nid);
+            } else {
+                let level = cells.level(i);
+                let warning = cells.warning(i);
+                *t_next = t_next.min(level / w);
+                if level > warning {
+                    *t_next = t_next.min((level - warning) / w);
+                }
+                if cells.needs_charging(i) != was_low {
+                    crossed.push(i);
+                }
+            }
+            if ctx.inject_node == Some(nid) {
+                // Net drain positive means no saturation: the battery
+                // absorbed the full injected inflow.
+                stored += ctx.eff_w * ctx.step;
+            }
+        } else {
+            let gained = cells.charge(i, -w * ctx.step);
+            if cells.needs_charging(i) != was_low {
+                crossed.push(i);
+            }
+            if ctx.inject_node == Some(nid) {
+                // Saturated batteries absorb less than injected.
+                stored += gained + ctx.power_w[i] * ctx.step;
+            }
+        }
+    }
+    stored
+}
+
+/// [`apply_segment`] on the calling thread. Safe: a single caller holding the
+/// exclusive column borrow trivially satisfies the disjointness contract.
+pub(crate) fn apply_sequential(
+    cols: &mut EnergyColumnsMut<'_>,
+    members: &[usize],
+    alive: Option<&[bool]>,
+    ctx: &SegmentCtx<'_>,
+    t_next: &mut f64,
+    dead: &mut Vec<NodeId>,
+    crossed: &mut Vec<usize>,
+) -> f64 {
+    let cells = cols.as_cells();
+    // Safety: one thread, one call — no concurrent access to any index.
+    unsafe { apply_segment(members, alive, &cells, ctx, t_next, dead, crossed) }
+}
+
+/// Fans [`apply_segment`] over the shards on up to `workers` scoped threads,
+/// one private [`ShardSlot`] per shard. Safe: `shards` is the engine's
+/// spatial shard map, whose shards partition the node id space, so every
+/// worker touches a disjoint set of column indices.
+///
+/// A panic in a shard worker is caught at the shard boundary
+/// ([`parallel::scatter`]) and returned as the lowest-index [`WorkerError`];
+/// the columns may then hold a partially applied segment, so the caller must
+/// abandon the run. Workers inherit the spawning thread's cancellation token
+/// but do not poll it — `World::advance` polls once per segment on the
+/// coordinating thread, which bounds cancellation latency to one segment
+/// exactly as in sequential execution.
+pub(crate) fn apply_shards_parallel(
+    cols: &mut EnergyColumnsMut<'_>,
+    shards: &[Vec<usize>],
+    alive: &[bool],
+    workers: usize,
+    ctx: &SegmentCtx<'_>,
+    slots: &mut [ShardSlot],
+) -> Result<(), WorkerError> {
+    debug_assert_eq!(shards.len(), slots.len());
+    let cells = cols.as_cells();
+    let cells = &cells;
+    parallel::scatter(workers, slots, |k, slot| {
+        if parallel::forced_shard_panic() == Some(k) {
+            panic!("forced shard panic in shard {k}");
+        }
+        slot.dead.clear();
+        slot.crossed.clear();
+        slot.t_next = f64::INFINITY;
+        // Safety: shard `k`'s members are disjoint from every other shard's
+        // (the shard map partitions 0..n), and each slot is visited once.
+        slot.stored = unsafe {
+            apply_segment(
+                &shards[k],
+                Some(alive),
+                cells,
+                ctx,
+                &mut slot.t_next,
+                &mut slot.dead,
+                &mut slot.crossed,
+            )
+        };
+    })
+}

@@ -20,6 +20,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::obs::{self, Counter, Gauge, Recorder, TraceRecord};
 use crate::policy::{ChargerAction, ChargerPolicy, WorldView};
 use crate::request::{ChargeRequest, RequestQueue};
+use crate::shard_exec::{self, SegmentCtx, ShardSlot};
 use crate::store::Checkpointer;
 use crate::trace::{ChargeSession, SimEvent, Trace};
 
@@ -121,6 +122,11 @@ pub struct World {
     /// serialized, preserved across [`World::restore`], and byte-identical
     /// output at any value.
     shard_count: usize,
+    /// Worker threads the sharded advance fans shards over (1 = run shards
+    /// sequentially on the calling thread). Pure execution strategy like
+    /// `shard_count`: never serialized, preserved across [`World::restore`],
+    /// byte-identical output at any value.
+    thread_count: usize,
     scratch: Scratch,
 }
 
@@ -161,6 +167,9 @@ struct Scratch {
     /// shard sorted ascending. Empty when `World::shard_count <= 1` (the
     /// unsharded fast path iterates `alive_idx` directly).
     shards: Vec<Vec<usize>>,
+    /// Per-shard accumulators for the parallel advance, one per shard (kept
+    /// sized by [`World::rebuild_shards`] so the hot loop never allocates).
+    shard_slots: Vec<ShardSlot>,
 }
 
 impl Default for Scratch {
@@ -179,6 +188,7 @@ impl Default for Scratch {
             },
             horizon: None,
             shards: Vec::new(),
+            shard_slots: Vec::new(),
         }
     }
 }
@@ -233,6 +243,7 @@ impl Deserialize for World {
             },
             ckpt: None,
             shard_count: crate::parallel::shards(),
+            thread_count: crate::parallel::threads(),
             scratch: Scratch::default(),
         };
         world.rebuild_scratch();
@@ -241,7 +252,7 @@ impl Deserialize for World {
 }
 
 /// Relative tolerance when matching a node's depletion instant.
-const DEATH_EPS: f64 = 1e-9;
+pub(crate) const DEATH_EPS: f64 = 1e-9;
 
 impl World {
     /// Creates a world at `t = 0` with full batteries.
@@ -262,6 +273,7 @@ impl World {
             faults: None,
             ckpt: None,
             shard_count: crate::parallel::shards(),
+            thread_count: crate::parallel::threads(),
             scratch: Scratch::default(),
         };
         world.refresh_full();
@@ -327,6 +339,22 @@ impl World {
     /// The configured spatial shard count (1 = unsharded).
     pub fn shards(&self) -> usize {
         self.shard_count
+    }
+
+    /// Sets the number of worker threads the sharded advance fans shards over
+    /// (values below 1 clamp to 1 = sequential). Like sharding, threading is
+    /// a pure execution strategy: the trajectory, trace and snapshots are
+    /// byte-identical at any thread count. It only takes effect together with
+    /// `set_shards(n >= 2)` — with one shard there is nothing to fan out.
+    /// New worlds start from the [`crate::parallel::THREADS_ENV`] environment
+    /// variable (default: available parallelism).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.thread_count = threads.max(1);
+    }
+
+    /// The configured worker thread count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.thread_count
     }
 
     /// Current simulation time, seconds.
@@ -420,6 +448,7 @@ impl World {
     /// deterministic.
     fn rebuild_shards(&mut self) {
         self.scratch.shards.clear();
+        self.scratch.shard_slots.clear();
         let n = self.net.node_count();
         if self.shard_count <= 1 || n == 0 {
             return;
@@ -449,6 +478,9 @@ impl World {
             shard.sort_unstable();
             self.scratch.shards.push(shard);
         }
+        self.scratch
+            .shard_slots
+            .resize_with(self.scratch.shards.len(), ShardSlot::default);
     }
 
     /// Recomputes routing/power from scratch after a topology change, updates
@@ -460,13 +492,16 @@ impl World {
         self.scratch.load = routing::traffic_load(&self.net, &self.tree, &self.scratch.alive);
         // Includes the disconnected-drain floor: alive-but-disconnected nodes
         // keep listening and beaconing for a route — they are "exhausted in
-        // vain", which is exactly the fate the attack inflicts.
-        self.power_w = keynode::effective_power_draw_with_tree(
+        // vain", which is exactly the fate the attack inflicts. Per-node
+        // power is pure and bitwise-stable, so the threaded recompute is
+        // identical at any thread count.
+        self.power_w = keynode::effective_power_draw_with_tree_threads(
             &self.net,
             &self.scratch.alive,
             &self.config.radio,
             &self.tree,
             &self.scratch.load,
+            self.thread_count,
         );
         self.check_lifetime();
         self.scan_requests();
@@ -775,7 +810,7 @@ impl World {
             // `next_event_horizon` scan (same nodes ascending, same values).
             let mut t_next = f64::INFINITY;
             {
-                let power_w = &self.power_w;
+                let threads = self.thread_count;
                 let mut cols = self.net.energy_mut();
                 let Scratch {
                     alive,
@@ -784,18 +819,22 @@ impl World {
                     dead,
                     crossed,
                     shards,
+                    shard_slots,
                     ..
                 } = &mut self.scratch;
+                let ctx = SegmentCtx {
+                    power_w: &self.power_w,
+                    net_w: net_w.as_slice(),
+                    inject_node,
+                    eff_w,
+                    step,
+                };
                 if shards.is_empty() {
-                    stored += apply_segment(
+                    stored += shard_exec::apply_sequential(
+                        &mut cols,
                         alive_idx,
                         None,
-                        &mut cols,
-                        power_w,
-                        net_w,
-                        inject_node,
-                        eff_w,
-                        step,
+                        &ctx,
                         &mut t_next,
                         dead,
                         crossed,
@@ -810,21 +849,41 @@ impl World {
                     // `t_next` is a min-fold (exactly associative) and
                     // `stored` is only ever contributed by the inject node's
                     // shard, so the merge is bitwise equal to the fast path
-                    // at any shard count.
-                    for shard in shards.iter() {
-                        stored += apply_segment(
-                            shard,
-                            Some(alive),
+                    // at any shard × thread count.
+                    if threads > 1 && shards.len() > 1 {
+                        // Parallel: each shard fills a private slot; the
+                        // merge below replays the sequential loop's exact
+                        // accumulation sequence in ascending shard order.
+                        shard_exec::apply_shards_parallel(
                             &mut cols,
-                            power_w,
-                            net_w,
-                            inject_node,
-                            eff_w,
-                            step,
-                            &mut t_next,
-                            dead,
-                            crossed,
-                        );
+                            shards,
+                            alive,
+                            threads,
+                            &ctx,
+                            shard_slots,
+                        )
+                        .map_err(|e| SimError::ShardPanic {
+                            shard: e.index,
+                            message: e.message,
+                        })?;
+                        for slot in shard_slots.iter_mut() {
+                            stored += slot.stored;
+                            t_next = t_next.min(slot.t_next);
+                            dead.append(&mut slot.dead);
+                            crossed.append(&mut slot.crossed);
+                        }
+                    } else {
+                        for shard in shards.iter() {
+                            stored += shard_exec::apply_sequential(
+                                &mut cols,
+                                shard,
+                                Some(alive),
+                                &ctx,
+                                &mut t_next,
+                                dead,
+                                crossed,
+                            );
+                        }
                     }
                     dead.sort_unstable();
                     crossed.sort_unstable();
@@ -1164,12 +1223,15 @@ impl World {
     pub fn restore(&mut self, checkpoint: &Checkpoint) {
         // Supervision attachments and execution strategy survive a restore: a
         // world resuming from disk keeps writing its periodic checkpoints and
-        // keeps its configured shard count (sharding never changes output).
+        // keeps its configured shard and thread counts (neither changes
+        // output).
         let ckpt = self.ckpt.take();
         let shard_count = self.shard_count;
+        let thread_count = self.thread_count;
         *self = checkpoint.state.clone();
         self.ckpt = ckpt.map(|c| c.armed_at(self.time_s));
         self.shard_count = shard_count;
+        self.thread_count = thread_count;
         self.scratch = Scratch::default();
         self.rebuild_scratch();
     }
@@ -1281,84 +1343,6 @@ impl World {
             final_health: metrics::snapshot(&self.net, self.config.sensing_radius_m, 20),
         }
     }
-}
-
-/// Applies one integration segment to the nodes listed in `members`: drains
-/// (or charges, for the injected node) each battery over `step` seconds,
-/// detects deaths and warning-threshold crossings, folds the next event
-/// horizon into `t_next`, and returns the energy stored in `inject_node`'s
-/// battery. The unsharded path passes `alive_idx` with no mask; shards pass
-/// their (static) member lists with the live mask, which filters to exactly
-/// the same node set. Per-node updates touch only that node's column entries,
-/// so any partition of the members applies bitwise-identical updates.
-#[allow(clippy::too_many_arguments)] // the fused loop's full working set
-fn apply_segment(
-    members: &[usize],
-    alive: Option<&[bool]>,
-    cols: &mut wrsn_net::EnergyColumnsMut<'_>,
-    power_w: &[f64],
-    net_w: &[f64],
-    inject_node: Option<NodeId>,
-    eff_w: f64,
-    step: f64,
-    t_next: &mut f64,
-    dead: &mut Vec<NodeId>,
-    crossed: &mut Vec<usize>,
-) -> f64 {
-    let mut stored = 0.0;
-    for &i in members {
-        if let Some(alive) = alive {
-            if !alive[i] {
-                continue;
-            }
-        }
-        let w = net_w[i];
-        let nid = NodeId(i);
-        if w == 0.0 && inject_node != Some(nid) {
-            // Zero drain, no injection: the battery cannot move.
-            continue;
-        }
-        let was_low = cols.needs_charging(i);
-        if w > 0.0 {
-            cols.discharge(i, w * step);
-            // Snap float residue: if the remaining charge lasts under a
-            // nanosecond at this drain, the node is dead now.
-            if cols.level_j[i] <= w * DEATH_EPS {
-                cols.set_level(i, 0.0);
-            }
-            if cols.depleted[i] {
-                // `members` ascends, so deaths come out sorted. Dead nodes
-                // get a full request scan during the topology refresh, so
-                // none is queued here.
-                dead.push(nid);
-            } else {
-                let level = cols.level_j[i];
-                let warning = cols.warning_j[i];
-                *t_next = t_next.min(level / w);
-                if level > warning {
-                    *t_next = t_next.min((level - warning) / w);
-                }
-                if cols.needs_charging(i) != was_low {
-                    crossed.push(i);
-                }
-            }
-            if inject_node == Some(nid) {
-                // Net drain positive means no saturation: the battery
-                // absorbed the full injected inflow.
-                stored += eff_w * step;
-            }
-        } else {
-            let gained = cols.charge(i, -w * step);
-            if cols.needs_charging(i) != was_low {
-                crossed.push(i);
-            }
-            if inject_node == Some(nid) {
-                // Saturated batteries absorb less than injected.
-                stored += gained + power_w[i] * step;
-            }
-        }
-    }
-    stored
 }
 
 /// A frozen copy of a [`World`]'s complete simulation state, taken with

@@ -5,6 +5,12 @@
 //! worlds through all of those and compare full JSON snapshots (batteries,
 //! clock, trace, requests, fault bookkeeping) across shard counts
 //! {1, 2, 7, 16}.
+//!
+//! Worker threads are the same kind of strategy one level up: the parallel
+//! shard executor fans shards over threads, and the thread-axis properties
+//! below pin bitwise equality across threads {1, 2, 7} × shards
+//! {1, 2, 7, 16}, including mid-run snapshot/restore into a different thread
+//! count and cooperative cancellation through the threaded path.
 
 use proptest::prelude::*;
 use wrsn_net::energy::Battery;
@@ -18,6 +24,14 @@ use wrsn_sim::{
 /// The shard counts every property is checked across, against the
 /// unsharded (count 1) reference.
 const SHARD_COUNTS: [usize; 3] = [2, 7, 16];
+
+/// The thread counts the thread-axis properties sweep (crossed with
+/// [`THREADED_SHARD_COUNTS`]).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Shard counts crossed with [`THREAD_COUNTS`]: includes 1 so the
+/// unsharded fast path is exercised under every thread count too.
+const THREADED_SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
 
 fn build_world(nodes: usize, seed: u64, horizon_s: f64) -> World {
     // Small batteries so deaths land inside the window.
@@ -196,4 +210,110 @@ proptest! {
             );
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The full threads × shards execution matrix — free-running drains,
+    /// deaths, routing repair, a charging session and fault injection — is
+    /// bitwise identical to the single-thread unsharded reference.
+    #[test]
+    fn threaded_advance_matches_reference(
+        nodes in 8usize..32,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        target in 0usize..8,
+        dt in 10_000.0..150_000.0f64,
+    ) {
+        let cfg = FaultConfig {
+            node_failures: 2,
+            degradations: 1,
+            request_losses: 1,
+            ..FaultConfig::default()
+        };
+        let run = |threads: usize, shards: usize| {
+            let mut world = build_world(nodes, seed, 1.0e6);
+            world.set_shards(shards);
+            world.set_threads(threads);
+            world.set_fault_plan(FaultPlan::generate(fault_seed, nodes, dt, &cfg));
+            world
+                .run(&mut ChargeOneThenIdle { node: NodeId(target), done: false })
+                .expect("run");
+            world.advance_by(dt).expect("advance");
+            snapshot_json(&world)
+        };
+        let expected = run(1, 1);
+        for threads in THREAD_COUNTS {
+            for shards in THREADED_SHARD_COUNTS {
+                if threads == 1 && shards == 1 {
+                    continue;
+                }
+                prop_assert_eq!(
+                    &run(threads, shards), &expected,
+                    "threads {} x shards {} diverged from the sequential reference",
+                    threads, shards
+                );
+            }
+        }
+    }
+
+    /// Snapshot mid-run in one threads × shards configuration, restore into
+    /// a world with a different thread count, re-advance: still bitwise
+    /// identical to the uninterrupted sequential run (a restored world keeps
+    /// its own execution strategy, and threading never leaks into the
+    /// snapshot).
+    #[test]
+    fn snapshot_restore_across_thread_counts(
+        nodes in 8usize..32,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        t_snap in 5_000.0..50_000.0f64,
+    ) {
+        let cfg = FaultConfig::uniform(1);
+        let total = 120_000.0;
+        let mut reference = build_world(nodes, seed, 1.0e6);
+        reference.set_shards(1);
+        reference.set_threads(1);
+        reference.set_fault_plan(FaultPlan::generate(fault_seed, nodes, total, &cfg));
+        reference.advance_by(t_snap).expect("advance");
+        reference.advance_by(total - t_snap).expect("advance");
+        let expected = snapshot_json(&reference);
+        for (snap_threads, resume_threads, shards) in [(1, 7, 7), (7, 1, 7), (2, 7, 16)] {
+            let mut donor = build_world(nodes, seed, 1.0e6);
+            donor.set_shards(shards);
+            donor.set_threads(snap_threads);
+            donor.set_fault_plan(FaultPlan::generate(fault_seed, nodes, total, &cfg));
+            donor.advance_by(t_snap).expect("advance");
+            let checkpoint = donor.snapshot();
+
+            let mut resumed = build_world(4, 0, 1.0);
+            resumed.set_shards(shards);
+            resumed.set_threads(resume_threads);
+            resumed.restore(&checkpoint);
+            prop_assert_eq!(resumed.threads(), resume_threads);
+            resumed.advance_by(total - t_snap).expect("advance");
+            prop_assert_eq!(
+                &snapshot_json(&resumed), &expected,
+                "snapshot at {} threads resumed at {} (shards {}) diverged",
+                snap_threads, resume_threads, shards
+            );
+        }
+    }
+}
+
+/// A pre-cancelled token must abort a threaded sharded advance at the first
+/// segment poll with a typed [`wrsn_sim::SimError::Cancelled`] — the
+/// coordinating thread polls once per segment, so fanning shards over worker
+/// threads keeps exactly the sequential path's cancellation latency.
+#[test]
+fn cancellation_cuts_through_the_threaded_path() {
+    let token = wrsn_sim::CancelToken::new();
+    token.cancel();
+    let _guard = wrsn_sim::cancel::ScopedCancel::install(token);
+    let mut world = build_world(24, 3, 1.0e6);
+    world.set_shards(7);
+    world.set_threads(4);
+    let err = world.advance_by(50_000.0).expect_err("must cancel");
+    assert_eq!(err, wrsn_sim::SimError::Cancelled);
 }

@@ -1,0 +1,56 @@
+//! A panic inside a shard worker must surface as a typed
+//! [`SimError::ShardPanic`] naming the poisoned shard — never a process
+//! abort, a deadlock, or a silent partial merge.
+//!
+//! Lives in its own integration-test binary (one process per file) because it
+//! sets `WRSN_FORCE_SHARD_PANIC`, which is read once per process and would
+//! poison every sibling test sharing the binary.
+
+use wrsn_net::energy::Battery;
+use wrsn_net::node::SensorNode;
+use wrsn_net::{Network, Point, Region};
+use wrsn_sim::{MobileCharger, SimError, World, WorldConfig};
+
+#[test]
+fn forced_shard_panic_surfaces_as_a_typed_error() {
+    // Read before the parallel module caches the variable.
+    std::env::set_var("WRSN_FORCE_SHARD_PANIC", "1");
+
+    let deployed = wrsn_net::deploy::uniform(&Region::square(60.0), 32, 9);
+    let nodes: Vec<SensorNode> = deployed
+        .iter()
+        .map(|n| SensorNode::with_battery(n.position(), Battery::new(150.0, 30.0)))
+        .collect();
+    let net = Network::build(nodes, Point::new(30.0, 30.0), 20.0);
+    let charger = MobileCharger::standard(Point::new(30.0, 30.0));
+    let mut world = World::new(
+        net,
+        charger,
+        WorldConfig {
+            horizon_s: 1.0e6,
+            ..WorldConfig::default()
+        },
+    );
+    world.set_shards(4);
+    world.set_threads(2);
+
+    let err = world.advance_by(50_000.0).expect_err("shard 1 must panic");
+    match err {
+        SimError::ShardPanic { shard, message } => {
+            assert_eq!(shard, 1, "the poisoned shard index must survive the join");
+            assert!(
+                message.contains("forced shard panic"),
+                "panic payload must be preserved, got: {message}"
+            );
+        }
+        other => panic!("expected ShardPanic, got {other:?}"),
+    }
+
+    // The world is still usable: state from the failed segment was never
+    // merged, and dropping to sequential execution (which never hits the
+    // poison check — the env value stays cached for the process) succeeds.
+    world.set_threads(1);
+    world
+        .advance_by(1_000.0)
+        .expect("sequential advance recovers");
+}

@@ -25,13 +25,26 @@ echo "== scale-smoke: 10k nodes, shard counts 1 and 8, identical traces"
 scale_a="$(mktemp)"
 scale_b="$(mktemp)"
 scale_dir="$(mktemp -d)"
-WRSN_SCALE_SIZES=10000 WRSN_SHARDS=1 cargo run -p wrsn-bench --release --bin exp -- \
+WRSN_SCALE_SIZES=10000 WRSN_SHARDS=1 WRSN_THREADS=1 \
+  cargo run -p wrsn-bench --release --bin exp -- \
   --id scale --out-dir "$scale_dir/s1" --trace "$scale_a" >/dev/null
-WRSN_SCALE_SIZES=10000 WRSN_SHARDS=8 cargo run -p wrsn-bench --release --bin exp -- \
+WRSN_SCALE_SIZES=10000 WRSN_SHARDS=8 WRSN_THREADS=1 \
+  cargo run -p wrsn-bench --release --bin exp -- \
   --id scale --out-dir "$scale_dir/s8" --trace "$scale_b" >/dev/null
 cmp -s "$scale_a" "$scale_b" \
   || { echo "scale trace differs between shard counts 1 and 8" >&2; exit 1; }
-rm -rf "$scale_a" "$scale_b" "$scale_dir"
+
+echo "== scale-smoke: 10k nodes, thread counts 1 and 8 (shards 8), identical traces"
+# Parallel shard execution is a pure execution strategy too: fanning the
+# sharded segment kernel over worker threads must keep the full trace
+# byte-identical at any thread count.
+scale_t8="$(mktemp)"
+WRSN_SCALE_SIZES=10000 WRSN_SHARDS=8 WRSN_THREADS=8 \
+  cargo run -p wrsn-bench --release --bin exp -- \
+  --id scale --out-dir "$scale_dir/t8" --trace "$scale_t8" >/dev/null
+cmp -s "$scale_b" "$scale_t8" \
+  || { echo "scale trace differs between thread counts 1 and 8" >&2; exit 1; }
+rm -rf "$scale_a" "$scale_b" "$scale_t8" "$scale_dir"
 
 echo "== trace export smoke test"
 trace_file="$(mktemp)"

@@ -136,7 +136,14 @@ impl Scenario {
             Deployment::Corridor => Point::new(10.0, 50.0),
             _ => self.sink(),
         };
-        let net = Network::build(nodes, sink, self.comm_range_m);
+        // Threaded adjacency build: identical network at any thread count,
+        // ~linear speedup on the O(n) neighbour scan for large deployments.
+        let net = Network::build_with_threads(
+            nodes,
+            sink,
+            self.comm_range_m,
+            wrsn_sim::parallel::threads(),
+        );
         let charger = MobileCharger::standard(sink)
             .with_speed(self.mc_speed_mps)
             .with_energy(self.mc_energy_j);
