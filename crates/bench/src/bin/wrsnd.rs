@@ -23,15 +23,18 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use wrsn_bench::error::BenchError;
+use wrsn_bench::service::chaos::{self, ChaosConfig};
 use wrsn_bench::service::loadgen::{run_load, LoadConfig};
 use wrsn_bench::service::server::{serve, ServeConfig};
 
 fn usage() -> String {
     "usage: wrsnd serve [--listen <addr>|--stdin] [--store <dir>] [--workers <n>]\n\
-     \x20                  [--deadline-s <s>] [--max-requests <n>]\n\
+     \x20                  [--deadline-s <s>] [--max-requests <n>] [--queue-cap <n>]\n\
+     \x20                  [--cache-cap-bytes <n>] [--idle-timeout-s <s>]\n\
      \x20      wrsnd load --connect <addr> [--requests <n>] [--conns <n>] [--dup-frac <f>]\n\
-     \x20                 [--deadline-s <s>] [--seed <n>] [--json <path>]\n\
-     \x20                 [--verify-exp <id>] [--shutdown]"
+     \x20                 [--stream-frac <f>] [--max-attempts <n>] [--deadline-s <s>]\n\
+     \x20                 [--seed <n>] [--json <path>] [--verify-exp <id>] [--shutdown]\n\
+     \x20      wrsnd chaos --upstream <addr> [--listen <addr>] [--seed <n>]"
         .to_string()
 }
 
@@ -49,13 +52,18 @@ fn take_value(
 }
 
 fn parse_serve(args: Vec<String>) -> Result<ServeConfig, BenchError> {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut config = ServeConfig {
         listen: Some("127.0.0.1:0".to_string()),
         store_dir: std::path::PathBuf::from(".wrsnd"),
-        workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        workers,
         default_deadline: Duration::from_secs(60),
         max_requests: None,
+        queue_cap: 0, // resolved after flags: workers may change
+        cache_cap_bytes: None,
+        idle_timeout: None,
     };
+    let mut queue_cap = None;
     let mut args = args.into_iter().peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -91,6 +99,42 @@ fn parse_serve(args: Vec<String>) -> Result<ServeConfig, BenchError> {
                         .map_err(|_| invalid("--max-requests", format!("not a count: `{raw}`")))?,
                 );
             }
+            "--queue-cap" => {
+                let raw = take_value(&mut args, "--queue-cap")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| invalid("--queue-cap", format!("not a count: `{raw}`")))?;
+                if n == 0 {
+                    return Err(invalid("--queue-cap", "must be at least 1".to_string()));
+                }
+                queue_cap = Some(n);
+            }
+            "--cache-cap-bytes" => {
+                let raw = take_value(&mut args, "--cache-cap-bytes")?;
+                let n: u64 = raw.parse().map_err(|_| {
+                    invalid("--cache-cap-bytes", format!("not a byte count: `{raw}`"))
+                })?;
+                if n == 0 {
+                    return Err(invalid(
+                        "--cache-cap-bytes",
+                        "must be at least 1".to_string(),
+                    ));
+                }
+                config.cache_cap_bytes = Some(n);
+            }
+            "--idle-timeout-s" => {
+                let raw = take_value(&mut args, "--idle-timeout-s")?;
+                let s: f64 = raw
+                    .parse()
+                    .map_err(|_| invalid("--idle-timeout-s", format!("not a number: `{raw}`")))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(invalid(
+                        "--idle-timeout-s",
+                        format!("must be positive: {s}"),
+                    ));
+                }
+                config.idle_timeout = Some(Duration::from_secs_f64(s));
+            }
             other => {
                 return Err(invalid(
                     "serve",
@@ -98,6 +142,38 @@ fn parse_serve(args: Vec<String>) -> Result<ServeConfig, BenchError> {
                 ))
             }
         }
+    }
+    config.queue_cap = queue_cap.unwrap_or_else(|| ServeConfig::default_queue_cap(config.workers));
+    Ok(config)
+}
+
+fn parse_chaos(args: Vec<String>) -> Result<ChaosConfig, BenchError> {
+    let mut config = ChaosConfig {
+        listen: "127.0.0.1:0".to_string(),
+        upstream: String::new(),
+        seed: 42,
+    };
+    let mut args = args.into_iter().peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--listen" => config.listen = take_value(&mut args, "--listen")?,
+            "--upstream" => config.upstream = take_value(&mut args, "--upstream")?,
+            "--seed" => {
+                let raw = take_value(&mut args, "--seed")?;
+                config.seed = raw
+                    .parse()
+                    .map_err(|_| invalid("--seed", format!("not a seed: `{raw}`")))?;
+            }
+            other => {
+                return Err(invalid(
+                    "chaos",
+                    format!("unknown flag `{other}`\n{}", usage()),
+                ))
+            }
+        }
+    }
+    if config.upstream.is_empty() {
+        return Err(invalid("--upstream", "is required for `chaos`".to_string()));
     }
     Ok(config)
 }
@@ -108,8 +184,10 @@ fn parse_load(args: Vec<String>) -> Result<LoadConfig, BenchError> {
         requests: 1000,
         conns: 8,
         dup_frac: 0.5,
+        stream_frac: 0.0,
         deadline_s: 60.0,
         seed: 7,
+        max_attempts: 8,
         verify_exp: None,
         json_path: None,
         shutdown: false,
@@ -145,6 +223,26 @@ fn parse_load(args: Vec<String>) -> Result<LoadConfig, BenchError> {
                     return Err(invalid("--dup-frac", format!("must be in 0..=1: {f}")));
                 }
                 config.dup_frac = f;
+            }
+            "--stream-frac" => {
+                let raw = take_value(&mut args, "--stream-frac")?;
+                let f: f64 = raw
+                    .parse()
+                    .map_err(|_| invalid("--stream-frac", format!("not a number: `{raw}`")))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(invalid("--stream-frac", format!("must be in 0..=1: {f}")));
+                }
+                config.stream_frac = f;
+            }
+            "--max-attempts" => {
+                let raw = take_value(&mut args, "--max-attempts")?;
+                let n: u32 = raw
+                    .parse()
+                    .map_err(|_| invalid("--max-attempts", format!("not a count: `{raw}`")))?;
+                if n == 0 {
+                    return Err(invalid("--max-attempts", "must be at least 1".to_string()));
+                }
+                config.max_attempts = n;
             }
             "--deadline-s" => {
                 let raw = take_value(&mut args, "--deadline-s")?;
@@ -222,8 +320,10 @@ fn real_main() -> Result<(), BenchError> {
             let report = report?;
             let opt = |x: Option<f64>| x.map_or("null".to_string(), |v| format!("{v:.2}"));
             eprintln!(
-                "[load] {} requests over {} conns in {:.2} s — {:.0} req/s; \
-                 cache miss/hit/coalesced = {}/{}/{}; latency ms p50={} p99={} max={}",
+                "[load] {} requests over {} conns in {:.2} s — {:.0} ok/s; \
+                 cache miss/hit/coalesced = {}/{}/{}; \
+                 shed/retries/reconnects = {}/{}/{}; stream frames = {}; \
+                 latency ms p50={} p99={} max={}",
                 report.sent,
                 config.conns,
                 report.wall_s,
@@ -231,6 +331,10 @@ fn real_main() -> Result<(), BenchError> {
                 report.cache_paths.0,
                 report.cache_paths.1,
                 report.cache_paths.2,
+                report.shed,
+                report.retries,
+                report.reconnects,
+                report.stream_frames,
                 opt(wrsn_bench::stats::p50(&report.latency_ms)),
                 opt(wrsn_bench::stats::p99(&report.latency_ms)),
                 opt(wrsn_bench::stats::max(&report.latency_ms)),
@@ -258,6 +362,7 @@ fn real_main() -> Result<(), BenchError> {
                 ))
             }
         }
+        "chaos" => chaos::serve(&parse_chaos(args)?),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())

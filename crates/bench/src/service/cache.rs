@@ -20,9 +20,22 @@
 //! Writes go through [`store::write_atomic`] (same-directory temp file +
 //! fsync + rename), so a daemon killed mid-write leaves either the old entry
 //! or the new one, never a torn file at the final path.
+//!
+//! A cache opened with [`ResultCache::open_bounded`] additionally keeps the
+//! store under a byte cap with **deterministic LRU eviction**: every save and
+//! validated hit stamps the entry with a monotonically increasing generation,
+//! and when the total (body + header) bytes exceed the cap, entries are
+//! removed in ascending `(generation, digest)` order until the store fits.
+//! Pre-existing entries found on open are indexed in digest order (so a
+//! restarted daemon evicts the same entries a fresh one would, given the same
+//! request sequence). Evicting an entry mid-lookup is benign: the reader sees
+//! `NotFound` → a miss → recompute, never a torn read, because removal only
+//! unlinks a complete file.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use wrsn::sim::store;
 
@@ -41,14 +54,49 @@ pub enum CacheLookup {
     Rejected(String),
 }
 
+/// A point-in-time summary of a bounded cache's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Configured byte cap.
+    pub cap_bytes: u64,
+    /// Live entries in the index.
+    pub entries: u64,
+    /// Total on-disk bytes of live entries (headers included).
+    pub total_bytes: u64,
+    /// Entries evicted since open.
+    pub evictions: u64,
+}
+
+/// Per-entry bookkeeping of a bounded cache.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    bytes: u64,
+    /// LRU stamp: the bound-wide generation at the entry's last save or
+    /// validated hit. Strictly increasing, so `(last_used, digest)` orders
+    /// eviction deterministically.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct BoundState {
+    cap_bytes: u64,
+    total_bytes: u64,
+    clock: u64,
+    entries: HashMap<String, EntryMeta>,
+    evictions: u64,
+}
+
 /// A directory of digest-keyed result artifacts.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// LRU index + cap; `None` for an unbounded cache. Shared across clones
+    /// so every worker sees one consistent byte budget.
+    bound: Option<Arc<Mutex<BoundState>>>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory, unbounded.
     ///
     /// # Errors
     ///
@@ -57,7 +105,77 @@ impl ResultCache {
         fs::create_dir_all(dir)?;
         Ok(ResultCache {
             dir: dir.to_path_buf(),
+            bound: None,
         })
+    }
+
+    /// Opens the cache directory with a byte cap. Entries already on disk
+    /// are indexed (in digest order, oldest-stamped first) and the cap is
+    /// enforced immediately, so a daemon restarted onto an over-full store
+    /// trims it before serving.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the directory cannot be created or scanned.
+    pub fn open_bounded(dir: &Path, cap_bytes: u64) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let mut found: Vec<(String, u64)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(digest) = name
+                .to_string_lossy()
+                .strip_suffix(".out.json")
+                .map(String::from)
+            else {
+                continue;
+            };
+            found.push((digest, entry.metadata()?.len()));
+        }
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut state = BoundState {
+            cap_bytes,
+            total_bytes: found.iter().map(|(_, bytes)| bytes).sum(),
+            clock: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        };
+        for (digest, bytes) in found {
+            state.clock += 1;
+            state.entries.insert(
+                digest,
+                EntryMeta {
+                    bytes,
+                    last_used: state.clock,
+                },
+            );
+        }
+        let cache = ResultCache {
+            dir: dir.to_path_buf(),
+            bound: Some(Arc::new(Mutex::new(state))),
+        };
+        cache.with_bound(evict_to_cap);
+        Ok(cache)
+    }
+
+    /// The bookkeeping snapshot of a bounded cache; `None` when unbounded.
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.bound.as_ref().map(|bound| {
+            let state = bound.lock().expect("cache bound lock");
+            CacheStats {
+                cap_bytes: state.cap_bytes,
+                entries: state.entries.len() as u64,
+                total_bytes: state.total_bytes,
+                evictions: state.evictions,
+            }
+        })
+    }
+
+    fn with_bound(&self, f: impl FnOnce(&mut BoundState, &Path)) {
+        if let Some(bound) = &self.bound {
+            let mut state = bound.lock().expect("cache bound lock");
+            f(&mut state, &self.dir);
+        }
     }
 
     /// The entry path for a request digest.
@@ -65,7 +183,8 @@ impl ResultCache {
         self.dir.join(format!("{digest}.out.json"))
     }
 
-    /// Looks up `digest`, validating the entry end to end.
+    /// Looks up `digest`, validating the entry end to end. A validated hit
+    /// refreshes the entry's LRU stamp in a bounded cache.
     pub fn lookup(&self, digest: &str) -> CacheLookup {
         let path = self.entry_path(digest);
         let raw = match fs::read(&path) {
@@ -74,12 +193,25 @@ impl ResultCache {
             Err(e) => return CacheLookup::Rejected(format!("read {}: {e}", path.display())),
         };
         match validate(digest, &raw) {
-            Ok(result) => CacheLookup::Hit(result),
+            Ok(result) => {
+                self.with_bound(|state, _| {
+                    state.clock += 1;
+                    let stamp = state.clock;
+                    if let Some(meta) = state.entries.get_mut(digest) {
+                        meta.last_used = stamp;
+                    }
+                });
+                CacheLookup::Hit(result)
+            }
             Err(reason) => CacheLookup::Rejected(reason),
         }
     }
 
-    /// Stores `result` (canonical bytes) under `digest`, atomically.
+    /// Stores `result` (canonical bytes) under `digest`, atomically. In a
+    /// bounded cache this may evict least-recently-used entries to fit the
+    /// cap — possibly including the just-saved entry, if it alone exceeds
+    /// the cap (the caller already holds the result in memory, so the
+    /// response is unaffected; the digest just recomputes next time).
     ///
     /// # Errors
     ///
@@ -90,7 +222,46 @@ impl ResultCache {
             result.len(),
             store::fnv1a64(result.as_bytes())
         );
-        store::write_atomic(&self.entry_path(digest), body.as_bytes())
+        store::write_atomic(&self.entry_path(digest), body.as_bytes())?;
+        self.with_bound(|state, dir| {
+            state.clock += 1;
+            let stamp = state.clock;
+            let bytes = body.len() as u64;
+            let old = state.entries.insert(
+                digest.to_string(),
+                EntryMeta {
+                    bytes,
+                    last_used: stamp,
+                },
+            );
+            state.total_bytes = state.total_bytes - old.map_or(0, |o| o.bytes) + bytes;
+            evict_to_cap(state, dir);
+        });
+        Ok(())
+    }
+}
+
+/// Removes entries in ascending `(last_used, digest)` order until the store
+/// fits its cap. Called with the bound lock held.
+fn evict_to_cap(state: &mut BoundState, dir: &Path) {
+    while state.total_bytes > state.cap_bytes && !state.entries.is_empty() {
+        let victim = state
+            .entries
+            .iter()
+            .min_by(|a, b| (a.1.last_used, a.0).cmp(&(b.1.last_used, b.0)))
+            .map(|(digest, meta)| (digest.clone(), meta.bytes))
+            .expect("non-empty entry index");
+        let path = dir.join(format!("{}.out.json", victim.0));
+        if let Err(e) = fs::remove_file(&path) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                eprintln!("wrsnd: cache eviction of {} failed: {e}", path.display());
+                // Drop it from the index anyway so eviction cannot loop
+                // forever on an unremovable file.
+            }
+        }
+        state.entries.remove(&victim.0);
+        state.total_bytes = state.total_bytes.saturating_sub(victim.1);
+        state.evictions += 1;
     }
 }
 
@@ -230,6 +401,110 @@ mod tests {
         match cache.lookup("bbbbbbbbbbbbbbbb") {
             CacheLookup::Rejected(reason) => assert!(reason.contains("aaaaaaaaaaaaaaaa")),
             other => panic!("mis-filed entry validated as {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The on-disk size of one `save(digest, result)` entry.
+    fn entry_bytes(result: &str) -> u64 {
+        let dir = temp_dir("sizeprobe");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.save("00000000000000aa", result).unwrap();
+        let bytes = fs::metadata(cache.entry_path("00000000000000aa"))
+            .unwrap()
+            .len();
+        let _ = fs::remove_dir_all(&dir);
+        bytes
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_first() {
+        let dir = temp_dir("evict-lru");
+        let result = r#"{"k":1}"#;
+        let per_entry = entry_bytes(result);
+        // Room for exactly two entries.
+        let cache = ResultCache::open_bounded(&dir, 2 * per_entry).unwrap();
+        cache.save("aaaaaaaaaaaaaaaa", result).unwrap();
+        cache.save("bbbbbbbbbbbbbbbb", result).unwrap();
+        // Touch `a` so `b` is now the least recently used…
+        assert!(matches!(
+            cache.lookup("aaaaaaaaaaaaaaaa"),
+            CacheLookup::Hit(_)
+        ));
+        // …and a third save must evict exactly `b`.
+        cache.save("cccccccccccccccc", result).unwrap();
+        assert!(matches!(
+            cache.lookup("aaaaaaaaaaaaaaaa"),
+            CacheLookup::Hit(_)
+        ));
+        assert_eq!(cache.lookup("bbbbbbbbbbbbbbbb"), CacheLookup::Miss);
+        assert!(matches!(
+            cache.lookup("cccccccccccccccc"),
+            CacheLookup::Hit(_)
+        ));
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.total_bytes <= stats.cap_bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_cache_trims_preexisting_entries_on_open() {
+        let dir = temp_dir("evict-open");
+        let result = r#"{"k":2}"#;
+        let per_entry = entry_bytes(result);
+        {
+            let unbounded = ResultCache::open(&dir).unwrap();
+            for k in 0..4 {
+                unbounded.save(&format!("{k:016x}"), result).unwrap();
+            }
+        }
+        // Reopen bounded to two entries: the two lexicographically smallest
+        // digests (= oldest seed stamps) go first, deterministically.
+        let cache = ResultCache::open_bounded(&dir, 2 * per_entry).unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(cache.lookup("0000000000000000"), CacheLookup::Miss);
+        assert_eq!(cache.lookup("0000000000000001"), CacheLookup::Miss);
+        assert!(matches!(
+            cache.lookup("0000000000000002"),
+            CacheLookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.lookup("0000000000000003"),
+            CacheLookup::Hit(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_cap_is_evicted_after_save() {
+        let dir = temp_dir("evict-giant");
+        let cache = ResultCache::open_bounded(&dir, 8).unwrap();
+        let big = r#"{"payload":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}"#;
+        cache.save("dddddddddddddddd", big).unwrap();
+        assert_eq!(cache.lookup("dddddddddddddddd"), CacheLookup::Miss);
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.total_bytes, 0);
+        assert_eq!(stats.evictions, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_has_no_stats_and_never_evicts() {
+        let dir = temp_dir("unbounded");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.stats(), None);
+        for k in 0..16 {
+            cache.save(&format!("{k:016x}"), r#"{"k":3}"#).unwrap();
+        }
+        for k in 0..16 {
+            assert!(matches!(
+                cache.lookup(&format!("{k:016x}")),
+                CacheLookup::Hit(_)
+            ));
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,29 +1,43 @@
-//! The synthetic load generator behind `wrsnd load` and `BENCH_pr7.json`.
+//! The synthetic load generator behind `wrsnd load` and `BENCH_pr9.json`.
 //!
 //! Opens `conns` TCP connections to a running daemon and drives `requests`
 //! scenario requests through them, pipelined (every connection keeps its
 //! requests in flight without waiting for earlier responses). The request
 //! mix is deterministic in `seed`: node counts drawn from a mixed-size
-//! palette and a configurable fraction of *duplicates* — requests whose
+//! palette, a configurable fraction of *duplicates* — requests whose
 //! canonical payload (and hence digest) repeats — to exercise the dedupe
-//! path the way a real campaign with overlapping sweeps would.
+//! path, and a configurable fraction of *streamed* requests
+//! (`{"stream":true}`) whose progress frames are validated as they arrive.
+//!
+//! The generator is a resilient client, not a fire-and-forget cannon:
+//!
+//! - a typed `overloaded` response is retried with seeded, jittered
+//!   exponential backoff that honours the daemon's `retry_after_ms` hint,
+//!   up to `max_attempts` per request;
+//! - a dropped or stalled connection (the chaos proxy's specialty) is
+//!   reconnected and every unresolved request is resent — the daemon's
+//!   content-addressed dedupe makes resending idempotent.
 //!
 //! Besides throughput/latency it **verifies** the daemon's contract and
 //! fails loudly (nonzero exit from the CLI) when it is violated:
 //!
-//! - every request is answered exactly once, with `status: ok`;
+//! - every request eventually resolves `ok` — shed requests after retries,
+//!   resent requests after reconnects — exactly once;
 //! - responses sharing a digest carry byte-identical `result` values,
-//!   whatever mix of `miss`/`hit`/`coalesced` served them;
+//!   whatever mix of `miss`/`hit`/`coalesced` (or streamed/plain) served
+//!   them;
+//! - a streamed request's `progress` frames carry contiguous `seq` numbers
+//!   and records that parse as PR 2 JSONL trace lines;
 //! - with `--verify-exp <id>`, the daemon's result for that experiment must
 //!   match this process's own in-process computation byte for byte — the
 //!   daemon path and the `exp` single-shot path cannot drift apart.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -41,6 +55,23 @@ const NODE_SIZES: &[usize] = &[10, 20, 40, 80];
 /// *service*, not one giant simulation.
 const LOAD_HORIZON_S: f64 = 5_000.0;
 
+/// Base retry delay when an `overloaded` response carries no usable hint.
+const RETRY_BASE_MS: u64 = 25;
+
+/// Upper clamp on any single backoff delay.
+const RETRY_CAP_MS: u64 = 4_000;
+
+/// Socket read timeout while polling for responses — short, so the state
+/// machine stays responsive to due retries.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Silence this long with work in flight triggers a reconnect-and-resend
+/// (a stalled proxy or half-dead daemon connection).
+const STALL_RECONNECT_AFTER: Duration = Duration::from_secs(5);
+
+/// Reconnect attempts before a connection gives up on its remaining work.
+const MAX_RECONNECTS_PER_STALL: u32 = 5;
+
 /// Load-run configuration (assembled by the `wrsnd load` CLI).
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -52,10 +83,15 @@ pub struct LoadConfig {
     pub conns: usize,
     /// Fraction of requests that repeat an earlier digest (`0.0..=1.0`).
     pub dup_frac: f64,
+    /// Fraction of requests sent with `{"stream":true}` (`0.0..=1.0`).
+    pub stream_frac: f64,
     /// Per-request deadline sent with every request, seconds.
     pub deadline_s: f64,
     /// Stream seed.
     pub seed: u64,
+    /// Attempts per request before an `overloaded` chain counts as a
+    /// violation (first send included).
+    pub max_attempts: u32,
     /// Also send this experiment id and compare against an in-process run.
     pub verify_exp: Option<String>,
     /// Write the JSON report here (atomically) when set.
@@ -67,7 +103,7 @@ pub struct LoadConfig {
 /// What a completed load run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Requests sent.
+    /// Requests sent (unique ids, not counting retries/resends).
     pub sent: usize,
     /// `ok` responses.
     pub ok: usize,
@@ -75,25 +111,47 @@ pub struct LoadReport {
     pub cache_paths: (usize, usize, usize),
     /// Wall-clock for the whole run, seconds.
     pub wall_s: f64,
-    /// Sustained throughput, requests per second.
+    /// Sustained goodput, `ok` responses per second.
     pub throughput_rps: f64,
-    /// Per-request latency samples, milliseconds.
+    /// Per-request latency samples (first send → final response), ms.
     pub latency_ms: Vec<f64>,
+    /// `overloaded` responses observed (each one a shed admission).
+    pub shed: usize,
+    /// Retries sent after backoff.
+    pub retries: usize,
+    /// Reconnect-and-resend cycles after drops or stalls.
+    pub reconnects: usize,
+    /// Requests sent with `{"stream":true}`.
+    pub stream_requests: usize,
+    /// `progress` frames received and validated.
+    pub stream_frames: usize,
+    /// The daemon's own `stats` snapshot (canonical JSON), when reachable.
+    pub daemon_stats: Option<String>,
     /// Contract violations (empty for a passing run).
     pub violations: Vec<String>,
 }
 
 impl LoadReport {
-    /// The JSON report body (`BENCH_pr7.json` schema).
+    /// The JSON report body (`BENCH_pr9.json` schema).
     pub fn to_value(&self, config: &LoadConfig) -> Value {
         let opt = |x: Option<f64>| x.map(Value::F64).unwrap_or(Value::Null);
         let lat = &self.latency_ms;
+        let daemon = self
+            .daemon_stats
+            .as_deref()
+            .and_then(|s| serde_json::from_str(s).ok())
+            .unwrap_or(Value::Null);
         Value::Map(vec![
             ("bench".to_string(), Value::Str("wrsnd-loadgen".to_string())),
             ("requests".to_string(), Value::U64(self.sent as u64)),
             ("conns".to_string(), Value::U64(config.conns as u64)),
             ("dup_frac".to_string(), Value::F64(config.dup_frac)),
+            ("stream_frac".to_string(), Value::F64(config.stream_frac)),
             ("seed".to_string(), Value::U64(config.seed)),
+            (
+                "max_attempts".to_string(),
+                Value::U64(u64::from(config.max_attempts)),
+            ),
             (
                 "node_sizes".to_string(),
                 Value::Seq(NODE_SIZES.iter().map(|&n| Value::U64(n as u64)).collect()),
@@ -110,11 +168,34 @@ impl LoadReport {
                     ),
                 ]),
             ),
-            ("wall_s".to_string(), Value::F64(self.wall_s)),
             (
-                "throughput_rps".to_string(),
-                Value::F64(self.throughput_rps),
+                "overload".to_string(),
+                Value::Map(vec![
+                    ("shed".to_string(), Value::U64(self.shed as u64)),
+                    ("retries".to_string(), Value::U64(self.retries as u64)),
+                    ("reconnects".to_string(), Value::U64(self.reconnects as u64)),
+                    (
+                        "shed_rate".to_string(),
+                        Value::F64(if self.sent > 0 {
+                            self.shed as f64 / self.sent as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
             ),
+            (
+                "stream".to_string(),
+                Value::Map(vec![
+                    (
+                        "requests".to_string(),
+                        Value::U64(self.stream_requests as u64),
+                    ),
+                    ("frames".to_string(), Value::U64(self.stream_frames as u64)),
+                ]),
+            ),
+            ("wall_s".to_string(), Value::F64(self.wall_s)),
+            ("goodput_rps".to_string(), Value::F64(self.throughput_rps)),
             (
                 "latency_ms".to_string(),
                 Value::Map(vec![
@@ -124,6 +205,7 @@ impl LoadReport {
                     ("max".to_string(), opt(crate::stats::max(lat))),
                 ]),
             ),
+            ("daemon".to_string(), daemon),
             (
                 "violations".to_string(),
                 Value::Seq(
@@ -137,14 +219,32 @@ impl LoadReport {
     }
 }
 
-/// The deterministic request stream: `(request line, payload digest)` pairs.
+/// One planned request: the wire line, its payload digest, and whether it
+/// opted into streaming.
+#[derive(Debug, Clone)]
+pub struct PlannedRequest {
+    /// Correlation id (`q<k>`).
+    pub id: String,
+    /// The full request line.
+    pub line: String,
+    /// The payload's content digest.
+    pub digest: String,
+    /// Whether the line carries `"stream":true`.
+    pub streamed: bool,
+}
+
+/// The deterministic request stream.
 ///
 /// A pool of `ceil(requests * (1 - dup_frac))` unique scenarios is generated
 /// first; the stream then samples from it so that roughly `dup_frac` of
 /// requests repeat an earlier digest, interleaved across connections.
-pub fn request_stream(config: &LoadConfig) -> Vec<(String, String)> {
+/// Roughly `stream_frac` of requests (chosen by the same seeded RNG) are
+/// sent streamed — duplicates included, so streamed and plain requests
+/// provably share digests and cache entries.
+pub fn request_stream(config: &LoadConfig) -> Vec<PlannedRequest> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x6c6f_6164);
     let dup_frac = config.dup_frac.clamp(0.0, 1.0);
+    let stream_frac = config.stream_frac.clamp(0.0, 1.0);
     let unique = ((config.requests as f64 * (1.0 - dup_frac)).ceil() as usize)
         .clamp(1, config.requests.max(1));
     let pool: Vec<ScenarioSpec> = (0..unique)
@@ -164,20 +264,33 @@ pub fn request_stream(config: &LoadConfig) -> Vec<(String, String)> {
             } else {
                 &pool[rng.gen_range(0..pool.len())]
             };
+            let streamed = rng.gen_range(0.0..1.0) < stream_frac;
             let payload = Payload::Scenario(spec.clone());
+            let stream_field = if streamed { ",\"stream\":true" } else { "" };
             let line = format!(
                 "{{\"id\":\"q{k}\",\"scenario\":{{\"nodes\":{},\"seed\":{},\"horizon_s\":{}}},\
-                 \"deadline_s\":{}}}",
+                 \"deadline_s\":{}{stream_field}}}",
                 spec.nodes, spec.seed, spec.horizon_s, config.deadline_s
             );
-            (line, payload.digest())
+            PlannedRequest {
+                id: format!("q{k}"),
+                line,
+                digest: payload.digest(),
+                streamed,
+            }
         })
         .collect()
 }
 
 struct ConnOutcome {
+    /// One terminal response per request id, with first-send→final latency.
     responses: Vec<(ParsedResponse, f64)>,
+    violations: Vec<String>,
     error: Option<String>,
+    shed: usize,
+    retries: usize,
+    reconnects: usize,
+    stream_frames: usize,
 }
 
 /// Runs the load, returning the measured report.
@@ -191,16 +304,11 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
     let addr_path = std::path::Path::new(&config.connect);
     let stream_plan = request_stream(config);
     let conns = config.conns.clamp(1, stream_plan.len().max(1));
+    let stream_requests = stream_plan.iter().filter(|p| p.streamed).count();
 
     let mut expected: HashMap<String, String> = HashMap::new(); // id → digest
-    for (line, digest) in &stream_plan {
-        // ids are q<k>, embedded in the line we built above.
-        let id = line
-            .split('"')
-            .nth(3)
-            .expect("generated line has an id")
-            .to_string();
-        expected.insert(id, digest.clone());
+    for planned in &stream_plan {
+        expected.insert(planned.id.clone(), planned.digest.clone());
     }
 
     let started = Instant::now();
@@ -208,27 +316,33 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
     let mut handles = Vec::new();
     for conn_id in 0..conns {
         // Round-robin the stream across connections.
-        let lines: Vec<String> = stream_plan
+        let mut work: Vec<PlannedRequest> = stream_plan
             .iter()
             .enumerate()
             .filter(|(k, _)| k % conns == conn_id)
-            .map(|(_, (line, _))| line.clone())
+            .map(|(_, planned)| planned.clone())
             .collect();
+        if conn_id == 0 {
+            if let Some(id) = &config.verify_exp {
+                work.push(PlannedRequest {
+                    id: "verify".to_string(),
+                    line: format!("{{\"id\":\"verify\",\"exp\":\"{id}\"}}"),
+                    digest: String::new(),
+                    streamed: false,
+                });
+            }
+        }
         let connect = config.connect.clone();
-        let verify_line = if conn_id == 0 {
-            config
-                .verify_exp
-                .as_ref()
-                .map(|id| format!("{{\"id\":\"verify\",\"exp\":\"{id}\"}}"))
-        } else {
-            None
-        };
+        let deadline_s = config.deadline_s;
+        let max_attempts = config.max_attempts.max(1);
+        let rng_seed = config.seed ^ 0x7265_7472 ^ (conn_id as u64).wrapping_mul(0x9e37_79b9);
         let tx = result_tx.clone();
         handles.push(
             thread::Builder::new()
                 .name(format!("loadgen-conn-{conn_id}"))
                 .spawn(move || {
-                    let outcome = drive_connection(&connect, &lines, verify_line.as_deref());
+                    let outcome =
+                        drive_connection(&connect, work, deadline_s, max_attempts, rng_seed);
                     let _ = tx.send(outcome);
                 })
                 .map_err(|e| {
@@ -244,11 +358,20 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
 
     let mut responses: Vec<(ParsedResponse, f64)> = Vec::new();
     let mut violations = Vec::new();
+    let mut shed = 0usize;
+    let mut retries = 0usize;
+    let mut reconnects = 0usize;
+    let mut stream_frames = 0usize;
     while let Ok(outcome) = result_rx.recv() {
         if let Some(error) = outcome.error {
             violations.push(error);
         }
+        violations.extend(outcome.violations);
         responses.extend(outcome.responses);
+        shed += outcome.shed;
+        retries += outcome.retries;
+        reconnects += outcome.reconnects;
+        stream_frames += outcome.stream_frames;
     }
     for handle in handles {
         let _ = handle.join();
@@ -360,11 +483,17 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
         cache_paths,
         wall_s,
         throughput_rps: if wall_s > 0.0 {
-            stream_plan.len() as f64 / wall_s
+            ok as f64 / wall_s
         } else {
             0.0
         },
         latency_ms,
+        shed,
+        retries,
+        reconnects,
+        stream_requests,
+        stream_frames,
+        daemon_stats: fetch_daemon_stats(&config.connect),
         violations,
     };
     if let Some(path) = &config.json_path {
@@ -380,93 +509,460 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, BenchError> {
     Ok(report)
 }
 
-/// Sends `lines` down one connection, pipelined, and collects the responses
-/// with per-request latency (send → response arrival).
-fn drive_connection(connect: &str, lines: &[String], verify_line: Option<&str>) -> ConnOutcome {
+/// Asks the daemon for its own `stats` snapshot over a fresh connection;
+/// `None` when it cannot be reached (e.g. through a misbehaving proxy).
+fn fetch_daemon_stats(connect: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(connect).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream
+        .write_all(b"{\"id\":\"stats\",\"op\":\"stats\"}\n")
+        .ok()?;
+    stream.flush().ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    request::parse_response(line.trim()).ok()?.result_canonical
+}
+
+/// Seeded, jittered exponential backoff for retry `attempt` (0-based),
+/// honouring the daemon's `retry_after_ms` hint as the base.
+fn backoff_delay(rng: &mut ChaCha8Rng, attempt: u32, hint_ms: Option<u64>) -> Duration {
+    let base = hint_ms.unwrap_or(RETRY_BASE_MS).max(1);
+    let expo = base.saturating_mul(1u64 << attempt.min(6));
+    let capped = expo.min(RETRY_CAP_MS) as f64;
+    let jittered = capped * rng.gen_range(0.5..1.5);
+    Duration::from_millis(jittered.max(1.0) as u64)
+}
+
+/// Per-request client state across retries and reconnects.
+struct Tracked {
+    planned: PlannedRequest,
+    /// Completed send attempts.
+    attempts: u32,
+    /// Earliest instant the next (re)send may go out.
+    due: Instant,
+    /// Set while an attempt is in flight on the current connection.
+    inflight: bool,
+    /// First send (latency measurements run from here).
+    first_sent: Option<Instant>,
+    /// Next expected `progress` frame number.
+    next_seq: u64,
+}
+
+/// One capped non-blocking-ish line poll; partial data survives timeouts in
+/// `buf`. `Ok(None)` = nothing complete yet; `Err` = the connection is gone.
+fn poll_line<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::Result<Option<String>> {
+    match reader.read_until(b'\n', buf) {
+        Ok(0) => Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "daemon closed the connection",
+        )),
+        Ok(_) => {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+                let line = String::from_utf8_lossy(buf).into_owned();
+                buf.clear();
+                Ok(Some(line))
+            } else {
+                Ok(None)
+            }
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn connect_with_timeouts(connect: &str) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect(connect)?;
+    stream.set_read_timeout(Some(POLL_TIMEOUT))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let write_half = stream.try_clone()?;
+    Ok((BufReader::new(stream), write_half))
+}
+
+/// Drives one connection's share of the plan to resolution: pipelined sends,
+/// overload retries with backoff, reconnect-and-resend on drops and stalls,
+/// and streamed-frame validation.
+fn drive_connection(
+    connect: &str,
+    work: Vec<PlannedRequest>,
+    deadline_s: f64,
+    max_attempts: u32,
+    rng_seed: u64,
+) -> ConnOutcome {
     let mut outcome = ConnOutcome {
         responses: Vec::new(),
+        violations: Vec::new(),
         error: None,
+        shed: 0,
+        retries: 0,
+        reconnects: 0,
+        stream_frames: 0,
     };
-    let stream = match TcpStream::connect(connect) {
-        Ok(s) => s,
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    let now = Instant::now();
+    let mut tracked: HashMap<String, Tracked> = work
+        .into_iter()
+        .map(|planned| {
+            (
+                planned.id.clone(),
+                Tracked {
+                    planned,
+                    attempts: 0,
+                    due: now,
+                    inflight: false,
+                    first_sent: None,
+                    next_seq: 0,
+                },
+            )
+        })
+        .collect();
+    let mut open = tracked.len();
+
+    let (mut reader, mut writer) = match connect_with_timeouts(connect) {
+        Ok(pair) => pair,
         Err(e) => {
             outcome.error = Some(format!("connect {connect}: {e}"));
             return outcome;
         }
     };
-    let read_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            outcome.error = Some(format!("clone {connect}: {e}"));
-            return outcome;
-        }
-    };
-    let expected = lines.len() + usize::from(verify_line.is_some());
-    let reader = thread::spawn(move || {
-        let mut collected = Vec::new();
-        let reader = BufReader::new(read_half);
-        for line in reader.lines() {
-            let arrived = Instant::now();
-            match line {
-                Ok(line) if line.trim().is_empty() => continue,
-                Ok(line) => match request::parse_response(&line) {
-                    Ok(parsed) => collected.push((parsed, arrived)),
-                    Err(e) => {
-                        collected.push((
-                            ParsedResponse {
-                                id: String::new(),
-                                status: format!("unparseable: {e}"),
-                                digest: None,
-                                cache: None,
-                                error: Some(line),
-                                result_canonical: None,
-                            },
-                            arrived,
-                        ));
-                    }
-                },
-                Err(_) => break,
-            }
-            if collected.len() >= expected {
-                break;
-            }
-        }
-        collected
-    });
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+    let mut stall_reconnects = 0u32;
+    // Hard ceiling: the work deadline plus generous slack for retries. A run
+    // that cannot finish by then reports the stragglers instead of hanging.
+    let give_up_at = Instant::now()
+        + Duration::from_secs_f64(deadline_s.max(1.0) * f64::from(max_attempts) + 60.0);
 
-    let mut sent_at: HashMap<String, Instant> = HashMap::new();
-    let mut writer = std::io::BufWriter::new(stream);
-    let mut write_error = None;
-    for line in lines.iter().map(String::as_str).chain(verify_line) {
-        let id = line.split('"').nth(3).unwrap_or("").to_string();
-        sent_at.insert(id, Instant::now());
-        if let Err(e) = writer
-            .write_all(line.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-        {
-            write_error = Some(format!("send to {connect}: {e}"));
+    while open > 0 {
+        if Instant::now() > give_up_at {
+            for t in tracked.values() {
+                if !is_done(t) {
+                    outcome
+                        .violations
+                        .push(format!("{}: gave up after run ceiling", t.planned.id));
+                }
+            }
             break;
         }
-    }
-    if write_error.is_none() {
-        if let Err(e) = writer.flush() {
-            write_error = Some(format!("flush to {connect}: {e}"));
-        }
-    }
-    outcome.error = write_error;
-    match reader.join() {
-        Ok(collected) => {
-            for (response, arrived) in collected {
-                let latency = sent_at
-                    .get(&response.id)
-                    .map(|sent| arrived.duration_since(*sent).as_secs_f64() * 1e3)
-                    .unwrap_or(0.0);
-                outcome.responses.push((response, latency));
+        // Send everything due. Collect ids first to appease the borrow
+        // checker, then write.
+        let due_ids: Vec<String> = tracked
+            .values()
+            .filter(|t| !is_done(t) && !t.inflight && t.due <= Instant::now())
+            .map(|t| t.planned.id.clone())
+            .collect();
+        let mut write_failed = false;
+        for id in due_ids {
+            let t = tracked.get_mut(&id).expect("tracked id");
+            let send = writer
+                .write_all(t.planned.line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush());
+            if send.is_err() {
+                write_failed = true;
+                break;
             }
+            t.inflight = true;
+            t.next_seq = 0;
+            if t.first_sent.is_none() {
+                t.first_sent = Some(Instant::now());
+            }
+            last_activity = Instant::now();
         }
-        Err(_) => {
-            outcome.error = Some("reader thread panicked".to_string());
+        if write_failed {
+            if !reconnect(
+                connect,
+                &mut reader,
+                &mut writer,
+                &mut buf,
+                &mut tracked,
+                &mut outcome,
+            ) {
+                break;
+            }
+            last_activity = Instant::now();
+            continue;
+        }
+        // Poll for one line (bounded by the socket timeout).
+        match poll_line(&mut reader, &mut buf) {
+            Ok(Some(line)) => {
+                last_activity = Instant::now();
+                stall_reconnects = 0;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parsed = match request::parse_response(&line) {
+                    Ok(parsed) => parsed,
+                    Err(e) => {
+                        outcome
+                            .violations
+                            .push(format!("unparseable response: {e}: {line}"));
+                        continue;
+                    }
+                };
+                handle_response(
+                    parsed,
+                    &mut tracked,
+                    &mut outcome,
+                    &mut open,
+                    &mut rng,
+                    max_attempts,
+                );
+            }
+            Ok(None) => {
+                // Quiet. Distinguish "waiting on slow work" from "stalled".
+                let inflight = tracked.values().any(|t| t.inflight);
+                if inflight && last_activity.elapsed() > STALL_RECONNECT_AFTER {
+                    stall_reconnects += 1;
+                    if stall_reconnects > MAX_RECONNECTS_PER_STALL {
+                        outcome.error = Some(format!(
+                            "{connect}: still stalled after {MAX_RECONNECTS_PER_STALL} reconnects"
+                        ));
+                        break;
+                    }
+                    if !reconnect(
+                        connect,
+                        &mut reader,
+                        &mut writer,
+                        &mut buf,
+                        &mut tracked,
+                        &mut outcome,
+                    ) {
+                        break;
+                    }
+                    last_activity = Instant::now();
+                }
+            }
+            Err(_) => {
+                // Dropped mid-run (the chaos proxy's favourite move).
+                if !reconnect(
+                    connect,
+                    &mut reader,
+                    &mut writer,
+                    &mut buf,
+                    &mut tracked,
+                    &mut outcome,
+                ) {
+                    break;
+                }
+                last_activity = Instant::now();
+            }
         }
     }
     outcome
+}
+
+fn is_done(t: &Tracked) -> bool {
+    // A request is resolved once a terminal response was recorded: we mark
+    // that by clearing `inflight` *and* zeroing `due` far in the future.
+    t.attempts == u32::MAX
+}
+
+fn mark_done(t: &mut Tracked) {
+    t.attempts = u32::MAX;
+    t.inflight = false;
+}
+
+/// Applies one parsed response line to the connection state.
+fn handle_response(
+    parsed: ParsedResponse,
+    tracked: &mut HashMap<String, Tracked>,
+    outcome: &mut ConnOutcome,
+    open: &mut usize,
+    rng: &mut ChaCha8Rng,
+    max_attempts: u32,
+) {
+    let Some(t) = tracked.get_mut(&parsed.id) else {
+        outcome
+            .violations
+            .push(format!("response for unknown id `{}`", parsed.id));
+        return;
+    };
+    if is_done(t) {
+        // A late duplicate final (e.g. the pre-reconnect attempt's answer
+        // racing the resend's) — the daemon's dedupe makes the bytes
+        // identical, so it is dropped rather than double-counted.
+        return;
+    }
+    if parsed.status == "progress" {
+        let seq = parsed.seq.unwrap_or(u64::MAX);
+        if seq != t.next_seq && seq != 0 {
+            outcome.violations.push(format!(
+                "{}: progress seq {seq}, expected {}",
+                parsed.id, t.next_seq
+            ));
+        }
+        // seq 0 after a resend restarts the stream; otherwise advance.
+        t.next_seq = seq.saturating_add(1);
+        match &parsed.records {
+            None => outcome
+                .violations
+                .push(format!("{}: progress frame without records", parsed.id)),
+            Some(records) => {
+                for record in records {
+                    if let Err(e) = wrsn::sim::obs::from_jsonl_line(record) {
+                        outcome.violations.push(format!(
+                            "{}: progress record is not a valid trace line: {e}",
+                            parsed.id
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        outcome.stream_frames += 1;
+        return;
+    }
+    if parsed.status == "overloaded" {
+        outcome.shed += 1;
+        t.attempts += 1;
+        t.inflight = false;
+        if t.attempts >= max_attempts {
+            // Exhausted: surface the overloaded response as the terminal
+            // one; the aggregate contract check flags it.
+            let latency = t
+                .first_sent
+                .map(|s| s.elapsed().as_secs_f64() * 1e3)
+                .unwrap_or(0.0);
+            outcome.responses.push((parsed, latency));
+            mark_done(t);
+            *open -= 1;
+            return;
+        }
+        outcome.retries += 1;
+        t.due = Instant::now() + backoff_delay(rng, t.attempts - 1, parsed.retry_after_ms);
+        return;
+    }
+    // Terminal: ok / error / timeout / invalid.
+    let latency = t
+        .first_sent
+        .map(|s| s.elapsed().as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    outcome.responses.push((parsed, latency));
+    mark_done(t);
+    *open -= 1;
+}
+
+/// Re-establishes the connection and resends every unresolved request
+/// (in-flight and due alike). Returns `false` when the daemon stays
+/// unreachable, recording the failure.
+fn reconnect(
+    connect: &str,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    tracked: &mut HashMap<String, Tracked>,
+    outcome: &mut ConnOutcome,
+) -> bool {
+    for pause_ms in [50u64, 100, 250, 500, 1000] {
+        thread::sleep(Duration::from_millis(pause_ms));
+        match connect_with_timeouts(connect) {
+            Ok((r, w)) => {
+                *reader = r;
+                *writer = w;
+                buf.clear();
+                outcome.reconnects += 1;
+                let now = Instant::now();
+                for t in tracked.values_mut() {
+                    if !is_done(t) && t.inflight {
+                        // Resend: the daemon's content-addressed dedupe makes
+                        // this idempotent.
+                        t.inflight = false;
+                        t.due = now;
+                        t.next_seq = 0;
+                    }
+                }
+                return true;
+            }
+            Err(_) => continue,
+        }
+    }
+    outcome.error = Some(format!("{connect}: reconnect failed repeatedly"));
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(requests: usize, dup_frac: f64, stream_frac: f64, seed: u64) -> LoadConfig {
+        LoadConfig {
+            connect: String::new(),
+            requests,
+            conns: 2,
+            dup_frac,
+            stream_frac,
+            deadline_s: 30.0,
+            seed,
+            max_attempts: 8,
+            verify_exp: None,
+            json_path: None,
+            shutdown: false,
+        }
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_respects_fractions() {
+        let a = request_stream(&config(100, 0.5, 0.3, 7));
+        let b = request_stream(&config(100, 0.5, 0.3, 7));
+        assert_eq!(a.len(), 100);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.line == y.line && x.digest == y.digest && x.streamed == y.streamed));
+        let unique: std::collections::HashSet<_> = a.iter().map(|p| &p.digest).collect();
+        assert!(unique.len() <= 51, "dup_frac bounds the unique pool");
+        let streamed = a.iter().filter(|p| p.streamed).count();
+        assert!(
+            (10..=60).contains(&streamed),
+            "~30% streamed, got {streamed}"
+        );
+        assert!(a
+            .iter()
+            .filter(|p| p.streamed)
+            .all(|p| p.line.contains("\"stream\":true")));
+        let c = request_stream(&config(100, 0.5, 0.3, 8));
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.line != y.line),
+            "different seed, different stream"
+        );
+    }
+
+    #[test]
+    fn streamed_duplicates_share_digests_with_plain_requests() {
+        let plan = request_stream(&config(200, 0.8, 0.5, 11));
+        let mut by_digest: HashMap<&String, (bool, bool)> = HashMap::new();
+        for p in &plan {
+            let entry = by_digest.entry(&p.digest).or_default();
+            if p.streamed {
+                entry.0 = true;
+            } else {
+                entry.1 = true;
+            }
+        }
+        assert!(
+            by_digest.values().any(|&(s, p)| s && p),
+            "the plan must exercise streamed+plain pairs of one digest"
+        );
+    }
+
+    #[test]
+    fn backoff_honours_the_hint_and_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for attempt in 0..12 {
+            let d = backoff_delay(&mut rng, attempt, Some(100));
+            assert!(d >= Duration::from_millis(50), "attempt {attempt}: {d:?}");
+            assert!(
+                d <= Duration::from_millis(RETRY_CAP_MS * 3 / 2),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        // Deterministic in the seed.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(
+            backoff_delay(&mut a, 2, None),
+            backoff_delay(&mut b, 2, None)
+        );
+    }
 }

@@ -18,11 +18,19 @@
 //!   before it is ever served, so a SIGKILL mid-write costs at most a
 //!   recompute, never a wrong answer.
 //!
+//! The service is hardened against overload and hostile clients: bounded
+//! admission with typed `overloaded` shedding, a size-bounded cache with
+//! deterministic LRU eviction, capped request lines, idle-connection
+//! reaping, and opt-in streamed responses with cooperative cancellation on
+//! client disconnect (DESIGN.md, "Overload, streaming & shedding").
+//!
 //! Module map: [`request`] (wire schema + payload execution), [`cache`]
 //! (the artifact store), [`scheduler`] (worker pool), [`server`] (TCP/stdin
-//! frontends), [`loadgen`] (the benchmark driver behind `BENCH_pr7.json`).
+//! frontends), [`loadgen`] (the benchmark driver behind `BENCH_pr9.json`),
+//! [`chaos`] (the fault-injecting proxy the hardening is tested through).
 
 pub mod cache;
+pub mod chaos;
 pub mod loadgen;
 pub mod request;
 pub mod scheduler;

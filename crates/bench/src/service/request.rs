@@ -29,13 +29,20 @@
 //! fields in fixed order) — the cache key two textually different but
 //! semantically identical requests share.
 
-use serde::Value;
+use serde::{Serialize as _, Value};
 use wrsn::scenario::{Deployment, Scenario};
+use wrsn::sim::obs::{TraceRecord, SCHEMA_VERSION};
 use wrsn::sim::store;
+use wrsn::sim::trace::Trace;
 use wrsn::sim::SimError;
 
 /// Response envelope version, bumped on incompatible wire changes.
 pub const RESPONSE_VERSION: u64 = 1;
+
+/// How many progress frames a streamed scenario aims for across its horizon:
+/// the flush cadence is `horizon_s / STREAM_DIVISIONS` simulated seconds
+/// (floored at 1 s so degenerate horizons cannot flush per-event).
+pub const STREAM_DIVISIONS: f64 = 16.0;
 
 /// Largest accepted scenario size (the SoA engine handles 10⁶ nodes, but a
 /// shared daemon should not let one request monopolise it for minutes).
@@ -153,6 +160,15 @@ pub enum TestOp {
     Panic,
     /// Spins on the thread's cancellation token, like a hung engine segment.
     Hang,
+    /// Under [`execute_streamed`], emits `frames` one-record progress batches
+    /// with `sleep_ms` between them; under [`execute`], returns the same
+    /// final result with no frames (the streamed/plain-digest-equality pair).
+    Stream {
+        /// Progress batches to emit.
+        frames: u64,
+        /// Wall-clock pause between batches.
+        sleep_ms: u64,
+    },
 }
 
 impl Payload {
@@ -169,6 +185,7 @@ impl Payload {
                     TestOp::Echo { tag, .. } => format!("echo-{tag}"),
                     TestOp::Panic => "panic".to_string(),
                     TestOp::Hang => "hang".to_string(),
+                    TestOp::Stream { frames, .. } => format!("stream-{frames}"),
                 };
                 Value::Map(vec![("test".to_string(), Value::Str(name))])
             }
@@ -213,6 +230,11 @@ pub struct Request {
     /// Per-request wall-clock deadline, seconds (overrides the server
     /// default when present).
     pub deadline_s: Option<f64>,
+    /// Whether the client opted into incremental `progress` frames
+    /// (`{"stream":true}`, scenario requests only). Streaming is an envelope
+    /// concern: it never enters the payload's canonical form, so streamed and
+    /// plain requests share one digest and one cache entry.
+    pub stream: bool,
     /// What the request asks for.
     pub kind: RequestKind,
 }
@@ -249,6 +271,13 @@ fn field_u64(value: &Value, field: &str) -> Result<u64, String> {
             "`{field}` must be a non-negative integer, got {}",
             other.kind()
         )),
+    }
+}
+
+fn field_bool(value: &Value, field: &str) -> Result<bool, String> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        other => Err(format!("`{field}` must be a boolean, got {}", other.kind())),
     }
 }
 
@@ -307,6 +336,7 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
     let mut op = None;
     let mut exp = None;
     let mut scenario = None;
+    let mut stream = false;
     for (key, val) in map {
         match key.as_str() {
             "id" => id = Some(field_str(val, "id")?),
@@ -322,6 +352,7 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
             "op" => op = Some(field_str(val, "op")?),
             "exp" => exp = Some(field_str(val, "exp")?),
             "scenario" => scenario = Some(parse_scenario(val)?),
+            "stream" => stream = field_bool(val, "stream")?,
             other => return Err(format!("unknown request field `{other}`")),
         }
     }
@@ -348,9 +379,17 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
         }
         _ => return Err("`op`, `exp` and `scenario` are mutually exclusive".to_string()),
     };
+    if stream && !matches!(&kind, RequestKind::Work(Payload::Scenario(_))) {
+        return Err(
+            "`stream` is only supported for scenario requests (experiments have no \
+             incremental trace to stream)"
+                .to_string(),
+        );
+    }
     Ok(Request {
         id,
         deadline_s,
+        stream,
         kind,
     })
 }
@@ -417,56 +456,7 @@ pub fn execute(payload: &Payload) -> Result<String, ExecError> {
                         other => ExecError::Failed(other.to_string()),
                     },
                 )?;
-            let lifetime = match report.network_lifetime_s {
-                Some(t) => Value::F64(t),
-                None => Value::Null,
-            };
-            Value::Map(vec![
-                ("scenario".to_string(), spec.to_value()),
-                (
-                    "report".to_string(),
-                    Value::Map(vec![
-                        ("final_time_s".to_string(), Value::F64(report.final_time_s)),
-                        (
-                            "dead_nodes".to_string(),
-                            Value::U64(report.dead_nodes as u64),
-                        ),
-                        (
-                            "alive_nodes".to_string(),
-                            Value::U64(report.alive_nodes as u64),
-                        ),
-                        ("network_lifetime_s".to_string(), lifetime),
-                        (
-                            "charger_energy_used_j".to_string(),
-                            Value::F64(report.charger_energy_used_j),
-                        ),
-                        (
-                            "total_delivered_j".to_string(),
-                            Value::F64(report.total_delivered_j),
-                        ),
-                        ("sessions".to_string(), Value::U64(report.sessions as u64)),
-                    ]),
-                ),
-                (
-                    "attack".to_string(),
-                    Value::Map(vec![
-                        ("targeted".to_string(), Value::U64(outcome.targeted as u64)),
-                        (
-                            "exhausted".to_string(),
-                            Value::U64(outcome.exhausted as u64),
-                        ),
-                        ("utility".to_string(), Value::F64(outcome.utility)),
-                        (
-                            "exhausted_ratio".to_string(),
-                            Value::F64(outcome.exhausted_ratio),
-                        ),
-                        (
-                            "key_node_exhausted_ratio".to_string(),
-                            Value::F64(outcome.key_node_exhausted_ratio),
-                        ),
-                    ]),
-                ),
-            ])
+            scenario_result_value(spec, &report, &outcome)
         }
         #[cfg(test)]
         Payload::Test(op) => match op {
@@ -481,7 +471,195 @@ pub fn execute(payload: &Payload) -> Result<String, ExecError> {
                 }
                 std::thread::sleep(std::time::Duration::from_millis(2));
             },
+            TestOp::Stream { frames, .. } => {
+                Value::Map(vec![("stream".to_string(), Value::U64(*frames))])
+            }
         },
+    };
+    serde_json::to_string(&value).map_err(|e| ExecError::Failed(format!("serialize result: {e}")))
+}
+
+/// The canonical scenario `result` value shared by the plain and streamed
+/// execution paths — what makes a streamed final frame byte-identical to the
+/// non-streamed cached result.
+fn scenario_result_value(
+    spec: &ScenarioSpec,
+    report: &wrsn::sim::SimReport,
+    outcome: &wrsn::core::attack::AttackOutcome,
+) -> Value {
+    let lifetime = match report.network_lifetime_s {
+        Some(t) => Value::F64(t),
+        None => Value::Null,
+    };
+    Value::Map(vec![
+        ("scenario".to_string(), spec.to_value()),
+        (
+            "report".to_string(),
+            Value::Map(vec![
+                ("final_time_s".to_string(), Value::F64(report.final_time_s)),
+                (
+                    "dead_nodes".to_string(),
+                    Value::U64(report.dead_nodes as u64),
+                ),
+                (
+                    "alive_nodes".to_string(),
+                    Value::U64(report.alive_nodes as u64),
+                ),
+                ("network_lifetime_s".to_string(), lifetime),
+                (
+                    "charger_energy_used_j".to_string(),
+                    Value::F64(report.charger_energy_used_j),
+                ),
+                (
+                    "total_delivered_j".to_string(),
+                    Value::F64(report.total_delivered_j),
+                ),
+                ("sessions".to_string(), Value::U64(report.sessions as u64)),
+            ]),
+        ),
+        (
+            "attack".to_string(),
+            Value::Map(vec![
+                ("targeted".to_string(), Value::U64(outcome.targeted as u64)),
+                (
+                    "exhausted".to_string(),
+                    Value::U64(outcome.exhausted as u64),
+                ),
+                ("utility".to_string(), Value::F64(outcome.utility)),
+                (
+                    "exhausted_ratio".to_string(),
+                    Value::F64(outcome.exhausted_ratio),
+                ),
+                (
+                    "key_node_exhausted_ratio".to_string(),
+                    Value::F64(outcome.key_node_exhausted_ratio),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// A cursor over a live [`Trace`]: each [`StreamCursor::drain`] call converts
+/// only the events and sessions recorded since the last call into
+/// [`TraceRecord`]s (PR 2 JSONL schema, same event→record mapping as
+/// [`wrsn::sim::obs::export_trace`]).
+///
+/// Sessions need one subtlety: the trace *merges* contiguous charge chunks
+/// into its last session, so the most recent session is only final once a
+/// newer one exists (or the run has ended). A non-final drain therefore holds
+/// the last session back; the final drain flushes it.
+#[derive(Debug, Default)]
+struct StreamCursor {
+    events: usize,
+    sessions: usize,
+}
+
+impl StreamCursor {
+    fn drain(&mut self, trace: &Trace, fin: bool) -> Vec<TraceRecord> {
+        let mut batch = Vec::new();
+        let events = trace.events();
+        for (t_s, event) in &events[self.events.min(events.len())..] {
+            if let wrsn::sim::SimEvent::Fault { fault } = event {
+                // Mirror `export_trace`: faults get a dedicated record kind
+                // ahead of the generic event.
+                batch.push(TraceRecord::Fault {
+                    t_s: *t_s,
+                    fault: *fault,
+                });
+            }
+            batch.push(TraceRecord::Event {
+                t_s: *t_s,
+                event: event.clone(),
+            });
+        }
+        self.events = events.len();
+        let sessions = trace.sessions();
+        let upto = if fin {
+            sessions.len()
+        } else {
+            sessions.len().saturating_sub(1)
+        };
+        for session in &sessions[self.sessions.min(upto)..upto] {
+            batch.push(TraceRecord::Session { session: *session });
+        }
+        self.sessions = self.sessions.max(upto);
+        batch
+    }
+}
+
+/// Executes a payload like [`execute`], additionally delivering incremental
+/// trace-record batches to `sink` on a simulated-time cadence
+/// (`horizon_s / STREAM_DIVISIONS`, floored at 1 s). The final batch (sent
+/// after the run completes, before this function returns) carries the
+/// remaining records plus a closing [`TraceRecord::Snapshot`]. The returned
+/// result bytes are identical to [`execute`]'s for the same payload.
+///
+/// `sink(sim_t_s, records)` returning `false` cancels the run cooperatively —
+/// the disconnect path: the server-side sink returns `false` once the
+/// client's reply channel is gone.
+///
+/// # Errors
+///
+/// As [`execute`]; a sink-declined run surfaces as [`ExecError::Cancelled`].
+/// Non-scenario payloads (which have no incremental trace) fail with
+/// [`ExecError::Failed`] — `parse_line` rejects `stream:true` for them
+/// upstream.
+pub fn execute_streamed(
+    payload: &Payload,
+    sink: &mut dyn FnMut(f64, Vec<TraceRecord>) -> bool,
+) -> Result<String, ExecError> {
+    let value = match payload {
+        Payload::Scenario(spec) => {
+            if wrsn::sim::cancel::cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+            let scenario = spec.scenario();
+            let mut world = scenario.build();
+            let cadence_s = (spec.horizon_s / STREAM_DIVISIONS).max(1.0);
+            let mut cursor = StreamCursor::default();
+            let (report, outcome) = wrsn::core::attack::run_attack_streamed(
+                &mut world,
+                scenario.tide_config(),
+                cadence_s,
+                &mut |t_s, trace| sink(t_s, cursor.drain(trace, false)),
+            )
+            .map_err(|e| match e {
+                SimError::Cancelled => ExecError::Cancelled,
+                other => ExecError::Failed(other.to_string()),
+            })?;
+            let mut tail = cursor.drain(world.trace(), true);
+            tail.push(TraceRecord::Snapshot {
+                t_s: report.final_time_s,
+                health: report.final_health,
+            });
+            if !sink(report.final_time_s, tail) {
+                return Err(ExecError::Cancelled);
+            }
+            scenario_result_value(spec, &report, &outcome)
+        }
+        #[cfg(test)]
+        Payload::Test(TestOp::Stream { frames, sleep_ms }) => {
+            for k in 0..*frames {
+                std::thread::sleep(std::time::Duration::from_millis(*sleep_ms));
+                if wrsn::sim::cancel::cancelled() {
+                    return Err(ExecError::Cancelled);
+                }
+                let batch = vec![TraceRecord::Event {
+                    t_s: k as f64,
+                    event: wrsn::sim::SimEvent::HorizonReached,
+                }];
+                if !sink(k as f64, batch) {
+                    return Err(ExecError::Cancelled);
+                }
+            }
+            Value::Map(vec![("stream".to_string(), Value::U64(*frames))])
+        }
+        other => {
+            return Err(ExecError::Failed(format!(
+                "streaming is only supported for scenario requests, not {:?}",
+                other
+            )))
+        }
     };
     serde_json::to_string(&value).map_err(|e| ExecError::Failed(format!("serialize result: {e}")))
 }
@@ -509,6 +687,53 @@ pub fn error_line(id: &str, detail: &str) -> String {
     )
 }
 
+/// An `invalid` response line: the request violated a protocol bound (e.g.
+/// the line-length cap) badly enough that the connection closes after it.
+pub fn invalid_line(id: &str, detail: &str) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"invalid\",\"error\":{}}}",
+        quote(id),
+        quote(detail)
+    )
+}
+
+/// An `overloaded` response line: the request was shed at admission because
+/// the scheduler queue was full. `retry_after_ms` is the daemon's backoff
+/// hint, scaled by how deep the congestion is.
+pub fn overloaded_line(id: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"overloaded\",\
+         \"retry_after_ms\":{retry_after_ms}}}",
+        quote(id)
+    )
+}
+
+/// A streamed `progress` frame: `seq` numbers the frames of one request
+/// (from 0), `sim_t_s` is the simulated time of the flush, and `records`
+/// carries the new trace records since the previous frame, each wrapped in
+/// the PR 2 JSONL envelope (`{"v":<schema>,"record":...}`) so consumers feed
+/// elements straight into [`wrsn::sim::obs::from_jsonl_line`].
+pub fn progress_line(id: &str, seq: u64, sim_t_s: f64, records: &[TraceRecord]) -> String {
+    let wrapped = records
+        .iter()
+        .map(|r| {
+            Value::Map(vec![
+                ("v".to_string(), Value::U64(SCHEMA_VERSION)),
+                ("record".to_string(), r.to_value()),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let frame = Value::Map(vec![
+        ("v".to_string(), Value::U64(RESPONSE_VERSION)),
+        ("id".to_string(), Value::Str(id.to_string())),
+        ("status".to_string(), Value::Str("progress".to_string())),
+        ("seq".to_string(), Value::U64(seq)),
+        ("sim_t_s".to_string(), Value::F64(sim_t_s)),
+        ("records".to_string(), Value::Seq(wrapped)),
+    ]);
+    serde_json::to_string(&frame).expect("trace records carry finite floats")
+}
+
 /// A `timeout` response line.
 pub fn timeout_line(id: &str, deadline_s: f64) -> String {
     format!(
@@ -534,18 +759,33 @@ pub fn control_line(id: &str, result: &Value) -> String {
 pub struct ParsedResponse {
     /// Correlation id.
     pub id: String,
-    /// `ok`, `error`, or `timeout`.
+    /// `ok`, `error`, `timeout`, `invalid`, `overloaded`, or `progress`.
     pub status: String,
     /// Request digest (work responses only).
     pub digest: Option<String>,
     /// `hit`, `miss`, or `coalesced` (work responses only).
     pub cache: Option<String>,
-    /// Failure detail (`error`/`timeout` responses).
+    /// Failure detail (`error`/`timeout`/`invalid` responses).
     pub error: Option<String>,
     /// The result re-serialized to canonical bytes (ok responses only).
     /// Round-tripping through the vendored writer is lossless, so these
     /// bytes are comparable across responses.
     pub result_canonical: Option<String>,
+    /// Backoff hint (`overloaded` responses only), milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// Frame number within a stream (`progress` frames only).
+    pub seq: Option<u64>,
+    /// Trace-record envelope elements re-serialized to canonical bytes
+    /// (`progress` frames only) — each is one PR 2 JSONL line.
+    pub records: Option<Vec<String>>,
+}
+
+impl ParsedResponse {
+    /// Whether this line resolves its request (everything except a
+    /// `progress` frame, which promises more lines for the same id).
+    pub fn is_final(&self) -> bool {
+        self.status != "progress"
+    }
 }
 
 /// Parses a response line.
@@ -567,6 +807,9 @@ pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
         cache: None,
         error: None,
         result_canonical: None,
+        retry_after_ms: None,
+        seq: None,
+        records: None,
     };
     for (key, val) in map {
         match key.as_str() {
@@ -583,7 +826,22 @@ pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
             "digest" => parsed.digest = Some(field_str(val, "digest")?),
             "cache" => parsed.cache = Some(field_str(val, "cache")?),
             "error" => parsed.error = Some(field_str(val, "error")?),
-            "wall_ms" => {}
+            "wall_ms" | "sim_t_s" => {}
+            "retry_after_ms" => parsed.retry_after_ms = Some(field_u64(val, "retry_after_ms")?),
+            "seq" => parsed.seq = Some(field_u64(val, "seq")?),
+            "records" => {
+                let Value::Seq(items) = val else {
+                    return Err(format!("`records` must be an array, got {}", val.kind()));
+                };
+                let mut lines = Vec::with_capacity(items.len());
+                for item in items {
+                    lines.push(
+                        serde_json::to_string(item)
+                            .map_err(|e| format!("re-serialize record: {e}"))?,
+                    );
+                }
+                parsed.records = Some(lines);
+            }
             "result" => {
                 parsed.result_canonical = Some(
                     serde_json::to_string(val).map_err(|e| format!("re-serialize result: {e}"))?,
@@ -716,6 +974,96 @@ mod tests {
         let parsed = parse_response(&to).expect("parses");
         assert_eq!(parsed.status, "timeout");
         assert!(parsed.error.unwrap().contains("2.5 s"));
+    }
+
+    #[test]
+    fn overloaded_and_invalid_lines_round_trip() {
+        let shed = overloaded_line("q7", 125);
+        let parsed = parse_response(&shed).expect("parses");
+        assert_eq!(parsed.status, "overloaded");
+        assert_eq!(parsed.retry_after_ms, Some(125));
+        assert!(parsed.is_final());
+
+        let bad = invalid_line("q8", "request line exceeds 262144 bytes");
+        let parsed = parse_response(&bad).expect("parses");
+        assert_eq!(parsed.status, "invalid");
+        assert!(parsed.error.unwrap().contains("exceeds"));
+    }
+
+    #[test]
+    fn stream_flag_is_envelope_only_and_scenario_only() {
+        let plain = parse_line(r#"{"id":"a","scenario":{"nodes":40,"seed":7}}"#, 0).unwrap();
+        let streamed = parse_line(
+            r#"{"id":"b","scenario":{"nodes":40,"seed":7},"stream":true}"#,
+            1,
+        )
+        .unwrap();
+        assert!(!plain.stream);
+        assert!(streamed.stream);
+        let (RequestKind::Work(pa), RequestKind::Work(pb)) = (&plain.kind, &streamed.kind) else {
+            panic!("both are work requests");
+        };
+        assert_eq!(pa.digest(), pb.digest(), "stream never enters the digest");
+        let err = parse_line(r#"{"exp":"fig2","stream":true}"#, 2).unwrap_err();
+        assert!(err.contains("only supported for scenario"));
+    }
+
+    #[test]
+    fn streamed_scenario_yields_valid_frames_and_identical_final_bytes() {
+        let payload = Payload::Scenario(ScenarioSpec {
+            nodes: 24,
+            seed: 7,
+            horizon_s: 20_000.0,
+            deployment: DeploymentKind::Uniform,
+        });
+        let plain = execute(&payload).expect("plain run");
+        let mut frames: Vec<(f64, Vec<TraceRecord>)> = Vec::new();
+        let streamed = execute_streamed(&payload, &mut |t_s, records| {
+            frames.push((t_s, records));
+            true
+        })
+        .expect("streamed run");
+        assert_eq!(plain, streamed, "streamed result is byte-identical");
+        assert!(frames.len() > 1, "a 20ks horizon flushes multiple times");
+        assert!(
+            frames.windows(2).all(|w| w[0].0 <= w[1].0),
+            "flushes arrive in simulated-time order"
+        );
+        // The final batch closes with the final-health snapshot.
+        let last = frames.last().and_then(|(_, r)| r.last()).unwrap();
+        assert!(matches!(last, TraceRecord::Snapshot { .. }));
+        // A frame built from a real batch parses, and every record element
+        // is a valid PR 2 JSONL trace line.
+        let batch = frames
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| !r.is_empty())
+            .expect("some batch has records");
+        let line = progress_line("q1", 0, 1.0, batch);
+        let parsed = parse_response(&line).expect("frame parses");
+        assert_eq!(parsed.status, "progress");
+        assert_eq!(parsed.seq, Some(0));
+        assert!(!parsed.is_final());
+        for record in parsed.records.expect("frame carries records") {
+            wrsn::sim::obs::from_jsonl_line(&record).expect("record is a valid trace line");
+        }
+    }
+
+    #[test]
+    fn a_declining_sink_cancels_a_streamed_run() {
+        let payload = Payload::Scenario(ScenarioSpec {
+            nodes: 24,
+            seed: 7,
+            horizon_s: 20_000.0,
+            deployment: DeploymentKind::Uniform,
+        });
+        let mut calls = 0usize;
+        let result = execute_streamed(&payload, &mut |_, _| {
+            calls += 1;
+            false
+        });
+        assert_eq!(result, Err(ExecError::Cancelled));
+        assert_eq!(calls, 1, "the run stops at the first declined flush");
     }
 
     #[test]

@@ -24,6 +24,23 @@
 //! A panicked payload poisons nothing: the guard's id-keyed drop removes
 //! exactly its token (see `wrsn::sim::cancel`), the worker thread survives
 //! and takes the next job — pinned by the panic-then-reuse tests below.
+//!
+//! **Admission is bounded**: the queue holds at most `queue_cap` jobs.
+//! Step 1 above can therefore fail — a submission against a full queue is
+//! *shed* immediately with a typed `overloaded` response carrying a
+//! `retry_after_ms` hint scaled by queue depth, instead of growing the queue
+//! without bound. Only fresh submissions are shed; followers requeued after
+//! a leader timeout were already admitted and bypass the cap.
+//!
+//! **Streaming**: a job submitted with `stream = true` has its leader send
+//! incremental `progress` frames through the same reply channel before the
+//! final response. The reply channel doubles as the disconnect signal — when
+//! the client's connection writer goes away the channel closes, the next
+//! frame send fails, and the sink cancels the job's own [`CancelToken`], so
+//! the engine unwinds at its next segment poll. A disconnected stream sends
+//! nothing further, saves nothing, and requeues its followers (their clients
+//! may still be alive). Followers and cache hits never stream: they are
+//! answered from the leader's (or cached) final bytes only.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -35,12 +52,43 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 use wrsn::sim::cancel::{CancelToken, ScopedCancel};
+use wrsn::sim::obs::{Counter, TraceRecord};
 
 use super::cache::{CacheLookup, ResultCache};
 use super::request::{self, ExecError, Payload};
 
 /// How often the watchdog sweeps the in-flight slots.
 const WATCHDOG_PERIOD: Duration = Duration::from_millis(3);
+
+/// Bounds of the `retry_after_ms` backoff hint sent with shed responses.
+const RETRY_AFTER_MIN_MS: u64 = 25;
+/// Upper clamp of the backoff hint.
+const RETRY_AFTER_MAX_MS: u64 = 2_000;
+
+/// One response line bound for a client, tagged with whether it resolves its
+/// request. Progress frames (`fin == false`) promise more lines for the same
+/// id; everything else is final. The connection layer uses the tag to track
+/// in-flight work (an idle sweep must not reap a client that is merely
+/// waiting for a slow computation).
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The serialized response line (no trailing newline).
+    pub line: String,
+    /// Whether this line resolves the request.
+    pub fin: bool,
+}
+
+impl Reply {
+    /// A final, request-resolving line.
+    pub fn fin(line: String) -> Self {
+        Reply { line, fin: true }
+    }
+
+    /// An intermediate progress frame.
+    pub fn frame(line: String) -> Self {
+        Reply { line, fin: false }
+    }
+}
 
 /// Monotonic service counters, exposed by the `stats` control op.
 #[derive(Debug, Default)]
@@ -53,6 +101,12 @@ pub struct ServiceCounters {
     timeouts: AtomicU64,
     errors: AtomicU64,
     cache_rejected: AtomicU64,
+    shed: AtomicU64,
+    queue_high_watermark: AtomicU64,
+    stream_frames: AtomicU64,
+    stream_cancels: AtomicU64,
+    oversized: AtomicU64,
+    conns_reaped: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -95,6 +149,48 @@ impl ServiceCounters {
         self.cache_rejected.load(Ordering::Relaxed)
     }
 
+    /// Requests shed at admission with a typed `overloaded` response.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn queue_high_watermark(&self) -> u64 {
+        self.queue_high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Streaming progress frames emitted.
+    pub fn stream_frames(&self) -> u64 {
+        self.stream_frames.load(Ordering::Relaxed)
+    }
+
+    /// Streamed computations cancelled by client disconnect.
+    pub fn stream_cancels(&self) -> u64 {
+        self.stream_cancels.load(Ordering::Relaxed)
+    }
+
+    /// Request lines rejected for exceeding the line-length cap (counted by
+    /// the connection layer).
+    pub fn oversized(&self) -> u64 {
+        self.oversized.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections reaped by the read-timeout sweep (counted by the
+    /// connection layer).
+    pub fn conns_reaped(&self) -> u64 {
+        self.conns_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Records an oversized request line (connection layer hook).
+    pub fn note_oversized(&self) {
+        ServiceCounters::inc(&self.oversized);
+    }
+
+    /// Records a reaped idle connection (connection layer hook).
+    pub fn note_conn_reaped(&self) {
+        ServiceCounters::inc(&self.conns_reaped);
+    }
+
     /// A JSON snapshot for the `stats` control op. Alongside the request
     /// tallies it reports the effective execution strategy — worker threads
     /// and spatial shards — every payload's world runs with, so a campaign
@@ -119,6 +215,30 @@ impl ServiceCounters {
             ("timeouts".to_string(), u(&self.timeouts)),
             ("errors".to_string(), u(&self.errors)),
             ("cache_rejected".to_string(), u(&self.cache_rejected)),
+            // Degradation counters share names with their `wrsn_sim::obs`
+            // twins so campaign reports and daemon stats speak one
+            // vocabulary.
+            (Counter::RequestsShed.name().to_string(), u(&self.shed)),
+            (
+                "queue_high_watermark".to_string(),
+                u(&self.queue_high_watermark),
+            ),
+            (
+                Counter::StreamFrames.name().to_string(),
+                u(&self.stream_frames),
+            ),
+            (
+                Counter::StreamCancels.name().to_string(),
+                u(&self.stream_cancels),
+            ),
+            (
+                Counter::RequestsOversized.name().to_string(),
+                u(&self.oversized),
+            ),
+            (
+                Counter::ConnsReaped.name().to_string(),
+                u(&self.conns_reaped),
+            ),
         ])
     }
 }
@@ -130,7 +250,8 @@ struct Job {
     digest: String,
     deadline: Duration,
     enqueued: Instant,
-    reply: Sender<String>,
+    stream: bool,
+    reply: Sender<Reply>,
 }
 
 impl Job {
@@ -161,6 +282,10 @@ struct Inner {
     slots: Vec<Mutex<Option<WatchSlot>>>,
     counters: ServiceCounters,
     default_deadline: Duration,
+    /// Admission bound: fresh submissions against a queue this deep are shed.
+    queue_cap: usize,
+    /// Pool size (scales the `retry_after_ms` hint).
+    workers: usize,
     stopping: AtomicBool,
 }
 
@@ -173,8 +298,15 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Spawns `workers` pooled threads plus the deadline watchdog.
-    pub fn new(cache: ResultCache, workers: usize, default_deadline: Duration) -> Self {
+    /// Spawns `workers` pooled threads plus the deadline watchdog. Fresh
+    /// submissions beyond `queue_cap` waiting jobs are shed with a typed
+    /// `overloaded` response.
+    pub fn new(
+        cache: ResultCache,
+        workers: usize,
+        default_deadline: Duration,
+        queue_cap: usize,
+    ) -> Self {
         let workers = workers.max(1);
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
@@ -187,6 +319,8 @@ impl Scheduler {
             slots: (0..workers).map(|_| Mutex::new(None)).collect(),
             counters: ServiceCounters::default(),
             default_deadline,
+            queue_cap: queue_cap.max(1),
+            workers,
             stopping: AtomicBool::new(false),
         });
         let handles = (0..workers)
@@ -214,13 +348,16 @@ impl Scheduler {
 
     /// Enqueues a work request. The deadline clock starts now; `None` uses
     /// the pool default. The response line (ok/timeout/error) is delivered
-    /// on `reply` when the request resolves.
+    /// on `reply` when the request resolves — preceded by `progress` frames
+    /// when `stream` is set. A full queue sheds the request immediately with
+    /// a typed `overloaded` line instead of admitting it.
     pub fn submit(
         &self,
         id: String,
         payload: Payload,
         deadline: Option<Duration>,
-        reply: Sender<String>,
+        stream: bool,
+        reply: Sender<Reply>,
     ) {
         ServiceCounters::inc(&self.inner.counters.received);
         let job = Job {
@@ -229,15 +366,30 @@ impl Scheduler {
             payload,
             deadline: deadline.unwrap_or(self.inner.default_deadline),
             enqueued: Instant::now(),
+            stream,
             reply,
         };
         let mut queue = self.inner.queue.lock().expect("queue lock");
         if queue.closed {
             let line = request::error_line(&job.id, "service is shutting down");
-            let _ = job.reply.send(line);
+            let _ = job.reply.send(Reply::fin(line));
+            return;
+        }
+        let depth = queue.jobs.len();
+        if depth >= self.inner.queue_cap {
+            drop(queue);
+            ServiceCounters::inc(&self.inner.counters.shed);
+            let line =
+                request::overloaded_line(&job.id, retry_after_hint(depth, self.inner.workers));
+            let _ = job.reply.send(Reply::fin(line));
             return;
         }
         queue.jobs.push_back(job);
+        let depth = queue.jobs.len() as u64;
+        self.inner
+            .counters
+            .queue_high_watermark
+            .fetch_max(depth, Ordering::Relaxed);
         drop(queue);
         self.inner.available.notify_one();
     }
@@ -245,6 +397,31 @@ impl Scheduler {
     /// The live counters (shared with the `stats` control op).
     pub fn counters(&self) -> &ServiceCounters {
         &self.inner.counters
+    }
+
+    /// Everything the `stats` control op reports: the monotonic counters
+    /// plus instantaneous queue occupancy and (when the cache is bounded)
+    /// the cache budget.
+    pub fn stats_value(&self) -> Value {
+        let Value::Map(mut entries) = self.inner.counters.to_value() else {
+            unreachable!("counters serialize as a map");
+        };
+        let depth = self.inner.queue.lock().expect("queue lock").jobs.len();
+        entries.push(("queue_depth".to_string(), Value::U64(depth as u64)));
+        entries.push((
+            "queue_cap".to_string(),
+            Value::U64(self.inner.queue_cap as u64),
+        ));
+        if let Some(stats) = self.inner.cache.stats() {
+            entries.push((
+                Counter::CacheEvictions.name().to_string(),
+                Value::U64(stats.evictions),
+            ));
+            entries.push(("cache_cap_bytes".to_string(), Value::U64(stats.cap_bytes)));
+            entries.push(("cache_bytes".to_string(), Value::U64(stats.total_bytes)));
+            entries.push(("cache_entries".to_string(), Value::U64(stats.entries)));
+        }
+        Value::Map(entries)
     }
 
     /// Closes the queue, drains every already-submitted job, and joins the
@@ -293,12 +470,22 @@ fn watchdog_loop(inner: &Inner) {
     }
 }
 
+/// Backoff hint for a shed response: scales with how far over capacity the
+/// queue is relative to the pool that must drain it.
+fn retry_after_hint(depth: usize, workers: usize) -> u64 {
+    let scale = 1 + (depth / workers.max(1)) as u64;
+    (RETRY_AFTER_MIN_MS * scale).clamp(RETRY_AFTER_MIN_MS, RETRY_AFTER_MAX_MS)
+}
+
 /// Answers `job` and the followers that coalesced behind it from one
 /// computed outcome.
 enum Outcome {
     Ok(String),
     Timeout,
     Error(String),
+    /// The streaming client went away mid-computation; there is nobody to
+    /// answer, nothing was persisted, and followers get a fresh run.
+    Disconnected,
 }
 
 fn worker_loop(inner: &Inner, slot: usize) {
@@ -306,9 +493,10 @@ fn worker_loop(inner: &Inner, slot: usize) {
         // Deadline may already have passed while queued.
         let Some(budget) = job.remaining() else {
             ServiceCounters::inc(&inner.counters.timeouts);
-            let _ = job
-                .reply
-                .send(request::timeout_line(&job.id, job.deadline.as_secs_f64()));
+            let _ = job.reply.send(Reply::fin(request::timeout_line(
+                &job.id,
+                job.deadline.as_secs_f64(),
+            )));
             continue;
         };
         // Cache first: a validated entry answers without touching the pool's
@@ -324,7 +512,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
                     job.enqueued.elapsed().as_secs_f64() * 1e3,
                     &result,
                 );
-                let _ = job.reply.send(line);
+                let _ = job.reply.send(Reply::fin(line));
                 continue;
             }
             CacheLookup::Rejected(_) => {
@@ -349,14 +537,47 @@ fn worker_loop(inner: &Inner, slot: usize) {
             budget,
             token: token.clone(),
         });
+        let disconnected = std::cell::Cell::new(false);
         let run = {
             let guard = ScopedCancel::install(token.clone());
-            let run = catch_unwind(AssertUnwindSafe(|| request::execute(&job.payload)));
+            let run = if job.stream {
+                // Streaming leader: forward each drained record batch as a
+                // `progress` frame. A failed send means the connection writer
+                // (and with it the client) is gone — cancel our own token so
+                // the engine unwinds at its next segment poll instead of
+                // computing for nobody.
+                let mut seq: u64 = 0;
+                let reply = &job.reply;
+                let id = job.id.as_str();
+                let sink_token = &token;
+                let sink_disconnected = &disconnected;
+                let counters = &inner.counters;
+                let mut sink = |t_s: f64, records: Vec<TraceRecord>| -> bool {
+                    if records.is_empty() {
+                        return !sink_token.is_cancelled();
+                    }
+                    let line = request::progress_line(id, seq, t_s, &records);
+                    seq += 1;
+                    if reply.send(Reply::frame(line)).is_err() {
+                        sink_disconnected.set(true);
+                        sink_token.cancel();
+                        return false;
+                    }
+                    ServiceCounters::inc(&counters.stream_frames);
+                    true
+                };
+                catch_unwind(AssertUnwindSafe(|| {
+                    request::execute_streamed(&job.payload, &mut sink)
+                }))
+            } else {
+                catch_unwind(AssertUnwindSafe(|| request::execute(&job.payload)))
+            };
             drop(guard);
             run
         };
         *inner.slots[slot].lock().expect("slot lock") = None;
         let outcome = match run {
+            _ if disconnected.get() => Outcome::Disconnected,
             Ok(Ok(result)) => Outcome::Ok(result),
             Ok(Err(ExecError::Cancelled)) => Outcome::Timeout,
             Ok(Err(ExecError::Failed(detail))) => Outcome::Error(detail),
@@ -386,13 +607,13 @@ fn worker_loop(inner: &Inner, slot: usize) {
                 ServiceCounters::inc(&inner.counters.cache_misses);
                 ServiceCounters::inc(&inner.counters.ok);
                 let wall_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-                let _ = job.reply.send(request::ok_line(
+                let _ = job.reply.send(Reply::fin(request::ok_line(
                     &job.id,
                     &job.digest,
                     "miss",
                     wall_ms,
                     &result,
-                ));
+                )));
                 for follower in followers {
                     ServiceCounters::inc(&inner.counters.coalesced);
                     ServiceCounters::inc(&inner.counters.ok);
@@ -404,27 +625,37 @@ fn worker_loop(inner: &Inner, slot: usize) {
                         wall_ms,
                         &result,
                     );
-                    let _ = follower.reply.send(line);
+                    let _ = follower.reply.send(Reply::fin(line));
                 }
             }
             Outcome::Timeout => {
                 ServiceCounters::inc(&inner.counters.timeouts);
-                let _ = job
-                    .reply
-                    .send(request::timeout_line(&job.id, job.deadline.as_secs_f64()));
+                let _ = job.reply.send(Reply::fin(request::timeout_line(
+                    &job.id,
+                    job.deadline.as_secs_f64(),
+                )));
                 // The leader's deadline is not the followers': give each a
                 // fresh chance under its own clock.
                 requeue(inner, followers);
             }
             Outcome::Error(detail) => {
                 ServiceCounters::inc(&inner.counters.errors);
-                let _ = job.reply.send(request::error_line(&job.id, &detail));
+                let _ = job
+                    .reply
+                    .send(Reply::fin(request::error_line(&job.id, &detail)));
                 for follower in followers {
                     ServiceCounters::inc(&inner.counters.errors);
                     let _ = follower
                         .reply
-                        .send(request::error_line(&follower.id, &detail));
+                        .send(Reply::fin(request::error_line(&follower.id, &detail)));
                 }
+            }
+            Outcome::Disconnected => {
+                // Nobody is listening for `job` any more; its followers'
+                // clients may still be, so they re-run under their own
+                // deadlines rather than inheriting the cancellation.
+                ServiceCounters::inc(&inner.counters.stream_cancels);
+                requeue(inner, followers);
             }
         }
     }
@@ -438,9 +669,10 @@ fn requeue(inner: &Inner, followers: Vec<Job>) {
     if queue.closed {
         for job in followers {
             ServiceCounters::inc(&inner.counters.errors);
-            let _ = job
-                .reply
-                .send(request::error_line(&job.id, "service is shutting down"));
+            let _ = job.reply.send(Reply::fin(request::error_line(
+                &job.id,
+                "service is shutting down",
+            )));
         }
         return;
     }
@@ -487,14 +719,14 @@ mod tests {
     #[test]
     fn work_round_trips_and_repeats_hit_the_cache() {
         let (cache, dir) = temp_cache("roundtrip");
-        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
-        scheduler.submit("a".to_string(), echo(1, 0), None, tx.clone());
-        let first = parse_response(&rx.recv().unwrap()).unwrap();
+        scheduler.submit("a".to_string(), echo(1, 0), None, false, tx.clone());
+        let first = parse_response(&rx.recv().unwrap().line).unwrap();
         assert_eq!(first.status, "ok");
         assert_eq!(first.cache.as_deref(), Some("miss"));
-        scheduler.submit("b".to_string(), echo(1, 0), None, tx);
-        let second = parse_response(&rx.recv().unwrap()).unwrap();
+        scheduler.submit("b".to_string(), echo(1, 0), None, false, tx);
+        let second = parse_response(&rx.recv().unwrap().line).unwrap();
         assert_eq!(second.cache.as_deref(), Some("hit"));
         assert_eq!(
             first.result_canonical, second.result_canonical,
@@ -509,15 +741,15 @@ mod tests {
     #[test]
     fn concurrent_duplicates_coalesce_into_one_computation() {
         let (cache, dir) = temp_cache("coalesce");
-        let scheduler = Scheduler::new(cache, 4, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 4, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
         for k in 0..6 {
-            scheduler.submit(format!("q{k}"), echo(7, 150), None, tx.clone());
+            scheduler.submit(format!("q{k}"), echo(7, 150), None, false, tx.clone());
         }
         drop(tx);
         let mut results = Vec::new();
-        while let Ok(line) = rx.recv() {
-            results.push(parse_response(&line).unwrap());
+        while let Ok(reply) = rx.recv() {
+            results.push(parse_response(&reply.line).unwrap());
         }
         assert_eq!(results.len(), 6);
         assert!(results.iter().all(|r| r.status == "ok"));
@@ -540,16 +772,17 @@ mod tests {
     #[test]
     fn a_hung_payload_times_out_at_its_deadline() {
         let (cache, dir) = temp_cache("deadline");
-        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
         let started = Instant::now();
         scheduler.submit(
             "hang".to_string(),
             Payload::Test(TestOp::Hang),
             Some(Duration::from_millis(80)),
+            false,
             tx,
         );
-        let response = parse_response(&rx.recv().unwrap()).unwrap();
+        let response = parse_response(&rx.recv().unwrap().line).unwrap();
         assert_eq!(response.status, "timeout");
         assert!(
             started.elapsed() < Duration::from_secs(5),
@@ -563,20 +796,21 @@ mod tests {
     #[test]
     fn a_request_queued_past_its_deadline_never_executes() {
         let (cache, dir) = temp_cache("queued");
-        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
         // Occupy the only worker…
-        scheduler.submit("slow".to_string(), echo(9, 250), None, tx.clone());
+        scheduler.submit("slow".to_string(), echo(9, 250), None, false, tx.clone());
         // …so this 1 ms deadline is long gone by the time it is popped.
         scheduler.submit(
             "late".to_string(),
             echo(10, 0),
             Some(Duration::from_millis(1)),
+            false,
             tx,
         );
         let mut by_id = HashMap::new();
         for _ in 0..2 {
-            let r = parse_response(&rx.recv().unwrap()).unwrap();
+            let r = parse_response(&rx.recv().unwrap().line).unwrap();
             by_id.insert(r.id.clone(), r);
         }
         assert_eq!(by_id["slow"].status, "ok");
@@ -590,21 +824,22 @@ mod tests {
         let (cache, dir) = temp_cache("panic");
         // One worker: the follow-up request runs on the *same* pooled
         // thread the panic unwound through.
-        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
         scheduler.submit(
             "boom".to_string(),
             Payload::Test(TestOp::Panic),
             None,
+            false,
             tx.clone(),
         );
-        let boom = parse_response(&rx.recv().unwrap()).unwrap();
+        let boom = parse_response(&rx.recv().unwrap().line).unwrap();
         assert_eq!(boom.status, "error");
         assert!(boom.error.unwrap().contains("panicked"));
         // The reused thread must carry no stale cancel token: a fresh
         // request completes normally instead of being instantly "cancelled".
-        scheduler.submit("after".to_string(), echo(11, 0), None, tx);
-        let after = parse_response(&rx.recv().unwrap()).unwrap();
+        scheduler.submit("after".to_string(), echo(11, 0), None, false, tx);
+        let after = parse_response(&rx.recv().unwrap().line).unwrap();
         assert_eq!(after.status, "ok", "reused worker thread is clean");
         scheduler.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
@@ -613,7 +848,7 @@ mod tests {
     #[test]
     fn followers_of_a_timed_out_leader_are_requeued_not_dropped() {
         let (cache, dir) = temp_cache("requeue");
-        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10));
+        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10), 64);
         let (tx, rx) = mpsc::channel();
         // Leader hangs with a short deadline; follower (same digest) has a
         // generous one. After the leader times out the follower re-runs the
@@ -623,6 +858,7 @@ mod tests {
             "leader".to_string(),
             Payload::Test(TestOp::Hang),
             Some(Duration::from_millis(60)),
+            false,
             tx.clone(),
         );
         thread::sleep(Duration::from_millis(10));
@@ -630,16 +866,149 @@ mod tests {
             "follower".to_string(),
             Payload::Test(TestOp::Hang),
             Some(Duration::from_millis(300)),
+            false,
             tx,
         );
         let mut statuses = HashMap::new();
         for _ in 0..2 {
-            let r = parse_response(&rx.recv().unwrap()).unwrap();
+            let r = parse_response(&rx.recv().unwrap().line).unwrap();
             statuses.insert(r.id.clone(), r.status);
         }
         assert_eq!(statuses["leader"], "timeout");
         assert_eq!(statuses["follower"], "timeout");
         assert_eq!(scheduler.counters().timeouts(), 2);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_full_queue_sheds_with_a_typed_overloaded_response() {
+        let (cache, dir) = temp_cache("shed");
+        // One worker, queue of one: occupy the worker, fill the queue, and
+        // the third submission must be shed at the door.
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 1);
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit("busy".to_string(), echo(20, 250), None, false, tx.clone());
+        // Give the worker time to pop "busy" off the queue.
+        thread::sleep(Duration::from_millis(50));
+        scheduler.submit("queued".to_string(), echo(21, 0), None, false, tx.clone());
+        scheduler.submit("shed".to_string(), echo(22, 0), None, false, tx.clone());
+        drop(tx);
+        let mut by_id = HashMap::new();
+        while let Ok(reply) = rx.recv() {
+            let r = parse_response(&reply.line).unwrap();
+            by_id.insert(r.id.clone(), r);
+        }
+        assert_eq!(by_id["busy"].status, "ok");
+        assert_eq!(by_id["queued"].status, "ok");
+        let shed = &by_id["shed"];
+        assert_eq!(shed.status, "overloaded");
+        let hint = shed.retry_after_ms.expect("shed response carries a hint");
+        assert!((RETRY_AFTER_MIN_MS..=RETRY_AFTER_MAX_MS).contains(&hint));
+        assert_eq!(scheduler.counters().shed(), 1);
+        assert!(scheduler.counters().queue_high_watermark() >= 1);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_streaming_job_emits_progress_frames_then_the_shared_cached_final() {
+        let (cache, dir) = temp_cache("stream");
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 8);
+        let stream_op = || {
+            Payload::Test(TestOp::Stream {
+                frames: 3,
+                sleep_ms: 0,
+            })
+        };
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit("s".to_string(), stream_op(), None, true, tx);
+        let mut frames = Vec::new();
+        let fin = loop {
+            let reply = rx.recv().unwrap();
+            let r = parse_response(&reply.line).unwrap();
+            if reply.fin {
+                break r;
+            }
+            assert_eq!(r.status, "progress");
+            frames.push(r);
+        };
+        assert_eq!(frames.len(), 3);
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.seq, Some(k as u64), "frames arrive in order");
+            assert_eq!(frame.records.as_ref().unwrap().len(), 1);
+        }
+        assert_eq!(fin.status, "ok");
+        assert_eq!(scheduler.counters().stream_frames(), 3);
+        // The stream flag is envelope-only: the same payload submitted plain
+        // hits the cache entry the streamed run saved, byte-identically.
+        let (tx2, rx2) = mpsc::channel();
+        scheduler.submit("p".to_string(), stream_op(), None, false, tx2);
+        let plain = parse_response(&rx2.recv().unwrap().line).unwrap();
+        assert_eq!(plain.status, "ok");
+        assert_eq!(plain.cache.as_deref(), Some("hit"));
+        assert_eq!(plain.result_canonical, fin.result_canonical);
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_disconnected_stream_cancels_without_poisoning_worker_or_cache() {
+        let (cache, dir) = temp_cache("discon");
+        let scheduler = Scheduler::new(cache, 1, Duration::from_secs(10), 8);
+        let gone_op = Payload::Test(TestOp::Stream {
+            frames: 500,
+            sleep_ms: 5,
+        });
+        let digest = gone_op.digest();
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit("gone".to_string(), gone_op, None, true, tx);
+        let first = rx.recv().unwrap();
+        assert!(!first.fin, "first line is a progress frame");
+        drop(rx); // the client vanishes mid-stream
+                  // The worker notices on its next frame send, cancels its own run,
+                  // and survives to serve a fresh request on the same thread.
+        let (tx2, rx2) = mpsc::channel();
+        scheduler.submit("next".to_string(), echo(30, 0), None, false, tx2);
+        let next = parse_response(&rx2.recv().unwrap().line).unwrap();
+        assert_eq!(next.status, "ok");
+        assert_eq!(scheduler.counters().stream_cancels(), 1);
+        assert!(scheduler.counters().stream_frames() >= 1);
+        // The aborted computation persisted nothing under its digest.
+        assert!(
+            !dir.join(format!("{digest}.out.json")).exists(),
+            "cancelled stream must not leave a cache entry"
+        );
+        scheduler.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_value_reports_queue_and_cache_occupancy() {
+        let dir = std::env::temp_dir().join(format!(
+            "wrsn-sched-stats-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open_bounded(&dir, 1 << 20).unwrap();
+        let scheduler = Scheduler::new(cache, 2, Duration::from_secs(10), 7);
+        let Value::Map(entries) = scheduler.stats_value() else {
+            panic!("stats_value is a map");
+        };
+        let get = |key: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("stats missing {key}"))
+                .1
+                .clone()
+        };
+        assert_eq!(get("queue_cap"), Value::U64(7));
+        assert_eq!(get("queue_depth"), Value::U64(0));
+        assert_eq!(get("cache_cap_bytes"), Value::U64(1 << 20));
+        assert_eq!(get(Counter::CacheEvictions.name()), Value::U64(0));
+        assert_eq!(get(Counter::RequestsShed.name()), Value::U64(0));
         scheduler.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,399 @@
+//! Daemon-level overload and hostile-client hardening: typed shedding under
+//! a full queue with retry-to-success byte identity, streamed responses
+//! cancelled by mid-stream client disconnects without poisoning the cache,
+//! oversized request lines, idle-connection reaping, and a full load run
+//! through the fault-injecting chaos proxy — all through the real binary
+//! and real sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use wrsn_bench::service::chaos;
+use wrsn_bench::service::loadgen::{run_load, LoadConfig};
+use wrsn_bench::service::request::{parse_response, ParsedResponse};
+use wrsn_bench::service::server::MAX_LINE_BYTES;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wrsnd-ov-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running daemon plus the address it bound.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Boots `wrsnd serve --listen 127.0.0.1:0` on `store` with `extra`
+    /// flags (queue cap, cache cap, idle timeout) and waits for the banner.
+    fn spawn(store: &Path, workers: usize, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_wrsnd"));
+        command
+            .args([
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--store",
+                &store.display().to_string(),
+                "--workers",
+                &workers.to_string(),
+            ])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (key, value) in envs {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().expect("spawn wrsnd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines.next().expect("banner line").expect("readable banner");
+        let addr = banner
+            .strip_prefix("wrsnd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Conn { stream, reader }
+    }
+
+    /// A counter from a fresh `stats` request (0 when absent).
+    fn stat_u64(&self, key: &str) -> u64 {
+        let mut conn = self.connect();
+        let stats = conn.request(r#"{"id":"s","op":"stats"}"#);
+        assert_eq!(stats.status, "ok", "stats failed: {:?}", stats.error);
+        let body = stats.result_canonical.expect("stats body");
+        let value: serde::Value = serde_json::from_str(&body).expect("stats body parses");
+        value
+            .as_map()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map_or(0, |(_, v)| match v {
+                serde::Value::U64(n) => *n,
+                _ => 0,
+            })
+    }
+
+    /// Asks for a graceful shutdown and waits for the process to exit 0.
+    fn shutdown(&mut self) {
+        let mut conn = self.connect();
+        let bye = conn.request(r#"{"id":"bye","op":"shutdown"}"#);
+        assert_eq!(bye.status, "ok");
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(status.success(), "daemon exited {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .and_then(|()| self.stream.flush())
+            .expect("send request");
+    }
+
+    fn recv(&mut self) -> ParsedResponse {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection unexpectedly");
+        parse_response(line.trim_end()).expect("parse response")
+    }
+
+    fn request(&mut self, line: &str) -> ParsedResponse {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn a_full_queue_sheds_typed_and_retries_land_byte_identically() {
+    let store = temp_dir("shed");
+    // One worker, one queue slot: wedge the worker (forced fig5 hang until
+    // its 3 s deadline), fill the slot, and the next distinct request must
+    // be shed with a typed `overloaded` + backoff hint.
+    let mut daemon = Daemon::spawn(
+        &store,
+        1,
+        &["--queue-cap", "1"],
+        &[("WRSN_FORCE_HANG", "fig5")],
+    );
+    let mut busy = daemon.connect();
+    busy.send(r#"{"id":"hang","exp":"fig5","deadline_s":3}"#);
+    std::thread::sleep(Duration::from_millis(400)); // worker picks it up
+    busy.send(r#"{"id":"fill","scenario":{"nodes":24,"seed":1,"horizon_s":20000}}"#);
+    std::thread::sleep(Duration::from_millis(100)); // fill occupies the queue
+
+    const SPEC_C: &str = r#"{"id":"c","scenario":{"nodes":24,"seed":2,"horizon_s":20000}}"#;
+    let mut client = daemon.connect();
+    let first = client.request(SPEC_C);
+    assert_eq!(first.status, "overloaded", "error: {:?}", first.error);
+    let hint = first.retry_after_ms.expect("overloaded carries a hint");
+    assert!(hint >= 25, "hint {hint} below the floor");
+
+    // The client contract: keep retrying on the daemon's hint and the
+    // request eventually succeeds (the wedge times out at 3 s).
+    let mut shed_seen = 1u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let settled = loop {
+        assert!(Instant::now() < deadline, "retries never landed");
+        std::thread::sleep(Duration::from_millis(hint.min(200)));
+        let attempt = client.request(SPEC_C);
+        match attempt.status.as_str() {
+            "overloaded" => shed_seen += 1,
+            "ok" => break attempt,
+            other => panic!("unexpected status {other}: {:?}", attempt.error),
+        }
+    };
+    let bytes = settled.result_canonical.expect("ok has a result");
+    let digest = settled.digest.expect("ok has a digest");
+
+    // Byte identity across the shed/retry episode: a replay is a cache hit
+    // with the same bytes.
+    let replay = client.request(SPEC_C);
+    assert_eq!(replay.status, "ok");
+    assert_eq!(replay.cache.as_deref(), Some("hit"));
+    assert_eq!(replay.digest.as_deref(), Some(digest.as_str()));
+    assert_eq!(replay.result_canonical.as_deref(), Some(bytes.as_str()));
+
+    // The wedged and queued requests resolved on their own connection.
+    let wedged = busy.recv();
+    assert_eq!(wedged.status, "timeout", "error: {:?}", wedged.error);
+    let filled = busy.recv();
+    assert_eq!(filled.status, "ok", "error: {:?}", filled.error);
+
+    assert!(daemon.stat_u64("requests_shed") >= shed_seen);
+    assert!(daemon.stat_u64("queue_high_watermark") >= 1);
+    drop(client);
+    drop(busy);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// A scenario slow enough (seconds, debug build) to stream many progress
+/// frames — the disconnect below lands mid-stream with plenty of sim left.
+const SLOW_STREAM: &str = r#"{"id":"slow","scenario":{"nodes":1000,"seed":7,"horizon_s":200000},"deadline_s":300,"stream":true}"#;
+const SLOW_PLAIN: &str =
+    r#"{"id":"plain","scenario":{"nodes":1000,"seed":7,"horizon_s":200000},"deadline_s":300}"#;
+
+#[test]
+fn a_mid_stream_disconnect_cancels_the_run_and_leaves_the_cache_valid() {
+    let store = temp_dir("stream");
+    let mut daemon = Daemon::spawn(&store, 1, &[], &[]);
+
+    // Start a streamed run, read one progress frame to prove we are
+    // mid-stream, then vanish.
+    let mut conn = daemon.connect();
+    conn.send(SLOW_STREAM);
+    let frame = conn.recv();
+    assert_eq!(frame.status, "progress");
+    assert_eq!(frame.seq, Some(0));
+    assert!(frame.records.is_some_and(|r| !r.is_empty()));
+    drop(conn);
+
+    // The daemon notices the dead client at the next frame flush and
+    // cancels the computation cooperatively.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while daemon.stat_u64("stream_cancels") == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the streamed run"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The cancelled run must not have poisoned the store: the same spec
+    // computes fresh, replays as a validated hit, byte-identically.
+    let mut conn = daemon.connect();
+    let fresh = conn.request(SLOW_PLAIN);
+    assert_eq!(fresh.status, "ok", "error: {:?}", fresh.error);
+    assert_eq!(fresh.cache.as_deref(), Some("miss"), "no partial artifact");
+    let bytes = fresh.result_canonical.expect("ok has a result");
+    let replay = conn.request(SLOW_PLAIN);
+    assert_eq!(replay.cache.as_deref(), Some("hit"));
+    assert_eq!(replay.result_canonical.as_deref(), Some(bytes.as_str()));
+    drop(conn);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn streamed_and_plain_responses_share_digest_and_final_bytes() {
+    let store = temp_dir("streameq");
+    let mut daemon = Daemon::spawn(&store, 1, &[], &[]);
+    const PLAIN: &str = r#"{"id":"p","scenario":{"nodes":80,"seed":3,"horizon_s":100000}}"#;
+    const STREAMED: &str =
+        r#"{"id":"q","scenario":{"nodes":80,"seed":3,"horizon_s":100000},"stream":true}"#;
+
+    let mut conn = daemon.connect();
+    let plain = conn.request(PLAIN);
+    assert_eq!(plain.status, "ok", "error: {:?}", plain.error);
+
+    // The streamed duplicate is a cache hit: final frame only, same bytes.
+    let hit = conn.request(STREAMED);
+    assert_eq!(hit.status, "ok");
+    assert_eq!(hit.cache.as_deref(), Some("hit"));
+    assert_eq!(hit.digest, plain.digest);
+    assert_eq!(hit.result_canonical, plain.result_canonical);
+
+    // On a cold store the same streamed request emits frames, then a final
+    // whose digest and bytes still match the plain run.
+    drop(conn);
+    daemon.shutdown();
+    let cold = temp_dir("streameq-cold");
+    let mut daemon = Daemon::spawn(&cold, 1, &[], &[]);
+    let mut conn = daemon.connect();
+    conn.send(STREAMED);
+    let mut frames = 0u64;
+    let streamed = loop {
+        let line = conn.recv();
+        if line.status == "progress" {
+            assert_eq!(line.seq, Some(frames));
+            frames += 1;
+            continue;
+        }
+        break line;
+    };
+    assert!(frames > 0, "a cold streamed run must emit progress frames");
+    assert_eq!(streamed.status, "ok", "error: {:?}", streamed.error);
+    assert_eq!(streamed.cache.as_deref(), Some("miss"));
+    assert_eq!(streamed.digest, plain.digest);
+    assert_eq!(streamed.result_canonical, plain.result_canonical);
+    drop(conn);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&cold);
+}
+
+#[test]
+fn an_oversized_request_line_is_rejected_typed_and_the_connection_closed() {
+    let store = temp_dir("oversize");
+    let mut daemon = Daemon::spawn(&store, 1, &[], &[]);
+
+    let mut conn = daemon.connect();
+    let huge = vec![b'x'; MAX_LINE_BYTES + 64];
+    conn.stream.write_all(&huge).expect("write oversized line");
+    conn.stream.write_all(b"\n").expect("terminate line");
+    conn.stream.flush().expect("flush");
+    let reply = conn.recv();
+    assert_eq!(reply.status, "invalid");
+    assert!(
+        reply.error.unwrap_or_default().contains("exceeds"),
+        "typed rejection names the cap"
+    );
+    let mut rest = String::new();
+    let n = conn.reader.read_line(&mut rest).expect("read after reject");
+    assert_eq!(
+        n, 0,
+        "daemon must close the connection after an oversized line"
+    );
+
+    // The daemon itself is unharmed.
+    let mut conn = daemon.connect();
+    let pong = conn.request(r#"{"id":"p","op":"ping"}"#);
+    assert_eq!(pong.status, "ok");
+    assert!(daemon.stat_u64("requests_oversized") >= 1);
+    drop(conn);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn idle_connections_are_reaped_but_waiting_clients_are_not() {
+    let store = temp_dir("idle");
+    let mut daemon = Daemon::spawn(&store, 1, &["--idle-timeout-s", "0.3"], &[]);
+
+    // A connection with a request in flight survives the idle window (the
+    // forced hang holds the worker well past 0.3 s before the deadline).
+    let mut waiting = daemon.connect();
+    let slow = waiting.request(
+        r#"{"id":"w","scenario":{"nodes":1000,"seed":9,"horizon_s":200000},"deadline_s":300}"#,
+    );
+    assert_eq!(slow.status, "ok", "error: {:?}", slow.error);
+    drop(waiting);
+
+    // A connection that goes quiet with nothing in flight is reaped: the
+    // daemon closes it and counts it.
+    let mut idle = daemon.connect();
+    let pong = idle.request(r#"{"id":"p","op":"ping"}"#);
+    assert_eq!(pong.status, "ok");
+    let mut line = String::new();
+    let started = Instant::now();
+    let n = idle.reader.read_line(&mut line).expect("wait for reap");
+    assert_eq!(n, 0, "reaped connection closes cleanly, got {line:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "reap must happen at the idle timeout"
+    );
+    assert!(daemon.stat_u64("conns_reaped") >= 1);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn a_load_run_through_the_chaos_proxy_converges_with_zero_violations() {
+    let store = temp_dir("chaos");
+    // Small capacity so the chaos run exercises shedding too, not just
+    // drops and stalls.
+    let mut daemon = Daemon::spawn(&store, 2, &["--queue-cap", "4"], &[]);
+    let (proxy_addr, proxy) = chaos::spawn(&daemon.addr, 42).expect("spawn chaos proxy");
+
+    let config = LoadConfig {
+        connect: proxy_addr.to_string(),
+        requests: 24,
+        conns: 3,
+        dup_frac: 0.4,
+        stream_frac: 0.25,
+        deadline_s: 120.0,
+        seed: 7,
+        max_attempts: 10,
+        verify_exp: None,
+        json_path: None,
+        shutdown: false,
+    };
+    let report = run_load(&config).expect("load run completes");
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "chaos must never produce wrong bytes"
+    );
+    assert_eq!(
+        report.ok, report.sent,
+        "every request eventually succeeds through drops and stalls"
+    );
+    proxy.stop();
+
+    // The daemon shrugged it all off.
+    let mut conn = daemon.connect();
+    let pong = conn.request(r#"{"id":"p","op":"ping"}"#);
+    assert_eq!(pong.status, "ok");
+    drop(conn);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -122,11 +122,25 @@ pub enum Counter {
     Resumes,
     /// Work items cancelled by the watchdog at their wall-clock deadline.
     Timeouts,
+    /// Service requests rejected at admission because the scheduler queue
+    /// was full (answered with a typed `overloaded` response).
+    RequestsShed,
+    /// Result-cache entries evicted to stay under the configured byte cap.
+    CacheEvictions,
+    /// Streaming progress frames emitted by the service.
+    StreamFrames,
+    /// Streamed computations cancelled because the client went away
+    /// mid-stream.
+    StreamCancels,
+    /// Idle service connections reaped by the read-timeout sweep.
+    ConnsReaped,
+    /// Request lines rejected for exceeding the service line-length cap.
+    RequestsOversized,
 }
 
 impl Counter {
     /// Number of counters (size for dense per-counter arrays).
-    pub const COUNT: usize = 38;
+    pub const COUNT: usize = 44;
 
     /// All counters, in declaration (= serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -168,6 +182,12 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::Resumes,
         Counter::Timeouts,
+        Counter::RequestsShed,
+        Counter::CacheEvictions,
+        Counter::StreamFrames,
+        Counter::StreamCancels,
+        Counter::ConnsReaped,
+        Counter::RequestsOversized,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -211,6 +231,12 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::Resumes => "resumes",
             Counter::Timeouts => "timeouts",
+            Counter::RequestsShed => "requests_shed",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::StreamFrames => "stream_frames",
+            Counter::StreamCancels => "stream_cancels",
+            Counter::ConnsReaped => "conns_reaped",
+            Counter::RequestsOversized => "requests_oversized",
         }
     }
 }

@@ -87,6 +87,11 @@ pub struct SimReport {
     pub final_health: HealthSnapshot,
 }
 
+/// Streaming progress hook: called as `(sim_time_s, trace)` at each cadence
+/// boundary; returning `false` cancels the run. See
+/// [`World::run_with_progress`].
+pub type ProgressHook<'a> = &'a mut dyn FnMut(f64, &Trace) -> bool;
+
 /// A runnable WRSN world: network + charger + clock + trace.
 ///
 /// Serializable: a world can be snapshotted to JSON mid- or post-run and
@@ -1270,7 +1275,33 @@ impl World {
         rec: &mut dyn Recorder,
     ) -> Result<SimReport, SimError> {
         rec.span_enter("world_run");
-        let result = self.run_loop(policy, rec);
+        let result = self.run_loop(policy, rec, None);
+        rec.span_exit("world_run");
+        result
+    }
+
+    /// Like [`World::run_with`], but additionally calls `progress` with the
+    /// live [`Trace`] whenever the simulation clock crosses a `cadence_s`
+    /// boundary — the hook behind the service's streaming responses. The hook
+    /// observes the trace read-only; returning `false` cancels the run with
+    /// [`SimError::Cancelled`] at that boundary (cooperative client-side
+    /// cancellation). With a hook that always returns `true` the simulated
+    /// trajectory, report, and trace are bitwise identical to
+    /// [`World::run_with`] — the hook only *reads*.
+    ///
+    /// # Errors
+    ///
+    /// See [`World::run`]; additionally [`SimError::Cancelled`] when the hook
+    /// declines to continue.
+    pub fn run_with_progress<P: ChargerPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        rec: &mut dyn Recorder,
+        cadence_s: f64,
+        progress: ProgressHook<'_>,
+    ) -> Result<SimReport, SimError> {
+        rec.span_enter("world_run");
+        let result = self.run_loop(policy, rec, Some((cadence_s.max(1e-9), progress)));
         rec.span_exit("world_run");
         result
     }
@@ -1279,8 +1310,10 @@ impl World {
         &mut self,
         policy: &mut P,
         rec: &mut dyn Recorder,
+        mut progress: Option<(f64, ProgressHook<'_>)>,
     ) -> Result<SimReport, SimError> {
         let mut guard = 0usize;
+        let mut next_flush = progress.as_ref().map(|(cadence, _)| self.time_s + cadence);
         while self.time_s < self.config.horizon_s {
             rec.add(Counter::PolicyDecisions, 1);
             rec.span_enter("policy_decide");
@@ -1292,6 +1325,19 @@ impl World {
             rec.span_exit("execute");
             if !keep_going? {
                 break;
+            }
+            if let (Some((cadence, hook)), Some(flush_at)) =
+                (progress.as_mut(), next_flush.as_mut())
+            {
+                // One flush per crossing, however many cadence intervals the
+                // executed action spanned — frames track wall progress, they
+                // do not replay every boundary of a long travel leg.
+                if self.time_s >= *flush_at {
+                    if !hook(self.time_s, &self.trace) {
+                        return Err(SimError::Cancelled);
+                    }
+                    *flush_at = self.time_s + *cadence;
+                }
             }
             if self.time_s == t_before {
                 guard += 1;

@@ -167,4 +167,48 @@ svc_addr="$(sed -n 's/^wrsnd listening on //p' "$svc_banner")"
 wait "$svc_pid" \
   || { echo "wrsnd daemon exited nonzero" >&2; exit 1; }
 
+echo "== wrsnd chaos smoke: load through the fault-injecting proxy"
+# Boot a small-capacity daemon behind the chaos proxy (seeded connection
+# drops, mid-stream truncations, stalls) and drive a mixed streamed/plain
+# load through it. The load generator's contract checks gate: despite
+# shedding, drops, and stalls, every request eventually succeeds and every
+# response is byte-identical to its digest — the daemon never crashes,
+# corrupts, or stops serving.
+chaos_store="$(mktemp -d)"
+chaos_svc_banner="$(mktemp)"
+chaos_banner="$(mktemp)"
+trap 'rm -f "$trace_file" "$faults_a" "$faults_b" "$panic_out" "$panic_err" \
+  "$hang_out" "$hang_err" "$svc_banner" "$chaos_svc_banner" "$chaos_banner"; \
+  rm -rf "$gold_dir" "$run_dir" "$svc_store" "$chaos_store"' EXIT
+"$wrsnd" serve --listen 127.0.0.1:0 --store "$chaos_store" --workers 2 \
+  --queue-cap 4 --cache-cap-bytes 65536 --max-requests 4000 \
+  > "$chaos_svc_banner" 2>/dev/null &
+chaos_svc_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$chaos_svc_banner" 2>/dev/null && break
+  sleep 0.1
+done
+chaos_svc_addr="$(sed -n 's/^wrsnd listening on //p' "$chaos_svc_banner")"
+[ -n "$chaos_svc_addr" ] || { echo "wrsnd never printed its listen address" >&2; exit 1; }
+"$wrsnd" chaos --listen 127.0.0.1:0 --upstream "$chaos_svc_addr" --seed 42 \
+  > "$chaos_banner" 2>/dev/null &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "chaos listening on" "$chaos_banner" 2>/dev/null && break
+  sleep 0.1
+done
+chaos_addr="$(sed -n 's/^wrsnd chaos listening on \(.*\) -> .*$/\1/p' "$chaos_banner")"
+[ -n "$chaos_addr" ] || { echo "chaos proxy never printed its listen address" >&2; exit 1; }
+"$wrsnd" load --connect "$chaos_addr" --requests 80 --conns 4 --dup-frac 0.4 \
+  --stream-frac 0.25 --max-attempts 10 --deadline-s 120 --seed 7 \
+  || { echo "chaos-proxy load contract checks failed" >&2; exit 1; }
+kill "$chaos_pid" 2>/dev/null || true
+wait "$chaos_pid" 2>/dev/null || true
+# Shut the daemon down directly (not through the proxy) to prove it is
+# still fully responsive after the chaos run.
+"$wrsnd" load --connect "$chaos_svc_addr" --requests 1 --shutdown \
+  || { echo "daemon unresponsive after chaos run" >&2; exit 1; }
+wait "$chaos_svc_pid" \
+  || { echo "wrsnd daemon exited nonzero after chaos run" >&2; exit 1; }
+
 echo "All checks passed."

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Overload benchmark: boot `wrsnd` at deliberately small capacity (2 workers,
+# queue cap 4, a 64 KiB result cache), drive it with a pipelined load well
+# past that capacity, and record the run as BENCH_<label>.json — shed rate,
+# retries, goodput (ok/s), and latency percentiles (p50/p99), plus the
+# daemon's own counters. The load generator's contract checks gate the run:
+# every shed request must eventually succeed and every response must be
+# byte-identical to its digest, so a nonzero exit means the daemon corrupted
+# or dropped work under pressure, not that it was merely slow.
+#
+# Usage: scripts/overload_bench.sh [label]
+#   scripts/overload_bench.sh       -> BENCH_pr9.json
+#   scripts/overload_bench.sh soak  -> BENCH_soak.json
+# Knobs: WRSN_OVERLOAD_REQUESTS (default 400), WRSN_OVERLOAD_CONNS (16).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-pr9}"
+requests="${WRSN_OVERLOAD_REQUESTS:-400}"
+conns="${WRSN_OVERLOAD_CONNS:-16}"
+out="BENCH_${label}.json"
+
+echo "== cargo build --release -p wrsn-bench"
+cargo build --release -p wrsn-bench
+wrsnd=target/release/wrsnd
+
+store="$(mktemp -d)"
+banner="$(mktemp)"
+trap 'rm -rf "$store"; rm -f "$banner"' EXIT
+
+# 2 workers with a 4-deep queue: 16 pipelining connections are ~2x+ the
+# daemon's admission capacity, so a healthy fraction of the burst is shed
+# and must land through retries. The small cache cap keeps eviction hot too.
+"$wrsnd" serve --listen 127.0.0.1:0 --store "$store" --workers 2 \
+  --queue-cap 4 --cache-cap-bytes 65536 --idle-timeout-s 60 \
+  --max-requests 100000 > "$banner" 2>/dev/null &
+svc_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$banner" 2>/dev/null && break
+  sleep 0.1
+done
+addr="$(sed -n 's/^wrsnd listening on //p' "$banner")"
+[ -n "$addr" ] || { echo "wrsnd never printed its listen address" >&2; exit 1; }
+
+echo "== wrsnd load: $requests requests over $conns conns at ~2x capacity"
+"$wrsnd" load --connect "$addr" --requests "$requests" --conns "$conns" \
+  --dup-frac 0.5 --stream-frac 0.25 --max-attempts 10 --deadline-s 120 \
+  --seed 7 --json "$out" --shutdown \
+  || { echo "overload contract checks failed" >&2; exit 1; }
+wait "$svc_pid" || { echo "wrsnd daemon exited nonzero" >&2; exit 1; }
+
+python3 - "$out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+lat, ov = r["latency_ms"], r["overload"]
+print(f"shed rate  : {ov['shed_rate']:.3f} ({ov['shed']} shed, {ov['retries']} retries)")
+print(f"goodput    : {r['goodput_rps']:.1f} ok/s ({r['ok']}/{r['requests']} ok in {r['wall_s']:.2f}s)")
+print(f"latency ms : p50 {lat['p50']:.1f}  p99 {lat['p99']:.1f}  max {lat['max']:.1f}")
+print(f"stream     : {r['stream']['requests']} requests, {r['stream']['frames']} frames")
+EOF
+echo "Wrote $out"
