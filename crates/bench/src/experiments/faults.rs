@@ -33,7 +33,7 @@ struct Trial {
     exhausted: f64,
     lifetime_h: f64,
     delivered_kj: f64,
-    detection: f64,
+    detection: Option<f64>,
 }
 
 fn run_trial(intensity: usize, seed: u64, rec: &mut dyn Recorder) -> Trial {
@@ -90,7 +90,8 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
             .collect();
         let col = |get: fn(&Trial) -> f64| trials.iter().map(get).collect::<Vec<_>>();
         let (lm, ls) = mean_std(&col(|t| t.lifetime_h));
-        let (dm, ds) = mean_std(&col(|t| t.detection));
+        let detections: Vec<f64> = trials.iter().filter_map(|t| t.detection).collect();
+        let (dm, ds) = mean_std(&detections);
         table.push(vec![
             format!("{intensity}"),
             f(mean_std(&col(|t| t.injected)).0, 1),

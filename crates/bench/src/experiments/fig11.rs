@@ -102,7 +102,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         };
         let tp: Vec<f64> = csa_runs
             .iter()
-            .map(|r| audit.analyze(&r.world).detection_ratio(&r.victims))
+            .filter_map(|r| audit.analyze(&r.world).detection_ratio(&r.victims))
             .collect();
         let fp: Vec<f64> = honest_runs
             .iter()

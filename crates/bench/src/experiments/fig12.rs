@@ -128,7 +128,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         for (_, detector) in &detectors {
             let ratios: Vec<f64> = runs
                 .iter()
-                .map(|r| detector.analyze(&r.world).detection_ratio(&r.victims))
+                .filter_map(|r| detector.analyze(&r.world).detection_ratio(&r.victims))
                 .collect();
             row.push(f(mean_std(&ratios).0, 2));
         }

@@ -80,7 +80,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         for policy_runs in &runs {
             let ratios: Vec<f64> = policy_runs
                 .iter()
-                .map(|r| {
+                .filter_map(|r| {
                     EnergyReportAudit {
                         efficiency_threshold: thr,
                         ..EnergyReportAudit::default()
@@ -103,7 +103,7 @@ pub fn run_with(rec: &mut dyn Recorder) -> Vec<Table> {
         for policy_runs in &runs {
             let ratios: Vec<f64> = policy_runs
                 .iter()
-                .map(|r| {
+                .filter_map(|r| {
                     TrajectoryAudit { max_response_s: dl }
                         .analyze(&r.world)
                         .detection_ratio(&r.victims)

@@ -1,5 +1,6 @@
 //! One module per experiment; see `EXPERIMENTS.md` for the index.
 
+pub mod arms_race;
 pub mod common;
 pub mod faults;
 pub mod fig10;

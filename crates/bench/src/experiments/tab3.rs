@@ -174,7 +174,7 @@ fn execution_ablation(rec: &mut dyn Recorder) -> Table {
         let rows = &all[vi * seeds..(vi + 1) * seeds];
         let targeted: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let covered: Vec<f64> = rows.iter().map(|r| r.1).collect();
-        let detection: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let detection: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
         table.push(vec![
             label.to_string(),
             f(mean_std(&targeted).0, 1),

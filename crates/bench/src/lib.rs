@@ -38,7 +38,7 @@ pub const ALL_IDS: &[&str] = &[
 /// Extra experiment ids runnable with an explicit `--id` but excluded from
 /// `--id all` (and therefore from the paper-suite timing baselines): these
 /// are scaling/engineering studies, not paper figures.
-pub const EXTRA_IDS: &[&str] = &["scale", "overload"];
+pub const EXTRA_IDS: &[&str] = &["scale", "overload", "arms_race"];
 
 /// Whether `id` names a runnable experiment ([`ALL_IDS`] or [`EXTRA_IDS`]).
 pub fn is_known_id(id: &str) -> bool {
@@ -120,6 +120,7 @@ pub fn run_with(id: &str, rec: &mut dyn Recorder) -> Result<Vec<Table>, BenchErr
         "faults" => Ok(experiments::faults::run_with(rec)),
         "scale" => Ok(experiments::scale::run_with(rec)),
         "overload" => Ok(experiments::overload::run_with(rec)),
+        "arms_race" => Ok(experiments::arms_race::run_with(rec)),
         other => Err(BenchError::unknown_id(other)),
     }
 }

@@ -34,7 +34,7 @@ use wrsn::scenario::{Deployment, Scenario};
 use wrsn::sim::obs::{TraceRecord, SCHEMA_VERSION};
 use wrsn::sim::store;
 use wrsn::sim::trace::Trace;
-use wrsn::sim::SimError;
+use wrsn::sim::{AuditConfig, SimError, World};
 
 /// Response envelope version, bumped on incompatible wire changes.
 pub const RESPONSE_VERSION: u64 = 1;
@@ -235,6 +235,17 @@ pub struct Request {
     /// concern: it never enters the payload's canonical form, so streamed and
     /// plain requests share one digest and one cache entry.
     pub stream: bool,
+    /// Online digital-twin detector attached to the campaign
+    /// (`{"detector":"default"}`, scenario requests only) — an
+    /// [`AuditConfig`] preset name. Like `stream`, this is an envelope
+    /// concern: the audit is purely observational (it never perturbs the
+    /// trajectory, so the deterministic `result` bytes are identical with or
+    /// without it) and therefore never enters the canonical form or digest —
+    /// detector and plain requests share one cache entry. The audit summary
+    /// rides in the response envelope, outside the digested bytes, and is
+    /// only available on freshly computed responses (`"cache":"miss"`):
+    /// cache hits replay stored bytes without re-running the campaign.
+    pub detector: Option<String>,
     /// What the request asks for.
     pub kind: RequestKind,
 }
@@ -337,6 +348,7 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
     let mut exp = None;
     let mut scenario = None;
     let mut stream = false;
+    let mut detector = None;
     for (key, val) in map {
         match key.as_str() {
             "id" => id = Some(field_str(val, "id")?),
@@ -353,6 +365,15 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
             "exp" => exp = Some(field_str(val, "exp")?),
             "scenario" => scenario = Some(parse_scenario(val)?),
             "stream" => stream = field_bool(val, "stream")?,
+            "detector" => {
+                let name = field_str(val, "detector")?;
+                if AuditConfig::preset(&name).is_none() {
+                    return Err(format!(
+                        "unknown detector preset `{name}` (lax, default, aggressive)"
+                    ));
+                }
+                detector = Some(name);
+            }
             other => return Err(format!("unknown request field `{other}`")),
         }
     }
@@ -386,12 +407,94 @@ pub fn parse_line(line: &str, seq: u64) -> Result<Request, String> {
                 .to_string(),
         );
     }
+    if detector.is_some() && !matches!(&kind, RequestKind::Work(Payload::Scenario(_))) {
+        return Err(
+            "`detector` is only supported for scenario requests (experiments manage \
+             their own detectors)"
+                .to_string(),
+        );
+    }
     Ok(Request {
         id,
         deadline_s,
         stream,
+        detector,
         kind,
     })
+}
+
+/// The envelope-level summary of a detector-equipped campaign: what the
+/// digital twin concluded, distilled for the response envelope. Like
+/// `wall_ms` and `cache`, this lives *outside* the digested `result` bytes —
+/// the audit is observational, so the result is byte-identical with or
+/// without it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditSummary {
+    /// The preset the campaign ran under.
+    pub preset: String,
+    /// Challenge-response probes issued.
+    pub probes: u64,
+    /// Probes that failed the residual check.
+    pub probe_failures: u64,
+    /// Nodes convicted by the k-of-m rule.
+    pub convictions: u64,
+    /// Time of the first conviction, simulated seconds, if any fired.
+    pub first_conviction_s: Option<f64>,
+    /// Probe overhead spent, joules.
+    pub spent_j: f64,
+}
+
+impl AuditSummary {
+    /// Distills the attached audit ledger, if any, after a campaign run.
+    fn from_world(world: &World, preset: &str) -> Option<Self> {
+        world.audit().map(|audit| AuditSummary {
+            preset: preset.to_string(),
+            probes: audit.probes().len() as u64,
+            probe_failures: audit
+                .probes()
+                .iter()
+                .filter(|p| p.outcome.is_failure())
+                .count() as u64,
+            convictions: audit.convictions().len() as u64,
+            first_conviction_s: audit.first_conviction_s(),
+            spent_j: audit.spent_j(),
+        })
+    }
+
+    /// The JSON value embedded in the response envelope's `audit` field.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("preset".to_string(), Value::Str(self.preset.clone())),
+            ("probes".to_string(), Value::U64(self.probes)),
+            (
+                "probe_failures".to_string(),
+                Value::U64(self.probe_failures),
+            ),
+            ("convictions".to_string(), Value::U64(self.convictions)),
+            (
+                "first_conviction_s".to_string(),
+                match self.first_conviction_s {
+                    Some(t) => Value::F64(t),
+                    None => Value::Null,
+                },
+            ),
+            ("spent_j".to_string(), Value::F64(self.spent_j)),
+        ])
+    }
+}
+
+/// Builds a scenario's world, attaching the named detector preset (seeded by
+/// the scenario seed, so twin verdicts are as reproducible as the campaign).
+fn scenario_world(spec: &ScenarioSpec, detector: Option<&str>) -> (Scenario, World) {
+    let scenario = spec.scenario();
+    let mut world = scenario.build();
+    if let Some(preset) = detector {
+        let config = AuditConfig::preset(preset)
+            .expect("parse_line validated the preset")
+            .with_seed(spec.seed);
+        world.set_audit(Some(config));
+    }
+    (scenario, world)
 }
 
 /// Why executing a payload did not produce a result.
@@ -414,6 +517,24 @@ pub enum ExecError {
 /// [`ExecError::Failed`] on an engine or serialization error. Panics inside
 /// experiment code propagate (the scheduler catches them per-request).
 pub fn execute(payload: &Payload) -> Result<String, ExecError> {
+    execute_audited(payload, None).map(|(result, _)| result)
+}
+
+/// [`execute`] with an optional online detector attached to scenario
+/// campaigns (`detector` is a validated [`AuditConfig`] preset name). The
+/// returned result bytes are identical to [`execute`]'s — the audit never
+/// perturbs the trajectory — plus the twin's [`AuditSummary`] for the
+/// response envelope. Non-scenario payloads ignore `detector` and return no
+/// summary (`parse_line` rejects the combination upstream).
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_audited(
+    payload: &Payload,
+    detector: Option<&str>,
+) -> Result<(String, Option<AuditSummary>), ExecError> {
+    let mut audit = None;
     let value = match payload {
         Payload::Exp(id) => {
             let tables = crate::run(id).map_err(|e| match e {
@@ -447,8 +568,7 @@ pub fn execute(payload: &Payload) -> Result<String, ExecError> {
             if wrsn::sim::cancel::cancelled() {
                 return Err(ExecError::Cancelled);
             }
-            let scenario = spec.scenario();
-            let mut world = scenario.build();
+            let (scenario, mut world) = scenario_world(spec, detector);
             let (report, outcome) =
                 wrsn::core::attack::run_attack(&mut world, scenario.tide_config()).map_err(
                     |e| match e {
@@ -456,6 +576,9 @@ pub fn execute(payload: &Payload) -> Result<String, ExecError> {
                         other => ExecError::Failed(other.to_string()),
                     },
                 )?;
+            if let Some(preset) = detector {
+                audit = AuditSummary::from_world(&world, preset);
+            }
             scenario_result_value(spec, &report, &outcome)
         }
         #[cfg(test)]
@@ -476,7 +599,9 @@ pub fn execute(payload: &Payload) -> Result<String, ExecError> {
             }
         },
     };
-    serde_json::to_string(&value).map_err(|e| ExecError::Failed(format!("serialize result: {e}")))
+    let result = serde_json::to_string(&value)
+        .map_err(|e| ExecError::Failed(format!("serialize result: {e}")))?;
+    Ok((result, audit))
 }
 
 /// The canonical scenario `result` value shared by the plain and streamed
@@ -608,13 +733,29 @@ pub fn execute_streamed(
     payload: &Payload,
     sink: &mut dyn FnMut(f64, Vec<TraceRecord>) -> bool,
 ) -> Result<String, ExecError> {
+    execute_streamed_audited(payload, None, sink).map(|(result, _)| result)
+}
+
+/// [`execute_streamed`] with an optional online detector, exactly as
+/// [`execute_audited`] extends [`execute`]. Conviction events additionally
+/// surface in the streamed trace frames (as [`wrsn::sim::SimEvent`] records)
+/// the moment the twin fires, ahead of the final summary.
+///
+/// # Errors
+///
+/// As [`execute_streamed`].
+pub fn execute_streamed_audited(
+    payload: &Payload,
+    detector: Option<&str>,
+    sink: &mut dyn FnMut(f64, Vec<TraceRecord>) -> bool,
+) -> Result<(String, Option<AuditSummary>), ExecError> {
+    let mut audit = None;
     let value = match payload {
         Payload::Scenario(spec) => {
             if wrsn::sim::cancel::cancelled() {
                 return Err(ExecError::Cancelled);
             }
-            let scenario = spec.scenario();
-            let mut world = scenario.build();
+            let (scenario, mut world) = scenario_world(spec, detector);
             let cadence_s = (spec.horizon_s / STREAM_DIVISIONS).max(1.0);
             let mut cursor = StreamCursor::default();
             let (report, outcome) = wrsn::core::attack::run_attack_streamed(
@@ -634,6 +775,9 @@ pub fn execute_streamed(
             });
             if !sink(report.final_time_s, tail) {
                 return Err(ExecError::Cancelled);
+            }
+            if let Some(preset) = detector {
+                audit = AuditSummary::from_world(&world, preset);
             }
             scenario_result_value(spec, &report, &outcome)
         }
@@ -661,7 +805,9 @@ pub fn execute_streamed(
             )))
         }
     };
-    serde_json::to_string(&value).map_err(|e| ExecError::Failed(format!("serialize result: {e}")))
+    let result = serde_json::to_string(&value)
+        .map_err(|e| ExecError::Failed(format!("serialize result: {e}")))?;
+    Ok((result, audit))
 }
 
 fn quote(s: &str) -> String {
@@ -670,10 +816,26 @@ fn quote(s: &str) -> String {
 
 /// An `ok` response line. `result_json` is embedded verbatim — it must be
 /// the canonical result bytes ([`execute`]'s return value or a cache replay).
-pub fn ok_line(id: &str, digest: &str, cache: &str, wall_ms: f64, result_json: &str) -> String {
+/// `audit`, when present, rides in the envelope next to `wall_ms`, outside
+/// the digested bytes.
+pub fn ok_line(
+    id: &str,
+    digest: &str,
+    cache: &str,
+    wall_ms: f64,
+    result_json: &str,
+    audit: Option<&AuditSummary>,
+) -> String {
+    let audit = match audit {
+        Some(summary) => format!(
+            "\"audit\":{},",
+            serde_json::to_string(&summary.to_value()).expect("audit summaries are finite")
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"v\":{RESPONSE_VERSION},\"id\":{},\"status\":\"ok\",\"digest\":\"{digest}\",\
-         \"cache\":\"{cache}\",\"wall_ms\":{wall_ms:.3},\"result\":{result_json}}}",
+         \"cache\":\"{cache}\",\"wall_ms\":{wall_ms:.3},{audit}\"result\":{result_json}}}",
         quote(id)
     )
 }
@@ -771,6 +933,9 @@ pub struct ParsedResponse {
     /// Round-tripping through the vendored writer is lossless, so these
     /// bytes are comparable across responses.
     pub result_canonical: Option<String>,
+    /// The detector's envelope summary, re-serialized to canonical bytes
+    /// (fresh `ok` responses to detector-equipped requests only).
+    pub audit_canonical: Option<String>,
     /// Backoff hint (`overloaded` responses only), milliseconds.
     pub retry_after_ms: Option<u64>,
     /// Frame number within a stream (`progress` frames only).
@@ -807,6 +972,7 @@ pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
         cache: None,
         error: None,
         result_canonical: None,
+        audit_canonical: None,
         retry_after_ms: None,
         seq: None,
         records: None,
@@ -845,6 +1011,11 @@ pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
             "result" => {
                 parsed.result_canonical = Some(
                     serde_json::to_string(val).map_err(|e| format!("re-serialize result: {e}"))?,
+                )
+            }
+            "audit" => {
+                parsed.audit_canonical = Some(
+                    serde_json::to_string(val).map_err(|e| format!("re-serialize audit: {e}"))?,
                 )
             }
             other => return Err(format!("unknown response field `{other}`")),
@@ -957,7 +1128,7 @@ mod tests {
 
     #[test]
     fn response_lines_round_trip() {
-        let ok = ok_line("q\"1", "00deadbeef00cafe", "miss", 1.5, r#"{"x":1}"#);
+        let ok = ok_line("q\"1", "00deadbeef00cafe", "miss", 1.5, r#"{"x":1}"#, None);
         let parsed = parse_response(&ok).expect("parses");
         assert_eq!(parsed.id, "q\"1");
         assert_eq!(parsed.status, "ok");
@@ -1006,6 +1177,77 @@ mod tests {
         assert_eq!(pa.digest(), pb.digest(), "stream never enters the digest");
         let err = parse_line(r#"{"exp":"fig2","stream":true}"#, 2).unwrap_err();
         assert!(err.contains("only supported for scenario"));
+    }
+
+    #[test]
+    fn detector_is_envelope_only_and_scenario_only() {
+        let plain = parse_line(r#"{"id":"a","scenario":{"nodes":40,"seed":7}}"#, 0).unwrap();
+        let audited = parse_line(
+            r#"{"id":"b","scenario":{"nodes":40,"seed":7},"detector":"aggressive"}"#,
+            1,
+        )
+        .unwrap();
+        assert_eq!(plain.detector, None);
+        assert_eq!(audited.detector.as_deref(), Some("aggressive"));
+        let (RequestKind::Work(pa), RequestKind::Work(pb)) = (&plain.kind, &audited.kind) else {
+            panic!("both are work requests");
+        };
+        assert_eq!(pa.digest(), pb.digest(), "detector never enters the digest");
+        let err = parse_line(r#"{"exp":"fig2","detector":"default"}"#, 2).unwrap_err();
+        assert!(err.contains("only supported for scenario"));
+        let err = parse_line(r#"{"scenario":{"nodes":40},"detector":"psychic"}"#, 3).unwrap_err();
+        assert!(err.contains("unknown detector preset"));
+    }
+
+    #[test]
+    fn detector_leaves_result_bytes_identical_and_summarizes_the_audit() {
+        // Long enough for the CSA campaign to produce charging sessions the
+        // twin can probe (the 20k-horizon spec above finishes before any
+        // node even requests a charge).
+        let payload = Payload::Scenario(ScenarioSpec {
+            nodes: 24,
+            seed: 7,
+            horizon_s: 400_000.0,
+            deployment: DeploymentKind::Uniform,
+        });
+        let plain = execute(&payload).expect("runs");
+        let (audited, summary) =
+            execute_audited(&payload, Some("aggressive")).expect("runs with audit");
+        assert_eq!(plain, audited, "the audit is purely observational");
+        let summary = summary.expect("scenario with detector yields a summary");
+        assert_eq!(summary.preset, "aggressive");
+        assert!(summary.probes > 0, "aggressive preset probes every session");
+        assert!(summary.spent_j > 0.0);
+        // The summary rides in the envelope and survives the response parse.
+        let line = ok_line(
+            "q1",
+            "00deadbeef00cafe",
+            "miss",
+            1.5,
+            &audited,
+            Some(&summary),
+        );
+        let parsed = parse_response(&line).expect("parses");
+        let envelope = parsed.audit_canonical.expect("audit field present");
+        assert!(envelope.contains("\"preset\":\"aggressive\""));
+        assert_eq!(
+            parsed.result_canonical.as_deref(),
+            parse_response(&ok_line(
+                "q1",
+                "00deadbeef00cafe",
+                "miss",
+                1.5,
+                &plain,
+                None
+            ))
+            .expect("parses")
+            .result_canonical
+            .as_deref(),
+            "detector and plain responses share one result"
+        );
+        // Without a detector there is no summary.
+        let (_, none) = execute_audited(&payload, None).expect("runs");
+        assert!(none.is_none());
     }
 
     #[test]

@@ -55,7 +55,7 @@ use wrsn::sim::cancel::{CancelToken, ScopedCancel};
 use wrsn::sim::obs::{Counter, TraceRecord};
 
 use super::cache::{CacheLookup, ResultCache};
-use super::request::{self, ExecError, Payload};
+use super::request::{self, AuditSummary, ExecError, Payload};
 
 /// How often the watchdog sweeps the in-flight slots.
 const WATCHDOG_PERIOD: Duration = Duration::from_millis(3);
@@ -251,6 +251,11 @@ struct Job {
     deadline: Duration,
     enqueued: Instant,
     stream: bool,
+    /// Detector preset to attach to the campaign (scenario payloads only).
+    /// Envelope-only, like `stream`: it never enters the digest, so detector
+    /// and plain requests share one cache entry. The audit summary is
+    /// computed by a fresh run only — cache hits replay bytes without one.
+    detector: Option<String>,
     reply: Sender<Reply>,
 }
 
@@ -359,6 +364,23 @@ impl Scheduler {
         stream: bool,
         reply: Sender<Reply>,
     ) {
+        self.submit_audited(id, payload, deadline, stream, None, reply);
+    }
+
+    /// [`Scheduler::submit`] with an optional online detector preset for
+    /// scenario payloads. The detector never enters the digest; a fresh
+    /// (leading) run attaches the audit and its summary rides in the `ok`
+    /// envelope, while cache hits and followers are answered from the shared
+    /// result bytes alone.
+    pub fn submit_audited(
+        &self,
+        id: String,
+        payload: Payload,
+        deadline: Option<Duration>,
+        stream: bool,
+        detector: Option<String>,
+        reply: Sender<Reply>,
+    ) {
         ServiceCounters::inc(&self.inner.counters.received);
         let job = Job {
             id,
@@ -367,6 +389,7 @@ impl Scheduler {
             deadline: deadline.unwrap_or(self.inner.default_deadline),
             enqueued: Instant::now(),
             stream,
+            detector,
             reply,
         };
         let mut queue = self.inner.queue.lock().expect("queue lock");
@@ -480,7 +503,9 @@ fn retry_after_hint(depth: usize, workers: usize) -> u64 {
 /// Answers `job` and the followers that coalesced behind it from one
 /// computed outcome.
 enum Outcome {
-    Ok(String),
+    /// Canonical result bytes plus, when the leader ran with a detector
+    /// attached, the twin's envelope summary.
+    Ok(String, Option<AuditSummary>),
     Timeout,
     Error(String),
     /// The streaming client went away mid-computation; there is nobody to
@@ -511,6 +536,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
                     "hit",
                     job.enqueued.elapsed().as_secs_f64() * 1e3,
                     &result,
+                    None,
                 );
                 let _ = job.reply.send(Reply::fin(line));
                 continue;
@@ -567,10 +593,16 @@ fn worker_loop(inner: &Inner, slot: usize) {
                     true
                 };
                 catch_unwind(AssertUnwindSafe(|| {
-                    request::execute_streamed(&job.payload, &mut sink)
+                    request::execute_streamed_audited(
+                        &job.payload,
+                        job.detector.as_deref(),
+                        &mut sink,
+                    )
                 }))
             } else {
-                catch_unwind(AssertUnwindSafe(|| request::execute(&job.payload)))
+                catch_unwind(AssertUnwindSafe(|| {
+                    request::execute_audited(&job.payload, job.detector.as_deref())
+                }))
             };
             drop(guard);
             run
@@ -578,7 +610,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
         *inner.slots[slot].lock().expect("slot lock") = None;
         let outcome = match run {
             _ if disconnected.get() => Outcome::Disconnected,
-            Ok(Ok(result)) => Outcome::Ok(result),
+            Ok(Ok((result, audit))) => Outcome::Ok(result, audit),
             Ok(Err(ExecError::Cancelled)) => Outcome::Timeout,
             Ok(Err(ExecError::Failed(detail))) => Outcome::Error(detail),
             // A panic out of a cancelled run is the engine unwinding past a
@@ -591,7 +623,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
         };
         // Persist before taking the followers, so a request that misses the
         // follower window finds the cache entry instead of recomputing.
-        if let Outcome::Ok(result) = &outcome {
+        if let Outcome::Ok(result, _) = &outcome {
             if let Err(e) = inner.cache.save(&job.digest, result) {
                 eprintln!("wrsnd: cache save failed for {}: {e}", job.digest);
             }
@@ -603,7 +635,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
             .remove(&job.digest)
             .unwrap_or_default();
         match outcome {
-            Outcome::Ok(result) => {
+            Outcome::Ok(result, audit) => {
                 ServiceCounters::inc(&inner.counters.cache_misses);
                 ServiceCounters::inc(&inner.counters.ok);
                 let wall_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
@@ -613,7 +645,10 @@ fn worker_loop(inner: &Inner, slot: usize) {
                     "miss",
                     wall_ms,
                     &result,
+                    audit.as_ref(),
                 )));
+                // Followers share the leader's result bytes, not its
+                // envelope: the audit summary is the leader's fresh run.
                 for follower in followers {
                     ServiceCounters::inc(&inner.counters.coalesced);
                     ServiceCounters::inc(&inner.counters.ok);
@@ -624,6 +659,7 @@ fn worker_loop(inner: &Inner, slot: usize) {
                         "coalesced",
                         wall_ms,
                         &result,
+                        None,
                     );
                     let _ = follower.reply.send(Reply::fin(line));
                 }

@@ -409,7 +409,14 @@ fn read_loop<R: BufRead>(
             RequestKind::Work(payload) => {
                 let accepted = control.accepted.fetch_add(1, Ordering::Relaxed) + 1;
                 let deadline = request.deadline_s.map(Duration::from_secs_f64);
-                scheduler.submit(request.id, payload, deadline, request.stream, reply.clone());
+                scheduler.submit_audited(
+                    request.id,
+                    payload,
+                    deadline,
+                    request.stream,
+                    request.detector,
+                    reply.clone(),
+                );
                 if let Some(max) = config.max_requests {
                     if accepted >= max {
                         eprintln!("wrsnd: reached max-requests={max}, shutting down");

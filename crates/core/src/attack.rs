@@ -51,6 +51,12 @@ pub struct CsaAttackPolicy {
     next_stop: usize,
     /// Victim currently being squatted on (masquerade in progress).
     squatting: Option<NodeId>,
+    /// Stealth mode against the online audit: `Some(fraction)` makes every
+    /// masquerade a *partial-power* spoof delivering `fraction` of the honest
+    /// power — enough real energy to keep a challenge-response probe's
+    /// residual above the detector's tolerance. `None` is the naive CSA
+    /// (full cancellation, delivered ≈ 0).
+    stealth_fraction: Option<f64>,
     served: std::collections::HashSet<NodeId>,
     /// Census victims not yet served, in census order — the filter
     /// `make_instance` would otherwise re-derive from `served` on each of the
@@ -99,6 +105,7 @@ impl CsaAttackPolicy {
             plan: None,
             next_stop: 0,
             squatting: None,
+            stealth_fraction: None,
             served: std::collections::HashSet::new(),
             unserved: Vec::new(),
             decoy_excluded: Vec::new(),
@@ -119,6 +126,26 @@ impl CsaAttackPolicy {
     pub fn without_decoys(mut self) -> Self {
         self.serve_decoys = false;
         self
+    }
+
+    /// The **adaptive** arms-race attacker: masquerades become partial-power
+    /// spoofs ([`ChargeMode::Partial`]) delivering `fraction` of the honest
+    /// power, so a challenge-response probe measures a residual gain above a
+    /// detector tolerance below `fraction`. The price is real: each stealth
+    /// masquerade is a single bounded squat that *charges* its victim instead
+    /// of killing it, trading exhaustion coverage (and joules actually
+    /// delivered) for staying under the conviction threshold. Externally —
+    /// radiated power, session length — it is indistinguishable from the
+    /// naive spoof.
+    pub fn with_stealth(mut self, fraction: f64) -> Self {
+        self.stealth_fraction = Some(fraction);
+        self.name.push_str("-stealth");
+        self
+    }
+
+    /// The stealth fraction, if this attacker runs in stealth mode.
+    pub fn stealth_fraction(&self) -> Option<f64> {
+        self.stealth_fraction
     }
 
     /// The current instance/schedule, once the first decision has been made.
@@ -257,7 +284,10 @@ impl CsaAttackPolicy {
         ChargerAction::Charge {
             node,
             duration_s: (residual * 1.1 + 60.0).min(view.time_left_s()),
-            mode: ChargeMode::Spoofed,
+            mode: match self.stealth_fraction {
+                Some(fraction) => ChargeMode::Partial { fraction },
+                None => ChargeMode::Spoofed,
+            },
         }
     }
 }
@@ -284,9 +314,15 @@ impl CsaAttackPolicy {
             self.initial_instance = Some(census);
         }
         // Finish an in-progress masquerade before anything else: the charger
-        // must stay parked until the victim is dead.
+        // must stay parked until the victim is dead. A *stealth* masquerade
+        // is the opposite deal — its partial-power delivery keeps the victim
+        // alive by design, so it is a single bounded squat and moves on.
         if let Some(node) = self.squatting {
-            if view.is_alive(node) && !view.charger.is_exhausted() && view.time_left_s() > 0.0 {
+            if self.stealth_fraction.is_none()
+                && view.is_alive(node)
+                && !view.charger.is_exhausted()
+                && view.time_left_s() > 0.0
+            {
                 rec.add(Counter::SquatChunks, 1);
                 return self.squat_chunk(view, node);
             }
@@ -775,6 +811,9 @@ mod tests {
                 ChargeMode::Honest => {
                     // Decoy service delivers real energy.
                     assert!(s.delivered_j > 0.0 || s.duration_s < 1.0);
+                }
+                ChargeMode::Partial { .. } => {
+                    panic!("naive CSA never issues partial-power sessions");
                 }
             }
         }

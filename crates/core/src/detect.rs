@@ -33,32 +33,83 @@ pub struct Alarm {
 }
 
 /// All alarms one detector raised over a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetectionReport {
     /// The detector's name.
     pub detector: String,
     /// Alarms in time order.
     pub alarms: Vec<Alarm>,
+    /// Flagged-node index, built lazily on first membership query so ratio
+    /// loops over large victim lists stay O(alarms + nodes) instead of
+    /// O(alarms × nodes). Never serialized, never compared.
+    by_node: std::sync::OnceLock<std::collections::HashSet<NodeId>>,
+}
+
+impl PartialEq for DetectionReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.detector == other.detector && self.alarms == other.alarms
+    }
+}
+
+// The lazy index never enters the wire shape: a report serializes exactly as
+// the plain `{detector, alarms}` record it always was.
+impl Serialize for DetectionReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("detector".to_string(), self.detector.to_value()),
+            ("alarms".to_string(), self.alarms.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DetectionReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "DetectionReport"))?;
+        Ok(DetectionReport::new(
+            String::from_value(serde::map_get(entries, "detector")?)?,
+            Vec::from_value(serde::map_get(entries, "alarms")?)?,
+        ))
+    }
 }
 
 impl DetectionReport {
+    /// A report over `alarms` from the named detector.
+    pub fn new(detector: impl Into<String>, alarms: Vec<Alarm>) -> Self {
+        DetectionReport {
+            detector: detector.into(),
+            alarms,
+            by_node: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Number of alarms.
     pub fn alarm_count(&self) -> usize {
         self.alarms.len()
     }
 
-    /// Whether `node` was flagged at all.
-    pub fn flagged(&self, node: NodeId) -> bool {
-        self.alarms.iter().any(|a| a.node == node)
+    /// The set of nodes with at least one alarm (indexed once per report).
+    pub fn flagged_nodes(&self) -> &std::collections::HashSet<NodeId> {
+        self.by_node
+            .get_or_init(|| self.alarms.iter().map(|a| a.node).collect())
     }
 
-    /// Fraction of `nodes` that were flagged (1.0 for an empty list — nothing
-    /// to miss).
-    pub fn detection_ratio(&self, nodes: &[NodeId]) -> f64 {
+    /// Whether `node` was flagged at all.
+    pub fn flagged(&self, node: NodeId) -> bool {
+        self.flagged_nodes().contains(&node)
+    }
+
+    /// Fraction of `nodes` that were flagged, or `None` for an empty list —
+    /// there is no meaningful ratio over zero victims, and the old `1.0`
+    /// convention silently inflated aggregate detection stats in sweep cells
+    /// that produced no victims.
+    pub fn detection_ratio(&self, nodes: &[NodeId]) -> Option<f64> {
         if nodes.is_empty() {
-            return 1.0;
+            return None;
         }
-        nodes.iter().filter(|&&n| self.flagged(n)).count() as f64 / nodes.len() as f64
+        let flagged = self.flagged_nodes();
+        Some(nodes.iter().filter(|n| flagged.contains(n)).count() as f64 / nodes.len() as f64)
     }
 }
 
@@ -122,10 +173,7 @@ impl Detector for TrajectoryAudit {
                 detail: format!("request at {t:.0} s never served"),
             });
         }
-        DetectionReport {
-            detector: self.name().to_string(),
-            alarms,
-        }
+        DetectionReport::new(self.name(), alarms)
     }
 }
 
@@ -165,10 +213,7 @@ impl Detector for RadiatedPowerAudit {
                 });
             }
         }
-        DetectionReport {
-            detector: self.name().to_string(),
-            alarms,
-        }
+        DetectionReport::new(self.name(), alarms)
     }
 }
 
@@ -240,10 +285,7 @@ impl Detector for EnergyReportAudit {
                 ),
             });
         }
-        DetectionReport {
-            detector: self.name().to_string(),
-            alarms,
-        }
+        DetectionReport::new(self.name(), alarms)
     }
 }
 
@@ -300,10 +342,7 @@ impl Detector for PostMortemAudit {
                 });
             }
         }
-        DetectionReport {
-            detector: self.name().to_string(),
-            alarms,
-        }
+        DetectionReport::new(self.name(), alarms)
     }
 }
 
@@ -359,10 +398,7 @@ impl Detector for FairnessAudit {
         if served_latencies.is_empty() {
             // No service at all → absence, not *selective* neglect; the
             // trajectory audit owns that case.
-            return DetectionReport {
-                detector: self.name().to_string(),
-                alarms: Vec::new(),
-            };
+            return DetectionReport::new(self.name(), Vec::new());
         }
         served_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let median = served_latencies[served_latencies.len() / 2];
@@ -383,10 +419,44 @@ impl Detector for FairnessAudit {
                 });
             }
         }
-        DetectionReport {
-            detector: self.name().to_string(),
-            alarms,
-        }
+        DetectionReport::new(self.name(), alarms)
+    }
+}
+
+/// Adapter that lifts the **online** base-station audit
+/// ([`wrsn_sim::audit`]) into the post-hoc [`Detector`] suite: its alarms
+/// are the convictions the world's attached digital twin already issued
+/// *during* the run — challenge-response probes of just-served nodes, scored
+/// against the honest charge model, convicted by a k-of-m failure rule.
+///
+/// Unlike the trace detectors above, this one performs no analysis of its
+/// own: the evidence was gathered live (and probe cost paid live). A world
+/// without an attached audit ([`wrsn_sim::World::with_audit`]) yields an
+/// empty report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TwinAudit;
+
+impl Detector for TwinAudit {
+    fn name(&self) -> &str {
+        "twin-audit"
+    }
+
+    fn analyze(&self, world: &World) -> DetectionReport {
+        let alarms = world
+            .audit()
+            .map(|audit| {
+                audit
+                    .convictions()
+                    .iter()
+                    .map(|c| Alarm {
+                        node: c.node,
+                        time_s: c.time_s,
+                        detail: c.detail.clone(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        DetectionReport::new(self.name(), alarms)
     }
 }
 
@@ -412,16 +482,19 @@ pub struct SuiteVerdict {
 }
 
 impl SuiteVerdict {
-    /// Fraction of `victims` flagged by any detector.
-    pub fn overall_detection_ratio(&self, victims: &[NodeId]) -> f64 {
+    /// Fraction of `victims` flagged by any detector, or `None` for an empty
+    /// victim list (same convention as [`DetectionReport::detection_ratio`]).
+    pub fn overall_detection_ratio(&self, victims: &[NodeId]) -> Option<f64> {
         if victims.is_empty() {
-            return 1.0;
+            return None;
         }
-        victims
-            .iter()
-            .filter(|&&v| self.reports.iter().any(|r| r.flagged(v)))
-            .count() as f64
-            / victims.len() as f64
+        Some(
+            victims
+                .iter()
+                .filter(|&&v| self.reports.iter().any(|r| r.flagged(v)))
+                .count() as f64
+                / victims.len() as f64,
+        )
     }
 
     /// Total alarms across the suite.
@@ -495,7 +568,7 @@ mod tests {
         assert!(outcome.exhausted > 0);
         let victims: Vec<NodeId> = world.trace().sessions().iter().map(|s| s.node).collect();
         let rf = RadiatedPowerAudit::default().analyze(&world);
-        assert_eq!(rf.detection_ratio(&victims), 0.0, "{rf:?}");
+        assert_eq!(rf.detection_ratio(&victims), Some(0.0), "{rf:?}");
         // CSA answers requests of the nodes it targets within the audit's
         // (necessarily lax — benign chargers queue too) response deadline;
         // it must not flag any *served* victim.
@@ -518,7 +591,10 @@ mod tests {
             .map(|s| s.node)
             .collect();
         let audit = EnergyReportAudit::default();
-        let csa_ratio = audit.analyze(&csa_world).detection_ratio(&csa_victims);
+        let csa_ratio = audit
+            .analyze(&csa_world)
+            .detection_ratio(&csa_victims)
+            .expect("victims nonempty");
 
         // Eager spoof: fakes the charge immediately at the warning threshold;
         // the victim has ~20% battery left and survives many report periods.
@@ -533,7 +609,10 @@ mod tests {
             .map(|s| s.node)
             .collect();
         assert!(!eager_victims.is_empty());
-        let eager_ratio = audit.analyze(&eager_world).detection_ratio(&eager_victims);
+        let eager_ratio = audit
+            .analyze(&eager_world)
+            .detection_ratio(&eager_victims)
+            .expect("victims nonempty");
 
         assert!(
             csa_ratio < 0.2,
@@ -554,9 +633,72 @@ mod tests {
         let audit = EnergyReportAudit::default().analyze(&world);
         assert_eq!(
             audit.detection_ratio(&served),
-            0.0,
+            Some(0.0),
             "false positives on honest charging: {audit:?}"
         );
+    }
+
+    #[test]
+    fn twin_audit_convicts_naive_csa_online() {
+        let mut world = attack_world(400_000.0).with_audit(wrsn_sim::AuditConfig::default());
+        let (_, outcome) = run_attack(&mut world, TideConfig::default()).expect("attack run");
+        assert!(outcome.exhausted > 0);
+        let report = TwinAudit.analyze(&world);
+        assert!(
+            report.alarm_count() > 0,
+            "probed spoof sessions must convict: {:?}",
+            world.audit().map(|a| a.probes())
+        );
+        // Convictions fired during the run, not at the horizon.
+        let first = world.audit().unwrap().first_conviction_s().unwrap();
+        assert!(first < world.time_s());
+    }
+
+    #[test]
+    fn twin_audit_raises_nothing_on_honest_charging() {
+        let mut world = attack_world(400_000.0).with_audit(wrsn_sim::AuditConfig::default());
+        world.run(&mut wrsn_charge::Njnp::new()).expect("run");
+        assert!(
+            !world.audit().unwrap().probes().is_empty(),
+            "premise: honest sessions were probed"
+        );
+        let report = TwinAudit.analyze(&world);
+        assert_eq!(report.alarm_count(), 0, "false positives: {report:?}");
+    }
+
+    #[test]
+    fn stealth_csa_evades_the_twin_at_real_energy_cost() {
+        use crate::attack::{evaluate_attack, CsaAttackPolicy};
+        // Stealth fraction above the default tolerance (0.25): every probed
+        // partial-power session passes.
+        let mut world = attack_world(400_000.0).with_audit(wrsn_sim::AuditConfig::default());
+        let mut policy = CsaAttackPolicy::new(TideConfig::default()).with_stealth(0.35);
+        world.run(&mut policy).expect("run");
+        let outcome = evaluate_attack(&world, &policy);
+        assert!(
+            !policy.targets().is_empty(),
+            "premise: masquerades happened"
+        );
+        let report = TwinAudit.analyze(&world);
+        assert_eq!(report.alarm_count(), 0, "stealth convicted: {report:?}");
+        // The price of stealth: partial-power masquerades deliver real
+        // energy to their victims.
+        let delivered: f64 = world
+            .trace()
+            .sessions()
+            .iter()
+            .filter(|s| s.mode.is_attack())
+            .map(|s| s.delivered_j)
+            .sum();
+        assert!(delivered > 0.0, "stealth spoofs must leak real energy");
+        let _ = outcome;
+    }
+
+    #[test]
+    fn twin_audit_is_empty_without_an_attached_audit() {
+        let mut world = attack_world(300_000.0);
+        world.run(&mut IdlePolicy).expect("run");
+        assert_eq!(TwinAudit.analyze(&world).alarm_count(), 0);
     }
 
     #[test]
@@ -576,7 +718,12 @@ mod tests {
         assert_eq!(verdict.reports.len(), 3);
         assert!(verdict.total_alarms() > 0);
         let all: Vec<NodeId> = world.network().ids().collect();
-        assert!(verdict.overall_detection_ratio(&all) > 0.0);
+        assert!(
+            verdict
+                .overall_detection_ratio(&all)
+                .expect("nodes nonempty")
+                > 0.0
+        );
         // The standard suite exists and runs, too.
         assert_eq!(run_suite(&world).reports.len(), 3);
     }
@@ -596,11 +743,8 @@ mod tests {
         let report = PostMortemAudit::default().analyze(&world);
         // The forensic audit sees (nearly) every spoofed victim — each died
         // during or right after its "charge".
-        assert!(
-            report.detection_ratio(&victims) > 0.9,
-            "post-mortem ratio {} ({report:?})",
-            report.detection_ratio(&victims)
-        );
+        let ratio = report.detection_ratio(&victims).expect("victims nonempty");
+        assert!(ratio > 0.9, "post-mortem ratio {ratio} ({report:?})");
         // ... but every alarm fires at the victim's death — too late for it.
         for alarm in &report.alarms {
             let death = world.trace().death_time_of(alarm.node).unwrap();
@@ -629,7 +773,8 @@ mod tests {
         assert!(!neglect_victims.is_empty());
         let neglect_ratio = FairnessAudit::default()
             .analyze(&neglect_world)
-            .detection_ratio(&neglect_victims);
+            .detection_ratio(&neglect_victims)
+            .expect("victims nonempty");
 
         let mut csa_world = attack_world(400_000.0);
         let (_, outcome) = run_attack(&mut csa_world, TideConfig::default()).expect("attack run");
@@ -643,7 +788,8 @@ mod tests {
             .collect();
         let csa_ratio = FairnessAudit::default()
             .analyze(&csa_world)
-            .detection_ratio(&csa_victims);
+            .detection_ratio(&csa_victims)
+            .expect("victims nonempty");
 
         assert!(
             neglect_ratio > 0.6,

@@ -22,6 +22,23 @@ pub enum ChargeMode {
     Honest,
     /// Radiate like an honest charge but cancel the field at the victim.
     Spoofed,
+    /// Radiate like a spoofed charge but *detune* the cancellation so the
+    /// victim still harvests `fraction` of the honest power — the adaptive
+    /// attacker's concession to challenge-response auditing: real energy
+    /// spent to keep a probed residual above the conviction threshold.
+    Partial {
+        /// Fraction of the honest delivered power the victim harvests,
+        /// clamped to `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl ChargeMode {
+    /// Whether this mode runs the cancellation helper at all (spoofed or
+    /// partial service) — i.e. the charger is attacking, not serving.
+    pub fn is_attack(&self) -> bool {
+        !matches!(self, ChargeMode::Honest)
+    }
 }
 
 /// The charger's transmit hardware: a primary antenna plus a cancellation
@@ -97,6 +114,20 @@ impl ChargerRig {
                     self.amplitude_error,
                 )
             }
+            // A detuned cancellation: the victim harvests the chosen fraction
+            // of the honest power, plus the attacker's unavoidable residual
+            // leakage (same calibration errors as a full spoof).
+            ChargeMode::Partial { fraction } => {
+                let honest = primary.solo_power_at(victim.into_tuple());
+                let hp = self.helper_pos(charger_pos, victim);
+                let helper = self.primary.at(hp.x, hp.y);
+                let residual = CancelController::new(&primary, &helper).residual_with_errors(
+                    victim.into_tuple(),
+                    self.phase_error_rad,
+                    self.amplitude_error,
+                );
+                (honest * fraction.clamp(0.0, 1.0) + residual).min(honest)
+            }
         }
     }
 
@@ -108,7 +139,9 @@ impl ChargerRig {
         let rated = wrsn_em::constants::DEFAULT_TX_POWER_W;
         match mode {
             ChargeMode::Honest => rated,
-            ChargeMode::Spoofed => {
+            // Both antennas run whether the cancellation is full or detuned:
+            // externally a partial spoof is indistinguishable from a full one.
+            ChargeMode::Spoofed | ChargeMode::Partial { .. } => {
                 let primary = self.primary.at(charger_pos.x, charger_pos.y);
                 let hp = self.helper_pos(charger_pos, victim);
                 let helper = self.primary.at(hp.x, hp.y);
@@ -353,6 +386,43 @@ mod tests {
         let rig = ChargerRig::powercast().with_errors(0.0, 0.0);
         let spoofed = rig.delivered_power(Point::ORIGIN, Point::new(1.0, 0.0), ChargeMode::Spoofed);
         assert!(spoofed < 1e-20);
+    }
+
+    #[test]
+    fn partial_mode_delivers_the_requested_fraction() {
+        let rig = ChargerRig::powercast();
+        let c = Point::ORIGIN;
+        let v = Point::new(1.0, 0.0);
+        let honest = rig.delivered_power(c, v, ChargeMode::Honest);
+        let partial = rig.delivered_power(c, v, ChargeMode::Partial { fraction: 0.35 });
+        // Fraction of honest plus the (tiny) cancellation residual.
+        assert!(
+            partial >= 0.35 * honest && partial < 0.37 * honest,
+            "partial {partial} vs honest {honest}"
+        );
+        // Out-of-range fractions clamp rather than exceed honest power.
+        let over = rig.delivered_power(c, v, ChargeMode::Partial { fraction: 7.0 });
+        assert!(over <= honest + 1e-12);
+        let under = rig.delivered_power(c, v, ChargeMode::Partial { fraction: -1.0 });
+        let spoofed = rig.delivered_power(c, v, ChargeMode::Spoofed);
+        assert!((under - spoofed).abs() < 1e-15, "fraction 0 == full spoof");
+    }
+
+    #[test]
+    fn partial_radiates_like_a_full_spoof() {
+        let rig = ChargerRig::powercast();
+        let c = Point::ORIGIN;
+        let v = Point::new(1.0, 0.0);
+        let spoofed = rig.radiated_power(c, v, ChargeMode::Spoofed);
+        let partial = rig.radiated_power(c, v, ChargeMode::Partial { fraction: 0.35 });
+        assert_eq!(partial, spoofed, "externally indistinguishable");
+    }
+
+    #[test]
+    fn attack_mode_predicate() {
+        assert!(!ChargeMode::Honest.is_attack());
+        assert!(ChargeMode::Spoofed.is_attack());
+        assert!(ChargeMode::Partial { fraction: 0.5 }.is_attack());
     }
 
     #[test]

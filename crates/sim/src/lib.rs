@@ -54,6 +54,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cancel;
 pub mod charger;
 pub mod engine;
@@ -68,6 +69,7 @@ pub mod store;
 pub mod trace;
 pub mod world;
 
+pub use audit::{AuditConfig, AuditState, Conviction, ProbeOutcome, ProbeRecord};
 pub use cancel::CancelToken;
 pub use charger::{ChargeMode, ChargerRig, MobileCharger};
 pub use error::SimError;
@@ -81,6 +83,7 @@ pub use world::{Checkpoint, SimReport, World, WorldConfig};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::audit::{AuditConfig, AuditState, Conviction, ProbeOutcome, ProbeRecord};
     pub use crate::cancel::CancelToken;
     pub use crate::charger::{ChargeMode, ChargerRig, MobileCharger};
     pub use crate::error::SimError;

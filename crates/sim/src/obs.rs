@@ -136,11 +136,20 @@ pub enum Counter {
     ConnsReaped,
     /// Request lines rejected for exceeding the service line-length cap.
     RequestsOversized,
+    /// Completed charging sessions served in partial-power (detuned spoof)
+    /// mode.
+    PartialSessions,
+    /// Challenge-response residual-energy probes issued by the online audit.
+    AuditProbes,
+    /// Audit probes whose measured gain fell below the conviction tolerance.
+    AuditProbeFailures,
+    /// Nodes convicted by the online audit (k-of-m probe failures).
+    AuditConvictions,
 }
 
 impl Counter {
     /// Number of counters (size for dense per-counter arrays).
-    pub const COUNT: usize = 44;
+    pub const COUNT: usize = 48;
 
     /// All counters, in declaration (= serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -188,6 +197,10 @@ impl Counter {
         Counter::StreamCancels,
         Counter::ConnsReaped,
         Counter::RequestsOversized,
+        Counter::PartialSessions,
+        Counter::AuditProbes,
+        Counter::AuditProbeFailures,
+        Counter::AuditConvictions,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -237,6 +250,10 @@ impl Counter {
             Counter::StreamCancels => "stream_cancels",
             Counter::ConnsReaped => "conns_reaped",
             Counter::RequestsOversized => "requests_oversized",
+            Counter::PartialSessions => "partial_sessions",
+            Counter::AuditProbes => "audit_probes",
+            Counter::AuditProbeFailures => "audit_probe_failures",
+            Counter::AuditConvictions => "audit_convictions",
         }
     }
 }
@@ -638,6 +655,7 @@ pub fn export_trace(rec: &mut dyn Recorder, trace: &Trace) {
         match session.mode {
             crate::charger::ChargeMode::Honest => rec.add(Counter::HonestSessions, 1),
             crate::charger::ChargeMode::Spoofed => rec.add(Counter::SpoofedSessions, 1),
+            crate::charger::ChargeMode::Partial { .. } => rec.add(Counter::PartialSessions, 1),
         }
         rec.emit(&TraceRecord::Session { session: *session });
     }

@@ -85,6 +85,13 @@ pub enum SimEvent {
         /// What was injected.
         fault: FaultKind,
     },
+    /// The online audit convicted a node (see [`crate::audit`]). Only worlds
+    /// with an attached audit emit this, so audit-free traces keep their
+    /// exact pre-audit byte shape.
+    AuditConviction {
+        /// The convicted node.
+        node: NodeId,
+    },
 }
 
 /// The full recorded trace of a simulation run.

@@ -14,7 +14,8 @@ use wrsn_net::metrics::{self, HealthSnapshot};
 use wrsn_net::routing::{self, RoutingTree, TrafficLoad};
 use wrsn_net::{Network, NodeId};
 
-use crate::charger::MobileCharger;
+use crate::audit::{AuditConfig, AuditState, SessionObservation};
+use crate::charger::{ChargeMode, MobileCharger};
 use crate::error::SimError;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::obs::{self, Counter, Gauge, Recorder, TraceRecord};
@@ -118,6 +119,11 @@ pub struct World {
     /// [`FaultPlan::none`] leaves) keeps the run loop byte-identical to a
     /// world without fault machinery.
     faults: Option<FaultInjector>,
+    /// Attached online base-station audit (digital twin + challenge-response
+    /// probes), if any. Like `faults`: `None` keeps the run loop and the
+    /// snapshot byte-identical to a pre-audit world. Purely observational —
+    /// it never perturbs the trajectory.
+    audit: Option<AuditState>,
     /// Attached periodic on-disk snapshotter, if any. Pure observation: never
     /// serialized, never part of a [`Checkpoint`], never perturbs the
     /// trajectory.
@@ -221,6 +227,10 @@ impl Serialize for World {
         if let Some(faults) = &self.faults {
             entries.push(("faults".to_string(), faults.to_value()));
         }
+        // Same deal for the audit: only attached audits enter the snapshot.
+        if let Some(audit) = &self.audit {
+            entries.push(("audit".to_string(), audit.to_value()));
+        }
         serde::Value::Map(entries)
     }
 }
@@ -244,6 +254,10 @@ impl Deserialize for World {
             energy_used_j: Deserialize::from_value(serde::map_get(entries, "energy_used_j")?)?,
             faults: match entries.iter().find(|(k, _)| k == "faults") {
                 Some((_, v)) => Some(FaultInjector::from_value(v)?),
+                None => None,
+            },
+            audit: match entries.iter().find(|(k, _)| k == "audit") {
+                Some((_, v)) => Some(AuditState::from_value(v)?),
                 None => None,
             },
             ckpt: None,
@@ -276,6 +290,7 @@ impl World {
             depot_visits: 0,
             energy_used_j: 0.0,
             faults: None,
+            audit: None,
             ckpt: None,
             shard_count: crate::parallel::shards(),
             thread_count: crate::parallel::threads(),
@@ -311,6 +326,30 @@ impl World {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_ref()
+    }
+
+    /// Attaches an online audit (builder form). See [`World::set_audit`].
+    pub fn with_audit(mut self, config: AuditConfig) -> Self {
+        self.set_audit(Some(config));
+        self
+    }
+
+    /// Attaches (or detaches, with `None`) the base station's online audit:
+    /// a digital twin scoring every charging session against the honest
+    /// charge model, with seeded challenge-response probes and a k-of-m
+    /// conviction rule (see [`crate::audit`]). The audit is purely
+    /// observational — attaching it leaves the physics trajectory, trace,
+    /// and report byte-identical; only the audit's own ledger (and its
+    /// `audit_*` counters) differ.
+    ///
+    /// Replaces any previously attached audit and resets its state.
+    pub fn set_audit(&mut self, config: Option<AuditConfig>) {
+        self.audit = config.map(AuditState::new);
+    }
+
+    /// The attached online audit, if any.
+    pub fn audit(&self) -> Option<&AuditState> {
+        self.audit.as_ref()
     }
 
     /// Attaches (or detaches, with `None`) a periodic on-disk
@@ -1140,6 +1179,7 @@ impl World {
                 // Serve in chunks so the session ends the moment the served
                 // node dies — a charger cannot keep "charging" a corpse.
                 let start = self.time_s;
+                let level_before = self.net.levels_j()[node.0];
                 let mut stored = 0.0;
                 let mut remaining = dur;
                 let mut guard = 0usize;
@@ -1171,6 +1211,37 @@ impl World {
                     mode,
                     charger_pos: pos,
                 });
+                // The base station's digital twin scores the session it just
+                // commissioned. The twin believes the charger served honestly
+                // — that is the whole point of the audit — so the expected
+                // delivery is the *honest-mode* power over the actual
+                // duration, whatever mode really ran.
+                if let Some(mut audit) = self.audit.take() {
+                    let honest_w =
+                        self.charger
+                            .rig()
+                            .delivered_power(pos, node_pos, ChargeMode::Honest);
+                    let session = SessionObservation {
+                        node,
+                        end_s: self.time_s,
+                        duration_s: dur_actual,
+                        believed_j: honest_w * dur_actual,
+                        level_before_j: level_before,
+                        level_after_j: self.net.levels_j()[node.0],
+                        capacity_j: self.net.capacities_j()[node.0],
+                        alive: self.net.alive(node.0),
+                        drain_w: self.power_w[node.0],
+                    };
+                    if let Some(conviction) = audit.observe_session(&session, rec) {
+                        self.trace.record(
+                            self.time_s,
+                            SimEvent::AuditConviction {
+                                node: conviction.node,
+                            },
+                        );
+                    }
+                    self.audit = Some(audit);
+                }
                 // A served node no longer needs charging (or is dead).
                 self.scan_requests();
                 Ok(true)

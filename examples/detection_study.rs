@@ -27,7 +27,10 @@ fn audit(label: &str, world: &World, victims: &[NodeId]) {
     print!("{label:<18}");
     for detector in detectors() {
         let report = detector.analyze(world);
-        print!("  {:>7.1} %", report.detection_ratio(victims) * 100.0);
+        match report.detection_ratio(victims) {
+            Some(ratio) => print!("  {:>7.1} %", ratio * 100.0),
+            None => print!("  {:>9}", "n/a"),
+        }
     }
     println!();
 }

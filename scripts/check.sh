@@ -19,6 +19,13 @@ cargo test --release -p wrsn-bench --test golden_exp_digest -q
 echo "== release golden digest (scale 10k byte-identity)"
 cargo test --release -p wrsn-bench --test golden_scale_digest -q
 
+echo "== release golden digest (arms_race ROC artifact + detection contract)"
+# Pins the ROC artifact bytes and gates the semantic contract: zero benign
+# convictions at lax/default aggressiveness (fault-injected runs included),
+# naive-CSA detection >= 0.8 at the default preset, and a cheaper-but-paid
+# stealth evasion.
+cargo test --release -p wrsn-bench --test golden_roc_digest -q
+
 echo "== scale-smoke: 10k nodes, shard counts 1 and 8, identical traces"
 # Spatial sharding is a pure execution strategy: the scale experiment's full
 # trace must be byte-identical at any shard count.
@@ -45,6 +52,25 @@ WRSN_SCALE_SIZES=10000 WRSN_SHARDS=8 WRSN_THREADS=8 \
 cmp -s "$scale_b" "$scale_t8" \
   || { echo "scale trace differs between thread counts 1 and 8" >&2; exit 1; }
 rm -rf "$scale_a" "$scale_b" "$scale_t8" "$scale_dir"
+
+echo "== arms-race smoke: thread counts 1 and 4, identical ROC artifacts"
+# The online audit is serial in-world code: the full ROC artifact (grid +
+# summary CSVs) must be byte-identical at any worker-thread count, and no
+# benign row may ever convict at the lax/default presets.
+arms_dir="$(mktemp -d)"
+WRSN_THREADS=1 cargo run -p wrsn-bench --release --bin exp -- \
+  --id arms_race --out-dir "$arms_dir/t1" >/dev/null
+WRSN_THREADS=4 cargo run -p wrsn-bench --release --bin exp -- \
+  --id arms_race --out-dir "$arms_dir/t4" >/dev/null
+for csv in "$arms_dir"/t1/arms_race_*.csv; do
+  cmp -s "$csv" "$arms_dir/t4/$(basename "$csv")" \
+    || { echo "ROC artifact $(basename "$csv") differs between thread counts 1 and 4" >&2; exit 1; }
+done
+if awk -F, '$1 ~ /^(lax|default)$/ && $2 == "benign" && $6 != "0.0"' \
+    "$arms_dir/t1/arms_race_0.csv" | grep -q .; then
+  echo "benign run convicted at lax/default detector aggressiveness" >&2; exit 1
+fi
+rm -rf "$arms_dir"
 
 echo "== trace export smoke test"
 trace_file="$(mktemp)"

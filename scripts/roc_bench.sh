@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# ROC benchmark: run the `arms_race` detection campaign (digital-twin +
+# challenge-response audit vs. benign / naive-CSA / adaptive-CSA postures,
+# swept over detector aggressiveness and fault-injection intensity) and
+# record the grid as BENCH_<label>.json — detection rate, false-positive
+# rate, time-to-detection, and probe overhead per cell, plus the pooled ROC
+# operating points and an FNV-style digest of the CSV artifact bytes.
+#
+# Two contract gates fail the run (a nonzero exit means the detector
+# regressed, not that the machine was slow):
+#   * zero benign convictions at the lax and default presets, fault-injected
+#     benign runs included;
+#   * the default preset flags the naive CSA with detection rate >= 0.8
+#     before 80% key-node exhaustion at zero fault noise.
+#
+# Usage: scripts/roc_bench.sh [label]
+#   scripts/roc_bench.sh        -> BENCH_pr10.json
+#   scripts/roc_bench.sh soak   -> BENCH_soak.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-pr10}"
+out="BENCH_${label}.json"
+
+echo "== cargo build --release -p wrsn-bench"
+cargo build --release -p wrsn-bench
+
+run_dir="$(mktemp -d)"
+trap 'rm -rf "$run_dir"' EXIT
+
+echo "== exp --id arms_race"
+target/release/exp --id arms_race --out-dir "$run_dir" >/dev/null
+
+python3 - "$run_dir/arms_race_0.csv" "$run_dir/arms_race_1.csv" "$out" <<'EOF'
+import csv, hashlib, json, sys
+
+roc_csv, summary_csv, out = sys.argv[1], sys.argv[2], sys.argv[3]
+raw = open(roc_csv, "rb").read() + open(summary_csv, "rb").read()
+
+def num(cell):
+    return None if cell == "-" else float(cell)
+
+cells = []
+with open(roc_csv) as f:
+    for row in csv.DictReader(f):
+        cells.append({
+            "detector": row["detector"],
+            "policy": row["policy"],
+            "faults": int(row["faults"]),
+            "detect_rate": num(row["detect rate"]),
+            "ttd_h": num(row["ttd (h)"]),
+            "convictions": num(row["convictions"]),
+            "probes": num(row["probes"]),
+            "probe_cost_j": num(row["probe cost (J)"]),
+            "key_exhausted": num(row["key exhausted"]),
+            "attack_delivered_kj": num(row["attack delivered (kJ)"]),
+        })
+summary = list(csv.DictReader(open(summary_csv)))
+
+# Contract gates (mirrors crates/bench/tests/golden_roc_digest.rs).
+violations = []
+for c in cells:
+    if c["policy"] == "benign" and c["detector"] in ("lax", "default"):
+        if c["convictions"] != 0.0:
+            violations.append(f"benign convictions at {c['detector']}/faults={c['faults']}")
+naive0 = next(c for c in cells
+              if (c["detector"], c["policy"], c["faults"]) == ("default", "naive", 0))
+if naive0["detect_rate"] < 0.8:
+    violations.append(f"default/naive/0 detect rate {naive0['detect_rate']} < 0.8")
+adapt0 = next(c for c in cells
+              if (c["detector"], c["policy"], c["faults"]) == ("default", "adaptive", 0))
+if not adapt0["detect_rate"] < naive0["detect_rate"]:
+    violations.append("adaptive CSA did not lower detection at the default preset")
+if not adapt0["attack_delivered_kj"] > 0.0:
+    violations.append("adaptive CSA paid no real-energy bill")
+
+report = {
+    "bench": "arms_race ROC campaign",
+    "artifact_sha256": hashlib.sha256(raw).hexdigest(),
+    "cells": cells,
+    "operating_points": [
+        {"detector": r["detector"],
+         "tpr_naive": float(r["tpr naive"]),
+         "tpr_adaptive": float(r["tpr adaptive"]),
+         "fpr_benign": float(r["fpr benign"])} for r in summary
+    ],
+    "violations": violations,
+}
+json.dump(report, open(out, "w"), indent=1)
+open(out, "a").write("\n")
+
+for p in report["operating_points"]:
+    print(f"{p['detector']:>10}: tpr naive {p['tpr_naive']:.2f}  "
+          f"tpr adaptive {p['tpr_adaptive']:.2f}  fpr benign {p['fpr_benign']:.2f}")
+print(f"artifact digest: sha256 {report['artifact_sha256'][:16]}…")
+if violations:
+    print("CONTRACT VIOLATIONS:", *violations, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+EOF
+echo "Wrote $out"

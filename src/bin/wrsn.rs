@@ -210,10 +210,10 @@ fn audit(args: &Args) -> Result<(), String> {
             detector.name(),
             report.alarm_count()
         );
-        if !args.victims.is_empty() {
+        if let Some(ratio) = report.detection_ratio(&args.victims) {
             print!(
                 "   detection ratio on given victims: {:.0} %",
-                report.detection_ratio(&args.victims) * 100.0
+                ratio * 100.0
             );
         }
         println!();

@@ -34,7 +34,8 @@ fn neglect_kills_but_fairness_audit_sees_it() {
 
     let ratio = FairnessAudit::default()
         .analyze(&world)
-        .detection_ratio(&victims);
+        .detection_ratio(&victims)
+        .expect("victims nonempty");
     assert!(ratio >= 0.6, "fairness audit missed neglect: {ratio}");
 }
 
@@ -48,7 +49,8 @@ fn csa_defeats_the_fairness_audit() {
     assert!(!victims.is_empty());
     let ratio = FairnessAudit::default()
         .analyze(&world)
-        .detection_ratio(&victims);
+        .detection_ratio(&victims)
+        .expect("victims nonempty");
     assert!(ratio < 0.1, "fairness audit should not see CSA: {ratio}");
 }
 
@@ -61,7 +63,7 @@ fn post_mortem_forensics_see_csa_but_only_after_each_death() {
     let victims: Vec<NodeId> = policy.targets().iter().map(|&(n, _)| n).collect();
 
     let report = PostMortemAudit::default().analyze(&world);
-    let ratio = report.detection_ratio(&victims);
+    let ratio = report.detection_ratio(&victims).expect("victims nonempty");
     assert!(ratio > 0.9, "forensics should see CSA: {ratio}");
     // Every alarm coincides with a death — never earlier.
     for alarm in &report.alarms {
@@ -91,7 +93,10 @@ fn depot_provisioned_honest_charging_is_clean_on_every_audit() {
         Box::new(FairnessAudit::default()) as Box<dyn Detector>,
         Box::new(PostMortemAudit::default()),
     ] {
-        let ratio = detector.analyze(&world).detection_ratio(&served);
+        let ratio = detector
+            .analyze(&world)
+            .detection_ratio(&served)
+            .expect("served nonempty");
         assert!(
             ratio < 0.15,
             "{} flags honest depot-provisioned charging: {ratio}",

@@ -38,11 +38,15 @@ fn headline_without_being_detected() {
 
     let energy = EnergyReportAudit::default().analyze(&world);
     assert!(
-        energy.detection_ratio(&victims) < 0.1,
+        energy.detection_ratio(&victims).expect("victims nonempty") < 0.1,
         "energy audit caught CSA: {energy:?}"
     );
     let rf = RadiatedPowerAudit::default().analyze(&world);
-    assert_eq!(rf.detection_ratio(&victims), 0.0, "RF audit caught CSA");
+    assert_eq!(
+        rf.detection_ratio(&victims),
+        Some(0.0),
+        "RF audit caught CSA"
+    );
 }
 
 #[test]
@@ -68,8 +72,14 @@ fn the_naive_spoofer_is_caught_where_csa_is_not() {
     assert!(!eager_victims.is_empty());
 
     let audit = EnergyReportAudit::default();
-    let csa_ratio = audit.analyze(&csa_world).detection_ratio(&csa_victims);
-    let eager_ratio = audit.analyze(&eager_world).detection_ratio(&eager_victims);
+    let csa_ratio = audit
+        .analyze(&csa_world)
+        .detection_ratio(&csa_victims)
+        .expect("victims nonempty");
+    let eager_ratio = audit
+        .analyze(&eager_world)
+        .detection_ratio(&eager_victims)
+        .expect("victims nonempty");
     assert!(
         csa_ratio + 0.5 < eager_ratio,
         "no separation: csa {csa_ratio} vs eager {eager_ratio}"
@@ -101,6 +111,9 @@ fn spoofed_sessions_deliver_nothing_honest_decoys_deliver_plenty() {
                         "decoy session delivered nothing: {s:?}"
                     );
                 }
+            }
+            ChargeMode::Partial { .. } => {
+                panic!("naive CSA never issues partial-power sessions: {s:?}");
             }
         }
     }
